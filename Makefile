@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-fast results clean help
+
+help:
+	@echo "install     editable install (falls back to setup.py develop)"
+	@echo "test        run the unit/property test suite"
+	@echo "bench       regenerate every paper table and figure"
+	@echo "bench-fast  quick bench pass (scale 1/32, short traces)"
+	@echo "results     show the rendered experiment tables"
+	@echo "clean       remove caches and generated results"
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-fast:
+	REPRO_SCALE=32 REPRO_INSTRUCTIONS=80000 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+results:
+	@for f in benchmarks/results/*.txt; do echo; cat $$f; done
+
+clean:
+	rm -rf .pytest_cache benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,39 @@
+"""Extension bench: the sampler versus its most influential descendant.
+
+SHiP (Wu et al., MICRO 2011) took this paper's sampled PC-signature
+learning and applied it to RRIP insertion.  This bench runs SHiP next to
+the paper's comparison set on the single-thread subset -- a small
+"what happened next in the literature" experiment.
+
+Expected shape: SHiP lands in the same neighbourhood as the sampler
+(both act on the same learned signal) and beats plain RRIP's static
+insertion; the sampler keeps an edge where *bypass* matters (it can keep
+dead blocks out entirely, which insertion-only policies cannot).
+"""
+
+from repro.harness import TECHNIQUES, format_table, single_thread_comparison
+
+
+def test_ext_ship_follow_on(benchmark, workload_cache, report):
+    keys = ("rrip", "ship", "sampler")
+    comparison = benchmark.pedantic(
+        lambda: single_thread_comparison(workload_cache, keys),
+        rounds=1,
+        iterations=1,
+    )
+    labels = [TECHNIQUES[key].label for key in keys]
+    text = format_table(
+        ["benchmark"] + labels,
+        comparison.mpki_rows(),
+        title="Extension: SHiP (2011 follow-on) vs RRIP vs the sampler "
+        "(misses normalized to LRU)",
+    )
+    report("ext_ship_follow_on", text)
+
+    ship = comparison.mpki_amean("ship")
+    rrip = comparison.mpki_amean("rrip")
+    sampler = comparison.mpki_amean("sampler")
+    assert ship < 1.0, "SHiP must reduce misses over LRU"
+    assert ship <= rrip + 0.02, "signature insertion must not lose to static RRIP"
+    # The sampler's bypass gives it the edge on this suite.
+    assert sampler <= ship + 0.02

@@ -1,0 +1,55 @@
+"""Extension bench: seed robustness of the headline comparison.
+
+The synthetic workloads are stochastic; a reproduction claim is only as
+good as its stability across seeds.  This bench reruns the LRU-vs-Sampler
+comparison on three representative benchmarks under three different
+workload seeds and checks that the sampler's miss reduction holds for
+every seed (direction, not magnitude, is the invariant).
+"""
+
+from repro.harness import ExperimentConfig, WorkloadCache, format_table
+from repro.harness.experiments import single_thread_comparison
+
+BENCHMARKS = ("hmmer", "libquantum", "soplex")
+SEEDS = (1, 7, 42)
+
+
+def test_ext_seed_sensitivity(benchmark, config, report):
+    def run():
+        rows = []
+        for seed in SEEDS:
+            seeded = ExperimentConfig(
+                scale=config.scale,
+                instructions=min(config.instructions, 250_000),
+                seed=seed,
+            )
+            cache = WorkloadCache(seeded)
+            comparison = single_thread_comparison(
+                cache, technique_keys=("sampler",), benchmarks=BENCHMARKS
+            )
+            for name in BENCHMARKS:
+                rows.append(
+                    [
+                        seed,
+                        name,
+                        comparison.normalized_mpki(name, "sampler"),
+                        comparison.speedup(name, "sampler"),
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["seed", "benchmark", "sampler norm. MPKI", "sampler speedup"],
+        rows,
+        title="Extension: seed sensitivity of the sampler's gains",
+    )
+    report("ext_seed_sensitivity", text)
+
+    for seed, name, norm_mpki, speedup in rows:
+        assert norm_mpki < 1.0, f"seed {seed} / {name}: sampler must reduce misses"
+        assert speedup > 1.0, f"seed {seed} / {name}: sampler must speed up"
+    # Magnitudes should agree across seeds within a loose band per benchmark.
+    for name in BENCHMARKS:
+        values = [row[2] for row in rows if row[1] == name]
+        assert max(values) - min(values) < 0.15, name

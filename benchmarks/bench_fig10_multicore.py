@@ -1,0 +1,86 @@
+"""Figure 10: quad-core shared-LLC weighted speedups.
+
+Paper gmeans over the ten mixes, normalized to shared-LRU:
+
+* (a) LRU default: Sampler 1.125, CDBP 1.10, TADIP 1.076, TDBP 1.056,
+  RRIP 1.045; average normalized MPKIs 0.77 / 0.79 / 0.85 / 0.95 / 0.93.
+* (b) random default: Random Sampler 1.07, Random CDBP 1.06, Random ~1.0.
+
+Reproduced properties: the sampler leads both charts; every dead-block
+technique beats shared LRU; the random-default sampler beats plain random.
+The same 32-set sampler is used unmodified for the 4x larger shared LLC
+(paper Section III-F).
+"""
+
+from repro.harness import (
+    MULTICORE_LRU_TECHNIQUES,
+    MULTICORE_RANDOM_TECHNIQUES,
+    TECHNIQUES,
+    format_table,
+    multicore_comparison,
+)
+
+PAPER_GMEAN_LRU = {
+    "tdbp": 1.056,
+    "cdbp": 1.100,
+    "tadip": 1.076,
+    "rrip": 1.045,
+    "sampler": 1.125,
+}
+PAPER_GMEAN_RANDOM = {
+    "random": 1.00,
+    "random_cdbp": 1.06,
+    "random_sampler": 1.07,
+}
+
+
+def _render(comparison, paper, title):
+    labels = [TECHNIQUES[key].label for key in comparison.technique_keys]
+    rows = comparison.speedup_rows()
+    rows.append(["paper gmean"] + [paper[key] for key in comparison.technique_keys])
+    rows.append(
+        ["norm. MPKI amean"]
+        + [comparison.mpki_amean(key) for key in comparison.technique_keys]
+    )
+    return format_table(["mix"] + labels, rows, title=title)
+
+
+def test_fig10a_multicore_lru(benchmark, workload_cache, report):
+    comparison = benchmark.pedantic(
+        lambda: multicore_comparison(workload_cache, MULTICORE_LRU_TECHNIQUES),
+        rounds=1,
+        iterations=1,
+    )
+    text = _render(
+        comparison,
+        PAPER_GMEAN_LRU,
+        "Figure 10(a): normalized weighted speedup, shared LLC, LRU default",
+    )
+    report("fig10a_multicore_lru", text)
+
+    sampler = comparison.speedup_gmean("sampler")
+    assert sampler > 1.0, "the sampler must beat shared LRU"
+    for key in ("tdbp", "tadip", "rrip"):
+        assert sampler >= comparison.speedup_gmean(key) - 1e-9, (
+            f"sampler must lead {key} on the mixes"
+        )
+    assert comparison.mpki_amean("sampler") < 1.0
+
+
+def test_fig10b_multicore_random(benchmark, workload_cache, report):
+    comparison = benchmark.pedantic(
+        lambda: multicore_comparison(workload_cache, MULTICORE_RANDOM_TECHNIQUES),
+        rounds=1,
+        iterations=1,
+    )
+    text = _render(
+        comparison,
+        PAPER_GMEAN_RANDOM,
+        "Figure 10(b): normalized weighted speedup, shared LLC, random default",
+    )
+    report("fig10b_multicore_random", text)
+
+    assert comparison.speedup_gmean("random_sampler") > comparison.speedup_gmean(
+        "random"
+    )
+    assert comparison.speedup_gmean("random_sampler") > 1.0

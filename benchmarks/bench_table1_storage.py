@@ -1,0 +1,47 @@
+"""Table I: storage overhead of the three dead block predictors.
+
+Paper values for the 2MB / 16-way / 64B LLC (32K blocks):
+
+=========  ====================  ==============  =========
+Predictor  Predictor structures  Cache metadata  Total
+=========  ====================  ==============  =========
+reftrace   8KB                   64KB            72KB
+counting   40KB                  68KB            108KB
+sampler    3KB + 6.75KB          4KB             13.75KB
+=========  ====================  ==============  =========
+
+This is analytic, so the bench reproduces the numbers exactly.
+"""
+
+from repro.cache import CacheGeometry
+from repro.harness import format_table
+from repro.power import storage_table
+
+
+def _render() -> str:
+    geometry = CacheGeometry(2 * 1024 * 1024, 16, 64)
+    paper_totals = {"reftrace": 72.0, "counting": 108.0, "sampler": 13.75}
+    rows = []
+    for breakdown in storage_table(geometry):
+        rows.append(
+            [
+                breakdown.predictor,
+                breakdown.structure_bits / 8 / 1024,
+                breakdown.metadata_bits / 8 / 1024,
+                breakdown.total_kbytes,
+                paper_totals[breakdown.predictor],
+                100 * breakdown.fraction_of_cache(geometry),
+            ]
+        )
+    return format_table(
+        ["predictor", "structures KB", "metadata KB", "total KB", "paper KB", "% of LLC"],
+        rows,
+        precision=2,
+        title="Table I: predictor storage overhead (2MB LLC)",
+    )
+
+
+def test_table1_storage(benchmark, report):
+    text = benchmark(_render)
+    report("table1_storage", text)
+    assert "13.75" in text  # the sampler's headline number

@@ -1,0 +1,58 @@
+"""Table II: leakage and dynamic power of the predictor components.
+
+Paper anchors (Section IV-D): the baseline 2MB LLC draws 2.75W dynamic /
+0.512W leakage; the sampling predictor consumes 3.1% of the LLC's dynamic
+power (counting: 11%) and 1.2% of its leakage (reftrace: 2.9%, counting:
+4.7%).  The CACTI-lite model is calibrated to those anchors (see
+``repro/power/cacti.py``), so this bench checks the reproduction stays on
+them.
+"""
+
+from repro.harness import format_table
+from repro.power import predictor_power_table
+
+#: Paper Table II / Section IV-D percentages of the LLC budget.
+PAPER_PERCENT = {
+    "reftrace": (2.9, 5.5),   # (leakage %, dynamic % = 0.15W / 2.75W)
+    "counting": (4.7, 11.0),
+    "sampler": (1.2, 3.1),
+}
+
+
+def _render() -> str:
+    rows = []
+    for report_row in predictor_power_table():
+        paper_leak, paper_dyn = PAPER_PERCENT[report_row.predictor]
+        rows.append(
+            [
+                report_row.predictor,
+                report_row.total_leakage,
+                report_row.total_dynamic,
+                report_row.llc_leakage_percent,
+                paper_leak,
+                report_row.llc_dynamic_percent,
+                paper_dyn,
+            ]
+        )
+    return format_table(
+        [
+            "predictor",
+            "leakage W",
+            "dynamic W",
+            "leak % LLC",
+            "paper leak %",
+            "dyn % LLC",
+            "paper dyn %",
+        ],
+        rows,
+        precision=3,
+        title="Table II: predictor power (CACTI-lite, calibrated to paper anchors)",
+    )
+
+
+def test_table2_power(benchmark, report):
+    text = benchmark(_render)
+    report("table2_power", text)
+    rows = {r.predictor: r for r in predictor_power_table()}
+    assert abs(rows["sampler"].llc_dynamic_percent - 3.1) < 0.5
+    assert abs(rows["sampler"].llc_leakage_percent - 1.2) < 0.3

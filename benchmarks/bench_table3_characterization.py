@@ -1,0 +1,35 @@
+"""Table III: the 29-benchmark characterization.
+
+The paper lists, per SPEC CPU 2006 benchmark, the LLC misses per
+kilo-instruction under LRU and under optimal replacement+bypass (MIN),
+and the IPC under LRU, with the memory-intensive subset in boldface (our
+"subset" column).  Absolute MPKI here is higher than the paper's because
+the synthetic traces are denser in memory operations (see EXPERIMENTS.md);
+the *relative* ordering -- streamers and the pointer chase at the top,
+the compute-bound group near zero -- is the reproduced property.
+"""
+
+from repro.harness import characterization_table, format_table
+
+
+def test_table3_characterization(benchmark, workload_cache, report):
+    rows = benchmark.pedantic(
+        lambda: characterization_table(workload_cache),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_table(
+        ["benchmark", "MPKI (LRU)", "MPKI (MIN)", "IPC (LRU)", "subset"],
+        rows,
+        precision=2,
+        title="Table III: benchmark characterization",
+    )
+    report("table3_characterization", text)
+
+    by_name = {row[0]: row for row in rows}
+    # MIN never loses to LRU, and the subset really is the memory-bound part.
+    for name, lru_mpki, min_mpki, ipc, _ in rows:
+        assert min_mpki <= lru_mpki + 1e-9, name
+        assert ipc > 0, name
+    assert by_name["mcf"][1] > by_name["gamess"][1]
+    assert by_name["libquantum"][1] > by_name["povray"][1]

@@ -1,0 +1,48 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+The machine scale and instruction budget come from the environment
+(``REPRO_SCALE``, ``REPRO_INSTRUCTIONS``, ``REPRO_SEED``; see
+:mod:`repro.harness.runner`), and all modules share one
+:class:`~repro.harness.WorkloadCache` so trace generation and L1/L2
+filtering are paid once per workload for the whole session.
+
+Each benchmark writes its rendered table to ``benchmarks/results/`` and
+echoes it to stdout (visible with ``pytest -s``); EXPERIMENTS.md records
+the paper-vs-measured comparison for the checked-in configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import ExperimentConfig, WorkloadCache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def workload_cache(config) -> WorkloadCache:
+    return WorkloadCache(config)
+
+
+@pytest.fixture(scope="session")
+def report(config):
+    """Write a rendered experiment table to disk and echo it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        header = f"# {name}\n# {config.describe()}\n\n"
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(header + text + "\n")
+        print(f"\n{header}{text}\n[written to {path}]")
+
+    return _report

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Visualize cache efficiency the way the paper's Figure 1 does.
+
+Renders per-frame live-time ratios as an ASCII greyscale (rows are cache
+sets, columns are ways; dark = the frame spent its time holding dead
+blocks) for a baseline LRU cache and for the same cache driven by the
+sampling dead block predictor.
+
+Run:
+    python examples/cache_efficiency.py [benchmark]
+"""
+
+import sys
+
+from repro.analysis import render_greyscale
+from repro.harness import ExperimentConfig, WorkloadCache, efficiency_experiment
+from repro.workloads import ALL_BENCHMARKS
+
+
+def main(argv) -> int:
+    benchmark = argv[0] if argv else "hmmer"
+    if benchmark not in ALL_BENCHMARKS:
+        print(f"unknown benchmark {benchmark!r}", file=sys.stderr)
+        return 1
+
+    config = ExperimentConfig(scale=8, instructions=300_000)
+    cache = WorkloadCache(config)
+    print(f"measuring {benchmark} on {config.describe()}...\n")
+    result = efficiency_experiment(cache, benchmark=benchmark)
+
+    print(f"(a) LRU cache efficiency:          {result.lru_efficiency:6.1%}")
+    print(f"(b) sampler-DBRB cache efficiency: {result.sampler_efficiency:6.1%}")
+    print()
+    print("LRU (darker = dead longer)          Sampler DBRB")
+    left = render_greyscale(result.lru_matrix).split("\n")
+    right = render_greyscale(result.sampler_matrix).split("\n")
+    width = max(len(line) for line in left) + 20
+    for a, b in zip(left, right):
+        print(a.ljust(width) + b)
+    print()
+    print("The paper's Figure 1 reports 22% -> 87% for 456.hmmer on a 1MB")
+    print("LRU cache; the direction and magnitude of the jump is the")
+    print("reproduced property.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

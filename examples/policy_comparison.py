@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Compare the paper's cache-management techniques head-to-head.
+
+Runs a few representative workloads -- a thrash pattern (libquantum), a
+scan-vs-reuse pattern (hmmer), a pointer chase (mcf), and the
+predictor-hostile astar -- under every Figure 4 technique and prints the
+misses-normalized-to-LRU table, i.e. a four-benchmark slice of Figure 4.
+
+Run:
+    python examples/policy_comparison.py [benchmark ...]
+"""
+
+import sys
+
+from repro.harness import (
+    ExperimentConfig,
+    SINGLE_THREAD_TECHNIQUES,
+    TECHNIQUES,
+    WorkloadCache,
+    format_table,
+    single_thread_comparison,
+)
+from repro.workloads import ALL_BENCHMARKS
+
+DEFAULT_BENCHMARKS = ("libquantum", "hmmer", "mcf", "astar")
+
+
+def main(argv) -> int:
+    benchmarks = tuple(argv) or DEFAULT_BENCHMARKS
+    unknown = [name for name in benchmarks if name not in ALL_BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmarks: {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(ALL_BENCHMARKS)}", file=sys.stderr)
+        return 1
+
+    config = ExperimentConfig(scale=8, instructions=250_000)
+    cache = WorkloadCache(config)
+    print(f"running on {config.describe()}; this takes a minute...\n")
+
+    comparison = single_thread_comparison(
+        cache, SINGLE_THREAD_TECHNIQUES, benchmarks=benchmarks
+    )
+    labels = [TECHNIQUES[key].label for key in SINGLE_THREAD_TECHNIQUES]
+    print(
+        format_table(
+            ["benchmark"] + labels,
+            comparison.mpki_rows(),
+            title="LLC misses normalized to LRU (lower is better)",
+        )
+    )
+    print()
+    speed_keys = [
+        key for key in SINGLE_THREAD_TECHNIQUES if TECHNIQUES[key].timing_meaningful
+    ]
+    print(
+        format_table(
+            ["benchmark"] + [TECHNIQUES[key].label for key in speed_keys],
+            comparison.speedup_rows(technique_keys=speed_keys),
+            title="Speedup over LRU (higher is better)",
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

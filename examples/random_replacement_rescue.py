@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Rescue a randomly replaced cache with the sampling predictor.
+
+The paper's Section VII-B pitch: true LRU is prohibitively expensive in a
+16-way LLC, but a *random* default policy plus the sampling predictor's
+one metadata bit per line beats the full LRU cache -- "1.71 bits per cache
+line to deliver 7.5% fewer misses than the LRU policy".
+
+This example measures that trade on a few workloads and also prints the
+storage ledger behind the 1.71-bits claim.
+
+Run:
+    python examples/random_replacement_rescue.py
+"""
+
+from repro import (
+    CacheGeometry,
+    DBRBPolicy,
+    LRUPolicy,
+    MachineConfig,
+    RandomPolicy,
+    SamplingDeadBlockPredictor,
+    SingleCoreSystem,
+    build_trace,
+)
+from repro.harness import format_table
+from repro.power import sampler_storage
+
+BENCHMARKS = ("hmmer", "libquantum", "soplex", "sphinx3")
+
+
+def main() -> None:
+    config = MachineConfig().scaled(8)
+    system = SingleCoreSystem(config)
+
+    rows = []
+    for name in BENCHMARKS:
+        trace = build_trace(name, 250_000, config.llc.size_bytes)
+        filtered = system.prepare(trace)
+        lru = system.run(filtered, lambda g, a: LRUPolicy(), "lru")
+        random_only = system.run(filtered, lambda g, a: RandomPolicy(), "random")
+        random_sampler = system.run(
+            filtered,
+            lambda g, a: DBRBPolicy(RandomPolicy(), SamplingDeadBlockPredictor()),
+            "random+sampler",
+        )
+        base = lru.llc_stats.misses or 1
+        rows.append(
+            [
+                name,
+                lru.mpki,
+                random_only.llc_stats.misses / base,
+                random_sampler.llc_stats.misses / base,
+                random_sampler.ipc / lru.ipc if lru.ipc else 1.0,
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "LRU MPKI", "random / LRU", "random+sampler / LRU",
+             "speedup vs LRU"],
+            rows,
+            title="A random-default cache, rescued (misses normalized to LRU)",
+        )
+    )
+
+    # The bits-per-line ledger (paper Section VII-B.1).  The paper's
+    # "1.71 bits per cache line" amortizes the prediction tables plus the
+    # one metadata bit (3KB/32K lines + 1); including the sampler tag
+    # array as well gives the larger figure below.
+    paper_llc = CacheGeometry(2 * 1024 * 1024, 16, 64)
+    breakdown = sampler_storage(paper_llc, sampler_sets=32)
+    tables_bits = 3 * 4096 * 2
+    print()
+    print(f"tables + dead bit per line: "
+          f"{tables_bits / paper_llc.num_blocks + 1:.2f} bits/line (paper: 1.71)")
+    print(f"including the 32-set sampler array: "
+          f"{breakdown.total_bits / paper_llc.num_blocks:.2f} bits/line")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that
+environments without the ``wheel`` package (no PEP 517 editable builds) can
+still do ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

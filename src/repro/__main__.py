@@ -1,0 +1,189 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` -- package, machine, suite, and technique summary.
+* ``run BENCHMARK [TECHNIQUE ...]`` -- quick single-benchmark comparison.
+* ``suite [TECHNIQUE ...]`` -- the full 19-benchmark Figure 4/5 run.
+* ``profile BENCHMARK`` -- reuse-distance profile of a workload.
+* ``storage`` / ``power`` -- print Tables I and II.
+
+All commands respect the ``REPRO_SCALE`` / ``REPRO_INSTRUCTIONS`` /
+``REPRO_SEED`` environment variables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.cache import CacheGeometry
+from repro.harness import (
+    ExperimentConfig,
+    SINGLE_THREAD_TECHNIQUES,
+    TECHNIQUES,
+    WorkloadCache,
+    format_table,
+    single_thread_comparison,
+)
+from repro.power import predictor_power_table, storage_table
+from repro.workloads import ALL_BENCHMARKS, MIXES, SINGLE_THREAD_SUBSET
+
+
+def _cmd_info(args) -> int:
+    config = ExperimentConfig.from_env()
+    print(f"repro {__version__} -- Sampling Dead Block Prediction for "
+          f"Last-Level Caches (MICRO-43, 2010)")
+    print(f"configuration: {config.describe()}")
+    print()
+    print(f"benchmarks ({len(ALL_BENCHMARKS)}): {', '.join(ALL_BENCHMARKS)}")
+    print(f"single-thread subset ({len(SINGLE_THREAD_SUBSET)}): "
+          f"{', '.join(SINGLE_THREAD_SUBSET)}")
+    print(f"multicore mixes: {', '.join(MIXES)}")
+    print()
+    print("techniques (Table V):")
+    for technique in TECHNIQUES.values():
+        print(f"  {technique.key:16s} {technique.description}")
+    return 0
+
+
+def _comparison(config, technique_keys, benchmarks):
+    cache = WorkloadCache(config)
+    comparison = single_thread_comparison(cache, technique_keys, benchmarks)
+    labels = [TECHNIQUES[key].label for key in technique_keys]
+    print(format_table(
+        ["benchmark"] + labels,
+        comparison.mpki_rows(),
+        title="LLC misses normalized to LRU",
+    ))
+    speed_keys = [k for k in technique_keys if TECHNIQUES[k].timing_meaningful]
+    if speed_keys:
+        print()
+        print(format_table(
+            ["benchmark"] + [TECHNIQUES[k].label for k in speed_keys],
+            comparison.speedup_rows(technique_keys=speed_keys),
+            title="Speedup over LRU",
+        ))
+    return 0
+
+
+def _parse_techniques(names) -> list:
+    keys = list(names) or list(SINGLE_THREAD_TECHNIQUES)
+    unknown = [key for key in keys if key not in TECHNIQUES]
+    if unknown:
+        raise SystemExit(
+            f"unknown techniques: {', '.join(unknown)} "
+            f"(known: {', '.join(TECHNIQUES)})"
+        )
+    return keys
+
+
+def _cmd_run(args) -> int:
+    if args.benchmark not in ALL_BENCHMARKS:
+        raise SystemExit(
+            f"unknown benchmark {args.benchmark!r} "
+            f"(known: {', '.join(ALL_BENCHMARKS)})"
+        )
+    return _comparison(
+        ExperimentConfig.from_env(),
+        _parse_techniques(args.techniques),
+        (args.benchmark,),
+    )
+
+
+def _cmd_suite(args) -> int:
+    config = ExperimentConfig.from_env()
+    print(f"running the {len(SINGLE_THREAD_SUBSET)}-benchmark subset on "
+          f"{config.describe()}; expect a few minutes...\n")
+    return _comparison(config, _parse_techniques(args.techniques),
+                       SINGLE_THREAD_SUBSET)
+
+
+def _cmd_profile(args) -> int:
+    from repro.analysis import profile_trace
+    from repro.workloads import build_trace
+
+    if args.benchmark not in ALL_BENCHMARKS:
+        raise SystemExit(
+            f"unknown benchmark {args.benchmark!r} "
+            f"(known: {', '.join(ALL_BENCHMARKS)})"
+        )
+    config = ExperimentConfig.from_env()
+    machine = config.machine()
+    trace = build_trace(
+        args.benchmark, config.instructions, machine.llc.size_bytes,
+        seed=config.seed,
+    )
+    profile = profile_trace(
+        trace, llc_reach=machine.llc.num_blocks, block_bits=6
+    )
+    print(profile.summary())
+    print()
+    llc_blocks = machine.llc.num_blocks
+    print(f"est. fully-assoc. LRU hit fraction @ LLC capacity "
+          f"({llc_blocks:,} blocks): {profile.hit_fraction(llc_blocks):.1%}")
+    return 0
+
+
+def _cmd_storage(args) -> int:
+    geometry = CacheGeometry(2 * 1024 * 1024, 16, 64)
+    rows = [
+        [b.predictor, b.structure_bits / 8192, b.metadata_bits / 8192,
+         b.total_kbytes, 100 * b.fraction_of_cache(geometry)]
+        for b in storage_table(geometry)
+    ]
+    print(format_table(
+        ["predictor", "structures KB", "metadata KB", "total KB", "% of LLC"],
+        rows, precision=2, title="Table I: predictor storage (2MB LLC)",
+    ))
+    return 0
+
+
+def _cmd_power(args) -> int:
+    rows = [
+        [r.predictor, r.total_leakage, r.total_dynamic,
+         r.llc_leakage_percent, r.llc_dynamic_percent]
+        for r in predictor_power_table()
+    ]
+    print(format_table(
+        ["predictor", "leakage W", "dynamic W", "leak % LLC", "dyn % LLC"],
+        rows, precision=3, title="Table II: predictor power (CACTI-lite)",
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("info", help="package and suite summary")
+    run_parser = subparsers.add_parser("run", help="compare techniques on one benchmark")
+    run_parser.add_argument("benchmark")
+    run_parser.add_argument("techniques", nargs="*")
+    suite_parser = subparsers.add_parser("suite", help="the full Figure 4/5 run")
+    suite_parser.add_argument("techniques", nargs="*")
+    profile_parser = subparsers.add_parser(
+        "profile", help="reuse-distance profile of one benchmark"
+    )
+    profile_parser.add_argument("benchmark")
+    subparsers.add_parser("storage", help="print Table I")
+    subparsers.add_parser("power", help="print Table II")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "run": _cmd_run,
+        "suite": _cmd_suite,
+        "profile": _cmd_profile,
+        "storage": _cmd_storage,
+        "power": _cmd_power,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Measurement instruments for the paper's analysis figures.
+
+* :mod:`repro.analysis.efficiency` -- cache efficiency (live-time ratio),
+  the greyscale visualization of Figure 1 and the "blocks are dead 86% of
+  the time" statistic of the introduction.
+* :mod:`repro.analysis.accuracy` -- predictor coverage and false-positive
+  rates, Figure 9.
+* :mod:`repro.analysis.reuse` -- reuse-distance profiling of traces, the
+  statistic dead block prediction is a bet about.
+
+The first two are implemented as :class:`~repro.cache.CacheObserver`
+subclasses, so they watch the exact caches the policies run on without
+perturbing them; the profiler operates on raw traces.
+"""
+
+from repro.analysis.accuracy import AccuracyObserver
+from repro.analysis.efficiency import EfficiencyObserver, render_greyscale
+from repro.analysis.reuse import ReuseProfile, profile_trace, reuse_histogram
+
+__all__ = [
+    "AccuracyObserver",
+    "EfficiencyObserver",
+    "ReuseProfile",
+    "profile_trace",
+    "render_greyscale",
+    "reuse_histogram",
+]

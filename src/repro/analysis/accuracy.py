@@ -1,0 +1,131 @@
+"""Predictor coverage and false-positive measurement (paper Figure 9).
+
+Definitions from Section VII-C:
+
+* **coverage** -- the fraction of cache accesses on which the predictor
+  predicts "dead" (positive predictions / all predictions; the predictor
+  is consulted on every access);
+* **false positive rate** -- the fraction of cache accesses whose "dead"
+  prediction turns out wrong.  "False positives are more harmful because
+  they wrongly allow an optimization to use a live block for some other
+  purpose, causing a miss."
+
+Ground truth for resident predictions is exact: a positive on a resident
+block is false iff the block is referenced again before leaving the
+cache.  Bypassed blocks never become resident, so their ground truth is
+approximated: a bypass is counted false when the same block returns
+within ``associativity`` further misses to its set -- i.e., when it would
+plausibly still have been resident had it been placed.  The approximation
+is conservative in both directions and applied identically to every
+predictor, so Figure 9's cross-predictor comparison is unaffected.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.cache.block import CacheBlock
+from repro.cache.cache import Cache, CacheAccess, CacheObserver
+
+__all__ = ["AccuracyObserver"]
+
+
+class AccuracyObserver(CacheObserver):
+    """Tracks positive dead predictions and their outcomes."""
+
+    def __init__(self, cache: Cache) -> None:
+        geometry = cache.geometry
+        self._geometry = geometry
+        self.accesses = 0
+        self.positives = 0
+        self.false_positives = 0
+        # Pending positive per frame: was the last prediction "dead"?
+        self._pending: List[List[bool]] = [
+            [False] * geometry.associativity for _ in range(geometry.num_sets)
+        ]
+        # Per-set: recently bypassed block -> set-miss counter at bypass.
+        self._bypassed: List[OrderedDict] = [
+            OrderedDict() for _ in range(geometry.num_sets)
+        ]
+        self._set_misses: List[int] = [0] * geometry.num_sets
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _record_prediction(self, set_index: int, way: int, dead: bool) -> None:
+        if dead:
+            self.positives += 1
+        self._pending[set_index][way] = dead
+
+    def _expire_bypasses(self, set_index: int) -> None:
+        """Bypasses older than one set-worth of misses count as correct."""
+        window = self._geometry.associativity
+        bypassed = self._bypassed[set_index]
+        now = self._set_misses[set_index]
+        while bypassed:
+            block, stamp = next(iter(bypassed.items()))
+            if now - stamp <= window:
+                break
+            del bypassed[block]
+
+    # ------------------------------------------------------------------
+    # observer events
+    # ------------------------------------------------------------------
+    def on_hit(
+        self, set_index: int, way: int, block: CacheBlock, access: CacheAccess
+    ) -> None:
+        self.accesses += 1
+        if self._pending[set_index][way]:
+            # The previous "dead" prediction was refuted by this touch.
+            self.false_positives += 1
+        self._record_prediction(set_index, way, block.predicted_dead)
+
+    def on_fill(
+        self, set_index: int, way: int, block: CacheBlock, access: CacheAccess
+    ) -> None:
+        self.accesses += 1
+        self._set_misses[set_index] += 1
+        self._check_return(set_index, access)
+        self._record_prediction(set_index, way, block.predicted_dead)
+
+    def on_evict(
+        self, set_index: int, way: int, block: CacheBlock, access: CacheAccess
+    ) -> None:
+        # An eviction confirms the pending positive (if any) was right.
+        self._pending[set_index][way] = False
+
+    def on_bypass(self, set_index: int, access: CacheAccess) -> None:
+        self.accesses += 1
+        self._set_misses[set_index] += 1
+        self._check_return(set_index, access)
+        self.positives += 1  # a bypass IS a positive dead-on-arrival call
+        block = self._geometry.block_address(access.address)
+        self._bypassed[set_index][block] = self._set_misses[set_index]
+        self._expire_bypasses(set_index)
+
+    def _check_return(self, set_index: int, access: CacheAccess) -> None:
+        """A recently bypassed block coming back means the bypass was a
+        false positive."""
+        block = self._geometry.block_address(access.address)
+        bypassed = self._bypassed[set_index]
+        stamp = bypassed.pop(block, None)
+        if stamp is not None:
+            if self._set_misses[set_index] - stamp <= self._geometry.associativity:
+                self.false_positives += 1
+        self._expire_bypasses(set_index)
+
+    # ------------------------------------------------------------------
+    @property
+    def coverage(self) -> float:
+        """Fraction of accesses predicted dead."""
+        if self.accesses == 0:
+            return 0.0
+        return self.positives / self.accesses
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of accesses with a refuted dead prediction."""
+        if self.accesses == 0:
+            return 0.0
+        return self.false_positives / self.accesses

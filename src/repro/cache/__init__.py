@@ -1,0 +1,23 @@
+"""Set-associative cache substrate.
+
+This package implements the hardware structures that every experiment in the
+paper runs on: block/tag bookkeeping, set-associative lookup, fills,
+evictions, bypass, and statistics.  Replacement decisions are delegated to a
+policy object (see :mod:`repro.replacement`), which is how the paper's
+techniques -- LRU, random, DIP, RRIP, and the dead-block replacement and
+bypass policy -- all share one cache model.
+"""
+
+from repro.cache.block import CacheBlock
+from repro.cache.cache import Cache, CacheAccess, CacheObserver
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "Cache",
+    "CacheAccess",
+    "CacheBlock",
+    "CacheGeometry",
+    "CacheObserver",
+    "CacheStats",
+]

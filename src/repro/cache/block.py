@@ -1,0 +1,95 @@
+"""A single cache block's bookkeeping state.
+
+The paper is explicit about per-block metadata cost (Table I): the whole
+point of the sampling predictor is that it needs just **one extra bit** per
+LLC block (``predicted_dead``), versus 16 bits for reftrace and 17 bits for
+the counting predictor.  Those baseline predictors attach their extra fields
+through :attr:`CacheBlock.meta`, which the storage model in
+:mod:`repro.power.storage` accounts for separately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["CacheBlock"]
+
+
+class CacheBlock:
+    """One block frame (a way within a set).
+
+    Attributes:
+        valid: whether the frame currently holds a block.
+        tag: tag of the held block (meaningless when invalid).
+        dirty: set by write hits and write fills; consumed at eviction to
+            count writebacks.
+        predicted_dead: the single metadata bit the sampling predictor adds
+            to every LLC block (paper Section III-C).  Also reused by the
+            baseline predictors for their dead indication so that the
+            replacement policy can treat all predictors uniformly.
+        fill_seq: sequence number of the access that filled the frame.
+        last_access_seq: sequence number of the most recent access to hit the
+            frame (equals ``fill_seq`` right after a fill).  Together these
+            drive the cache-efficiency analysis of Figure 1.
+        access_count: hits + fill since the block was placed; used by the
+            counting and bursts predictors.
+        meta: open dictionary for predictor-specific per-block metadata
+            (e.g. the reftrace signature).  Kept as a dict rather than slots
+            so substrate code stays predictor-agnostic.
+    """
+
+    __slots__ = (
+        "access_count",
+        "dirty",
+        "fill_seq",
+        "last_access_seq",
+        "meta",
+        "predicted_dead",
+        "tag",
+        "valid",
+    )
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.tag = 0
+        self.dirty = False
+        self.predicted_dead = False
+        self.fill_seq = 0
+        self.last_access_seq = 0
+        self.access_count = 0
+        self.meta: Dict[str, Any] = {}
+
+    def fill(self, tag: int, seq: int, is_write: bool) -> None:
+        """Install a new block in this frame, resetting all metadata."""
+        self.valid = True
+        self.tag = tag
+        self.dirty = is_write
+        self.predicted_dead = False
+        self.fill_seq = seq
+        self.last_access_seq = seq
+        self.access_count = 1
+        self.meta.clear()
+
+    def touch(self, seq: int, is_write: bool) -> None:
+        """Record a hit on this frame."""
+        self.last_access_seq = seq
+        self.access_count += 1
+        if is_write:
+            self.dirty = True
+
+    def invalidate(self) -> None:
+        """Evict the held block, leaving an empty frame."""
+        self.valid = False
+        self.dirty = False
+        self.predicted_dead = False
+        self.meta.clear()
+
+    def __repr__(self) -> str:
+        if not self.valid:
+            return "CacheBlock(invalid)"
+        flags = "".join(
+            flag
+            for flag, on in (("D", self.dirty), ("X", self.predicted_dead))
+            if on
+        )
+        return f"CacheBlock(tag={self.tag:#x}, accesses={self.access_count}, flags={flags!r})"

@@ -1,0 +1,257 @@
+"""The set-associative cache model.
+
+A :class:`Cache` owns the block frames and statistics and delegates every
+*decision* -- who to victimize, where to insert, whether to bypass -- to a
+replacement policy object (see :mod:`repro.replacement.base` for the
+interface).  This mirrors the structure of the paper's evaluation, where one
+LLC model is driven in turn by LRU, random, DIP, RRIP, the optimal policy,
+and the dead-block replacement-and-bypass (DBRB) policy with each of the
+three predictors.
+
+Access flow (one call to :meth:`Cache.access`):
+
+1. decompose the address into set index and tag;
+2. probe the set; on a hit, notify the policy and return;
+3. on a miss, notify the policy, then ask it whether the block should
+   **bypass** the cache (paper Section V: blocks predicted dead on arrival
+   are not placed);
+4. otherwise pick a frame -- an invalid one if present, else the policy's
+   victim -- evict its occupant, and fill.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.cache.block import CacheBlock
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.replacement.base import ReplacementPolicy
+
+__all__ = ["Cache", "CacheAccess", "CacheObserver"]
+
+
+class CacheAccess:
+    """One demand access presented to a cache.
+
+    Attributes:
+        address: byte address.
+        pc: program counter of the memory instruction.  This is the *only*
+            program information the sampling predictor uses (paper
+            Section III-C).
+        is_write: store vs load.
+        seq: global sequence number of the access; doubles as the logical
+            clock for the optimal policy and the efficiency analysis.
+        core: issuing core id (0 for single-core runs); consulted by the
+            thread-aware policies (TADIP, thread-aware DRRIP).
+    """
+
+    __slots__ = ("address", "core", "is_write", "pc", "seq")
+
+    def __init__(
+        self,
+        address: int,
+        pc: int,
+        is_write: bool = False,
+        seq: int = 0,
+        core: int = 0,
+    ) -> None:
+        self.address = address
+        self.pc = pc
+        self.is_write = is_write
+        self.seq = seq
+        self.core = core
+
+    def __repr__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        return f"CacheAccess({kind} addr={self.address:#x} pc={self.pc:#x} seq={self.seq})"
+
+
+class CacheObserver:
+    """Optional hook observing cache events; base class is a no-op.
+
+    The efficiency analysis (Figure 1) and the accuracy analysis (Figure 9)
+    attach observers rather than patching the cache, so the measured cache
+    is exactly the one the policies run on.
+    """
+
+    def on_hit(self, set_index: int, way: int, block: CacheBlock, access: CacheAccess) -> None:
+        """Called after a hit is recorded on ``block``."""
+
+    def on_fill(self, set_index: int, way: int, block: CacheBlock, access: CacheAccess) -> None:
+        """Called after a new block is installed in ``block``."""
+
+    def on_evict(self, set_index: int, way: int, block: CacheBlock, access: CacheAccess) -> None:
+        """Called just before the occupant of ``block`` is invalidated.
+
+        ``access`` is the miss that forced the eviction.
+        """
+
+    def on_bypass(self, set_index: int, access: CacheAccess) -> None:
+        """Called when a missing block is not placed in the cache."""
+
+
+class Cache:
+    """A set-associative cache driven by a replacement policy.
+
+    Args:
+        geometry: shape of the cache.
+        policy: decision-maker implementing the
+            :class:`repro.replacement.base.ReplacementPolicy` interface.
+        name: label used in reports ("L1D", "LLC", ...).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: "ReplacementPolicy",
+        name: str = "cache",
+    ) -> None:
+        self.geometry = geometry
+        self.policy = policy
+        self.name = name
+        self.stats = CacheStats()
+        self.sets: List[List[CacheBlock]] = [
+            [CacheBlock() for _ in range(geometry.associativity)]
+            for _ in range(geometry.num_sets)
+        ]
+        self._observers: List[CacheObserver] = []
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: CacheObserver) -> None:
+        """Attach an event observer (see :class:`CacheObserver`)."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    def find(self, set_index: int, tag: int) -> Optional[int]:
+        """Return the way holding ``tag`` in ``set_index``, or None."""
+        for way, block in enumerate(self.sets[set_index]):
+            if block.valid and block.tag == tag:
+                return way
+        return None
+
+    def contains(self, address: int) -> bool:
+        """True if the block containing ``address`` is currently resident."""
+        set_index = self.geometry.set_index(address)
+        return self.find(set_index, self.geometry.tag(address)) is not None
+
+    def resident_blocks(self):
+        """Yield ``(set_index, way, block)`` for every valid frame."""
+        for set_index, ways in enumerate(self.sets):
+            for way, block in enumerate(ways):
+                if block.valid:
+                    yield set_index, way, block
+
+    # ------------------------------------------------------------------
+    # the access path
+    # ------------------------------------------------------------------
+    def access(self, access: CacheAccess) -> bool:
+        """Perform one demand access.  Returns True on a hit."""
+        geometry = self.geometry
+        set_index = geometry.set_index(access.address)
+        tag = geometry.tag(access.address)
+        blocks = self.sets[set_index]
+        stats = self.stats
+        stats.accesses += 1
+
+        for way, block in enumerate(blocks):
+            if block.valid and block.tag == tag:
+                stats.hits += 1
+                block.touch(access.seq, access.is_write)
+                self.policy.on_hit(set_index, way, access)
+                for observer in self._observers:
+                    observer.on_hit(set_index, way, block, access)
+                return True
+
+        stats.misses += 1
+        self.policy.on_miss(set_index, access)
+
+        if self.policy.should_bypass(set_index, access):
+            stats.bypasses += 1
+            for observer in self._observers:
+                observer.on_bypass(set_index, access)
+            return False
+
+        way = self._frame_for_fill(set_index, access)
+        block = blocks[way]
+        if block.valid:
+            self._evict(set_index, way, access)
+        block.fill(tag, access.seq, access.is_write)
+        stats.fills += 1
+        self.policy.on_fill(set_index, way, access)
+        for observer in self._observers:
+            observer.on_fill(set_index, way, block, access)
+        return False
+
+    def _frame_for_fill(self, set_index: int, access: CacheAccess) -> int:
+        """Pick the frame the missing block will occupy."""
+        for way, block in enumerate(self.sets[set_index]):
+            if not block.valid:
+                return way
+        way = self.policy.choose_victim(set_index, access)
+        if not 0 <= way < self.geometry.associativity:
+            raise ValueError(
+                f"policy {self.policy!r} chose invalid victim way {way}"
+            )
+        return way
+
+    def _evict(self, set_index: int, way: int, access: CacheAccess) -> None:
+        block = self.sets[set_index][way]
+        self.stats.evictions += 1
+        if block.dirty:
+            self.stats.writebacks += 1
+        if block.predicted_dead:
+            self.stats.dead_block_victims += 1
+        self.policy.on_evict(set_index, way, access)
+        for observer in self._observers:
+            observer.on_evict(set_index, way, block, access)
+        block.invalidate()
+
+    # ------------------------------------------------------------------
+    # direct installation (prefetchers, victim relocation)
+    # ------------------------------------------------------------------
+    def insert(self, access: CacheAccess, way: int) -> None:
+        """Install ``access``'s block into ``way`` of its set directly.
+
+        Evicts the current occupant (full eviction bookkeeping runs) and
+        fills without consulting the bypass or victim-selection hooks --
+        the caller has already decided placement.  Used by the prefetch
+        engine and the victim-relocation extension; demand traffic should
+        go through :meth:`access`.
+        """
+        if not 0 <= way < self.geometry.associativity:
+            raise ValueError(f"way {way} out of range")
+        set_index = self.geometry.set_index(access.address)
+        tag = self.geometry.tag(access.address)
+        existing = self.find(set_index, tag)
+        if existing is not None and existing != way:
+            raise ValueError(
+                f"block {access.address:#x} already resident in way {existing}"
+            )
+        block = self.sets[set_index][way]
+        if block.valid and block.tag != tag:
+            self._evict(set_index, way, access)
+        block.fill(tag, access.seq, access.is_write)
+        self.stats.fills += 1
+        self.policy.on_fill(set_index, way, access)
+        for observer in self._observers:
+            observer.on_fill(set_index, way, block, access)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Invalidate every frame (no writeback accounting), reset nothing else."""
+        for ways in self.sets:
+            for block in ways:
+                block.invalidate()
+
+    def __repr__(self) -> str:
+        return f"Cache({self.name}, {self.geometry.describe()}, policy={self.policy!r})"

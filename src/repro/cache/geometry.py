@@ -1,0 +1,123 @@
+"""Cache geometry: sizes, associativity, and address decomposition.
+
+A :class:`CacheGeometry` is an immutable description of a cache's shape and
+owns all the address arithmetic (offset / set index / tag).  The paper's
+machine (Section VI-A) is expressed with three of these:
+
+* L1D: 32KB, 8-way, 64B blocks
+* L2: 256KB, 8-way, 64B blocks
+* LLC: 2MB per core, 16-way, 64B blocks (8MB shared for quad-core)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.bits import ilog2, is_power_of_two, mask
+
+__all__ = ["CacheGeometry"]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Immutable geometric description of a set-associative cache.
+
+    Attributes:
+        size_bytes: total data capacity in bytes.
+        associativity: number of ways per set.
+        block_bytes: block (line) size in bytes; the paper uses 64B.
+    """
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int = 64
+
+    # Derived fields, computed in __post_init__.
+    num_sets: int = field(init=False)
+    offset_bits: int = field(init=False)
+    index_bits: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"cache size must be positive, got {self.size_bytes}")
+        if self.associativity <= 0:
+            raise ValueError(
+                f"associativity must be positive, got {self.associativity}"
+            )
+        if not is_power_of_two(self.block_bytes):
+            raise ValueError(
+                f"block size must be a power of two, got {self.block_bytes}"
+            )
+        blocks = self.size_bytes // self.block_bytes
+        if blocks * self.block_bytes != self.size_bytes:
+            raise ValueError("cache size must be a multiple of the block size")
+        if blocks % self.associativity != 0:
+            raise ValueError(
+                f"{blocks} blocks cannot be divided into {self.associativity}-way sets"
+            )
+        num_sets = blocks // self.associativity
+        if not is_power_of_two(num_sets):
+            raise ValueError(
+                f"number of sets must be a power of two, got {num_sets}"
+            )
+        object.__setattr__(self, "num_sets", num_sets)
+        object.__setattr__(self, "offset_bits", ilog2(self.block_bytes))
+        object.__setattr__(self, "index_bits", ilog2(num_sets))
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks in the cache."""
+        return self.num_sets * self.associativity
+
+    def block_address(self, address: int) -> int:
+        """Strip the block offset, leaving the block-aligned address."""
+        return address >> self.offset_bits
+
+    def set_index(self, address: int) -> int:
+        """Set index for a byte address."""
+        return (address >> self.offset_bits) & mask(self.index_bits)
+
+    def tag(self, address: int) -> int:
+        """Tag for a byte address (everything above offset+index bits)."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def rebuild_address(self, tag: int, set_index: int) -> int:
+        """Inverse of :meth:`set_index`/:meth:`tag`; offset bits are zero.
+
+        Used by tests and by writeback bookkeeping to reconstruct the byte
+        address a (tag, set) pair refers to.
+        """
+        if not 0 <= set_index < self.num_sets:
+            raise ValueError(f"set index {set_index} out of range")
+        return ((tag << self.index_bits) | set_index) << self.offset_bits
+
+    def scaled(self, factor: int) -> "CacheGeometry":
+        """Return a geometry with capacity divided by ``factor``.
+
+        Associativity and block size are preserved -- only the number of sets
+        shrinks -- which is how the benchmark harness scales the paper's 2MB
+        LLC down to Python-friendly sizes while keeping the set-associative
+        behaviour identical.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        if self.size_bytes % factor != 0:
+            raise ValueError(
+                f"cannot scale {self.size_bytes}B cache by factor {factor}"
+            )
+        return CacheGeometry(
+            size_bytes=self.size_bytes // factor,
+            associativity=self.associativity,
+            block_bytes=self.block_bytes,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line description, e.g. ``2MB 16-way 64B``."""
+        size = self.size_bytes
+        if size % (1 << 20) == 0:
+            size_text = f"{size >> 20}MB"
+        elif size % (1 << 10) == 0:
+            size_text = f"{size >> 10}KB"
+        else:
+            size_text = f"{size}B"
+        return f"{size_text} {self.associativity}-way {self.block_bytes}B"

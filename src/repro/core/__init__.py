@@ -1,0 +1,31 @@
+"""The paper's contribution: the sampling dead block predictor and the
+dead-block replacement and bypass (DBRB) policy it drives.
+
+Components map one-to-one onto Section III of the paper:
+
+* :class:`SkewedCounterTable` -- three 4,096-entry tables of 2-bit
+  saturating counters, each indexed by a different hash of the 15-bit
+  prediction signature; a block is dead when the summed confidence meets a
+  threshold of 8 (Section III-E).
+* :class:`Sampler` -- the decoupled partial-tag array: 32 sets of 12 ways,
+  15-bit partial tags and 15-bit partial PCs, LRU-managed, never bypassed
+  (Sections III-A through III-D).
+* :class:`SamplingDeadBlockPredictor` -- ties the two together and exposes
+  the ablation knobs of Section VII-A.4 (sampler on/off, associativity,
+  skewed vs single table).
+* :class:`DBRBPolicy` -- dead block replacement and bypass over any default
+  policy (LRU or random) and any predictor (Section V).
+"""
+
+from repro.core.policy import DBRBPolicy
+from repro.core.predictor import SamplingDeadBlockPredictor
+from repro.core.sampler import Sampler, SamplerEntry
+from repro.core.skewed import SkewedCounterTable
+
+__all__ = [
+    "DBRBPolicy",
+    "Sampler",
+    "SamplerEntry",
+    "SamplingDeadBlockPredictor",
+    "SkewedCounterTable",
+]

@@ -1,0 +1,113 @@
+"""Dead-block replacement and bypass (DBRB), paper Section V.
+
+The optimization, verbatim from the paper: "the replacement policy will
+choose a dead block to be replaced before falling back on a default
+replacement policy such as random or LRU, and a block that is predicted
+dead on arrival will not be placed, i.e., it will bypass the LLC."
+
+:class:`DBRBPolicy` is generic over both the *default policy* (LRU for
+Figures 4-6 and 10a, random for Figures 7, 8, and 10b) and the *predictor*
+(the sampling predictor, reftrace for "TDBP", counting for "CDBP"), which
+is exactly how the paper constructs its comparison points (Table V).
+
+Victim selection follows the counting-predictor convention the paper
+adopts (Section II-A.4): among predicted-dead blocks choose the one
+*closest to LRU*; with a non-LRU default policy, dead blocks are scanned
+in way order.  If no block is predicted dead, the default policy's victim
+is used.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.predictors.base import DeadBlockPredictor
+from repro.replacement.base import ReplacementPolicy
+from repro.replacement.lru import LRUPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import Cache, CacheAccess
+
+__all__ = ["DBRBPolicy"]
+
+
+class DBRBPolicy(ReplacementPolicy):
+    """Dead-block replacement and bypass over a default policy.
+
+    Args:
+        default: the fallback replacement policy (LRU, random, PLRU, ...).
+        predictor: any :class:`~repro.predictors.base.DeadBlockPredictor`.
+        enable_bypass: let dead-on-arrival blocks skip the cache.
+        enable_replacement: prefer predicted-dead victims.  (Both knobs on
+            is the paper's configuration; they exist for ablations.)
+    """
+
+    def __init__(
+        self,
+        default: ReplacementPolicy,
+        predictor: DeadBlockPredictor,
+        enable_bypass: bool = True,
+        enable_replacement: bool = True,
+    ) -> None:
+        super().__init__()
+        self.default = default
+        self.predictor = predictor
+        self.enable_bypass = enable_bypass
+        self.enable_replacement = enable_replacement
+
+    def bind(self, cache: "Cache") -> None:
+        super().bind(cache)
+        self.default.bind(cache)
+        self.predictor.bind(cache)
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def on_hit(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        self.default.on_hit(set_index, way, access)
+        block = self.cache.sets[set_index][way]
+        block.predicted_dead = self.predictor.touch(set_index, way, access)
+
+    def on_miss(self, set_index: int, access: "CacheAccess") -> None:
+        self.default.on_miss(set_index, access)
+
+    def should_bypass(self, set_index: int, access: "CacheAccess") -> bool:
+        # The predictor is consulted on every miss even when bypass is off:
+        # the sampling predictor's sampler must observe all accesses to its
+        # sampled sets (Section V-B).
+        dead_on_arrival = self.predictor.predict_fill(set_index, access)
+        return self.enable_bypass and dead_on_arrival
+
+    def choose_victim(self, set_index: int, access: "CacheAccess") -> int:
+        if self.enable_replacement:
+            dead_way = self._dead_victim(set_index, access)
+            if dead_way is not None:
+                return dead_way
+        return self.default.choose_victim(set_index, access)
+
+    def _dead_victim(self, set_index: int, access: "CacheAccess"):
+        """Predicted-dead block closest to LRU, or None."""
+        predictor = self.predictor
+        now = access.seq
+        if isinstance(self.default, LRUPolicy):
+            # Walk from the LRU end of the recency stack.
+            for way in reversed(self.default.recency_order(set_index)):
+                if predictor.is_dead_now(set_index, way, now):
+                    return way
+            return None
+        for way in range(self.cache.geometry.associativity):
+            if predictor.is_dead_now(set_index, way, now):
+                return way
+        return None
+
+    def on_fill(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        self.default.on_fill(set_index, way, access)
+        block = self.cache.sets[set_index][way]
+        block.predicted_dead = self.predictor.install(set_index, way, access)
+
+    def on_evict(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        self.default.on_evict(set_index, way, access)
+        self.predictor.evicted(set_index, way, access)
+
+    def __repr__(self) -> str:
+        return f"DBRBPolicy(default={self.default!r}, predictor={self.predictor!r})"

@@ -1,0 +1,178 @@
+"""The sampling dead block predictor (paper Section III).
+
+The predictor answers "is this block dead?" from nothing but the PC of the
+current access: fold the PC to a 15-bit signature, read the three skewed
+counter tables, compare the summed confidence with the threshold.  All
+*training* happens through the sampler on the ~1.6% of LLC accesses that
+touch a sampled set; the LLC itself carries only one prediction bit per
+block.
+
+The constructor exposes every knob of the paper's Figure 6 ablation:
+
+=====================  =====================================================
+``use_sampler=False``  "DBRB alone": no sampler; the predictor learns from
+                       every LLC access and eviction, keeping a last-PC
+                       signature in each block's metadata (this is exactly
+                       "the reftrace predictor using the last PC instead of
+                       the trace signature", Section VII-A.4).
+``skewed=False``       one 4x-larger table instead of three skewed tables.
+``sampler_assoc=16``   sampler associativity matching the LLC instead of
+                       the reduced 12 ways.
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.core.sampler import Sampler
+from repro.core.skewed import SkewedCounterTable
+from repro.predictors.base import DeadBlockPredictor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import Cache, CacheAccess
+
+__all__ = ["SamplingDeadBlockPredictor"]
+
+_LAST_PC_KEY = "sdbp_last_pc"
+
+#: Default table geometry (paper Section III-E / IV-C).
+_SKEWED_TABLES = 3
+_SKEWED_ENTRIES = 4096
+_SKEWED_THRESHOLD = 8
+#: Single-table ablation: one table, 4x the entries, threshold for a lone
+#: 2-bit counter (the conventional weakly-dead threshold).
+_SINGLE_ENTRIES = 4 * _SKEWED_ENTRIES
+_SINGLE_THRESHOLD = 2
+
+
+class SamplingDeadBlockPredictor(DeadBlockPredictor):
+    """PC-indexed dead block predictor trained through a sampler.
+
+    Args:
+        sampler_sets: sampler sets (paper: 32).
+        sampler_assoc: sampler ways (paper: 12).
+        use_sampler: disable to learn from every LLC access (ablation).
+        skewed: three skewed tables (True) or one 4x table (False).
+        threshold: override the confidence threshold; None picks the
+            paper's value for the chosen table organization.
+        tag_bits / pc_bits: partial tag and signature widths (paper: 15).
+    """
+
+    name = "sampler"
+
+    def __init__(
+        self,
+        sampler_sets: int = 32,
+        sampler_assoc: int = 12,
+        use_sampler: bool = True,
+        skewed: bool = True,
+        threshold: Optional[int] = None,
+        tag_bits: int = 15,
+        pc_bits: int = 15,
+    ) -> None:
+        super().__init__()
+        if skewed:
+            self.tables = SkewedCounterTable(
+                num_tables=_SKEWED_TABLES,
+                entries_per_table=_SKEWED_ENTRIES,
+                threshold=threshold if threshold is not None else _SKEWED_THRESHOLD,
+            )
+        else:
+            self.tables = SkewedCounterTable(
+                num_tables=1,
+                entries_per_table=_SINGLE_ENTRIES,
+                threshold=threshold if threshold is not None else _SINGLE_THRESHOLD,
+            )
+        self.use_sampler = use_sampler
+        self.skewed = skewed
+        self._sampler_sets = sampler_sets
+        self._sampler_assoc = sampler_assoc
+        self._tag_bits = tag_bits
+        self._pc_bits = pc_bits
+        self.sampler: Optional[Sampler] = None
+
+    def bind(self, cache: "Cache") -> None:
+        super().bind(cache)
+        if self.use_sampler:
+            self.sampler = Sampler(
+                self.tables,
+                cache_sets=cache.geometry.num_sets,
+                num_sets=self._sampler_sets,
+                associativity=self._sampler_assoc,
+                tag_bits=self._tag_bits,
+                pc_bits=self._pc_bits,
+            )
+
+    # ------------------------------------------------------------------
+    # prediction: purely a function of the accessing PC
+    # ------------------------------------------------------------------
+    def _signature(self, pc: int) -> int:
+        from repro.utils.hashing import fold_xor
+
+        return fold_xor(pc, self._pc_bits)
+
+    def _predict(self, pc: int) -> bool:
+        return self.tables.predict(self._signature(pc))
+
+    def _sample(self, set_index: int, access: "CacheAccess") -> None:
+        """Feed the access to the sampler when its set is sampled."""
+        sampler = self.sampler
+        if sampler is None:
+            return
+        sampler_set = sampler.sampler_set_for(set_index)
+        if sampler_set is not None:
+            sampler.access(
+                sampler_set, self.cache.geometry.tag(access.address), access.pc
+            )
+
+    # ------------------------------------------------------------------
+    # predictor events
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, access: "CacheAccess") -> bool:
+        if self.use_sampler:
+            self._sample(set_index, access)
+        else:
+            block = self.cache.sets[set_index][way]
+            previous = block.meta.get(_LAST_PC_KEY)
+            if previous is not None:
+                # Re-reference proves the previous PC was not the last touch.
+                self.tables.train(previous, dead=False)
+            block.meta[_LAST_PC_KEY] = self._signature(access.pc)
+        return self._predict(access.pc)
+
+    def predict_fill(self, set_index: int, access: "CacheAccess") -> bool:
+        # NOTE: the sampler must still see bypassed accesses -- tags never
+        # bypass the sampler (Section V-B) -- so sampling happens here, on
+        # the *decision* path, rather than in install().
+        if self.use_sampler:
+            self._sample(set_index, access)
+        return self._predict(access.pc)
+
+    def install(self, set_index: int, way: int, access: "CacheAccess") -> bool:
+        if not self.use_sampler:
+            block = self.cache.sets[set_index][way]
+            block.meta[_LAST_PC_KEY] = self._signature(access.pc)
+        return self._predict(access.pc)
+
+    def evicted(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        if self.use_sampler:
+            return  # training comes exclusively from sampler evictions
+        block = self.cache.sets[set_index][way]
+        signature = block.meta.get(_LAST_PC_KEY)
+        if signature is not None:
+            self.tables.train(signature, dead=True)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        parts = []
+        if self.use_sampler and self.sampler is not None:
+            parts.append(
+                f"sampler={self.sampler.num_sets}x{self.sampler.associativity}"
+            )
+        elif self.use_sampler:
+            parts.append(f"sampler={self._sampler_sets}x{self._sampler_assoc}")
+        else:
+            parts.append("no-sampler")
+        parts.append("skewed" if self.skewed else "single-table")
+        return f"SamplingDeadBlockPredictor({', '.join(parts)})"

@@ -1,0 +1,58 @@
+"""Experiment harness: technique registry and figure/table regeneration.
+
+* :mod:`repro.harness.techniques` -- the named cache-management techniques
+  of the paper's Table V, each buildable against any LLC geometry.
+* :mod:`repro.harness.runner` -- experiment configuration (machine scale,
+  instruction budgets, seeds; overridable via ``REPRO_*`` environment
+  variables) and workload caching so one L1/L2 filtering pass serves all
+  techniques.
+* :mod:`repro.harness.experiments` -- one function per paper experiment
+  (Figures 1, 4-10; Tables I-IV), returning structured results.
+* :mod:`repro.harness.tables` -- plain-text rendering used by the
+  benchmark scripts to print paper-style tables.
+"""
+
+from repro.harness.experiments import (
+    AccuracyResult,
+    EfficiencyResult,
+    MulticoreComparison,
+    SingleThreadComparison,
+    ablation_experiment,
+    accuracy_experiment,
+    characterization_table,
+    efficiency_experiment,
+    multicore_comparison,
+    single_thread_comparison,
+)
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.harness.tables import format_table
+from repro.harness.techniques import (
+    MULTICORE_LRU_TECHNIQUES,
+    MULTICORE_RANDOM_TECHNIQUES,
+    RANDOM_DEFAULT_TECHNIQUES,
+    SINGLE_THREAD_TECHNIQUES,
+    TECHNIQUES,
+    Technique,
+)
+
+__all__ = [
+    "AccuracyResult",
+    "EfficiencyResult",
+    "ExperimentConfig",
+    "MULTICORE_LRU_TECHNIQUES",
+    "MULTICORE_RANDOM_TECHNIQUES",
+    "MulticoreComparison",
+    "RANDOM_DEFAULT_TECHNIQUES",
+    "SINGLE_THREAD_TECHNIQUES",
+    "SingleThreadComparison",
+    "TECHNIQUES",
+    "Technique",
+    "WorkloadCache",
+    "ablation_experiment",
+    "accuracy_experiment",
+    "characterization_table",
+    "efficiency_experiment",
+    "format_table",
+    "multicore_comparison",
+    "single_thread_comparison",
+]

@@ -1,0 +1,427 @@
+"""One function per paper experiment.
+
+Each function takes a :class:`~repro.harness.runner.WorkloadCache` (which
+carries the machine and memoized workloads) and returns a structured
+result object the benchmark scripts render.  Mapping to the paper:
+
+==============================  =========================================
+Function                        Paper experiment
+==============================  =========================================
+:func:`single_thread_comparison`  Figures 4/5 (LRU default) and 7/8
+                                  (random default), depending on the
+                                  technique list passed
+:func:`ablation_experiment`       Figure 6 (component contributions)
+:func:`accuracy_experiment`       Figure 9 (coverage / false positives)
+:func:`efficiency_experiment`     Figure 1 (cache efficiency greyscale)
+:func:`multicore_comparison`      Figure 10(a)/(b)
+:func:`characterization_table`    Table III
+==============================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.accuracy import AccuracyObserver
+from repro.analysis.efficiency import EfficiencyObserver
+from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.harness.runner import WorkloadCache
+from repro.harness.techniques import TECHNIQUES
+from repro.predictors import CountingPredictor, RefTracePredictor
+from repro.replacement import LRUPolicy
+from repro.sim.metrics import geometric_mean
+from repro.sim.multicore import MulticoreResult
+from repro.sim.system import RunResult
+from repro.workloads import MIX_NAMES, SINGLE_THREAD_SUBSET
+from repro.workloads.suite import ALL_BENCHMARKS, SINGLE_THREAD_SUBSET as _SUBSET
+
+__all__ = [
+    "AccuracyResult",
+    "EfficiencyResult",
+    "MulticoreComparison",
+    "SingleThreadComparison",
+    "ablation_experiment",
+    "accuracy_experiment",
+    "characterization_table",
+    "efficiency_experiment",
+    "multicore_comparison",
+    "single_thread_comparison",
+]
+
+
+# ----------------------------------------------------------------------
+# Figures 4, 5, 7, 8: single-thread technique comparisons
+# ----------------------------------------------------------------------
+@dataclass
+class SingleThreadComparison:
+    """Baseline-LRU-normalized results for a set of techniques."""
+
+    benchmarks: Tuple[str, ...]
+    technique_keys: Tuple[str, ...]
+    baseline: Dict[str, RunResult]
+    results: Dict[str, Dict[str, RunResult]]
+
+    def normalized_mpki(self, benchmark: str, technique: str) -> float:
+        """Misses normalized to the LRU baseline (Figure 4/7 y-axis)."""
+        base = self.baseline[benchmark].llc_stats.misses
+        if base == 0:
+            return 1.0
+        return self.results[benchmark][technique].llc_stats.misses / base
+
+    def speedup(self, benchmark: str, technique: str) -> float:
+        """IPC over LRU IPC (Figure 5/8 y-axis)."""
+        base = self.baseline[benchmark].ipc
+        ipc = self.results[benchmark][technique].ipc
+        if base <= 0 or ipc <= 0:
+            return 1.0
+        return ipc / base
+
+    def mpki_amean(self, technique: str) -> float:
+        """Arithmetic mean of normalized MPKI (the paper's 'amean' bar)."""
+        values = [
+            self.normalized_mpki(benchmark, technique)
+            for benchmark in self.benchmarks
+        ]
+        return sum(values) / len(values)
+
+    def speedup_gmean(self, technique: str) -> float:
+        """Geometric mean speedup (the paper's 'gmean' bar)."""
+        return geometric_mean(
+            [self.speedup(benchmark, technique) for benchmark in self.benchmarks]
+        )
+
+    def mpki_rows(self) -> List[List]:
+        """Figure 4/7 as table rows: one per benchmark plus the amean."""
+        rows = []
+        for benchmark in self.benchmarks:
+            rows.append(
+                [benchmark]
+                + [self.normalized_mpki(benchmark, key) for key in self.technique_keys]
+            )
+        rows.append(["amean"] + [self.mpki_amean(key) for key in self.technique_keys])
+        return rows
+
+    def speedup_rows(self, technique_keys: Optional[Sequence[str]] = None) -> List[List]:
+        """Figure 5/8 as table rows: one per benchmark plus the gmean."""
+        keys = tuple(technique_keys or self.technique_keys)
+        rows = []
+        for benchmark in self.benchmarks:
+            rows.append(
+                [benchmark] + [self.speedup(benchmark, key) for key in keys]
+            )
+        rows.append(["gmean"] + [self.speedup_gmean(key) for key in keys])
+        return rows
+
+
+def single_thread_comparison(
+    cache: WorkloadCache,
+    technique_keys: Sequence[str],
+    benchmarks: Sequence[str] = SINGLE_THREAD_SUBSET,
+) -> SingleThreadComparison:
+    """Run every (benchmark, technique) pair plus the LRU baseline."""
+    baseline: Dict[str, RunResult] = {}
+    results: Dict[str, Dict[str, RunResult]] = {}
+    lru = TECHNIQUES["lru"]
+    for benchmark in benchmarks:
+        filtered = cache.filtered(benchmark)
+        baseline[benchmark] = cache.system.run(
+            filtered,
+            lambda g, a: lru.build(g, a),
+            technique_name="lru",
+        )
+        per_technique: Dict[str, RunResult] = {}
+        for key in technique_keys:
+            technique = TECHNIQUES[key]
+            per_technique[key] = cache.system.run(
+                filtered,
+                lambda g, a, technique=technique: technique.build(g, a),
+                technique_name=key,
+                compute_timing=technique.timing_meaningful,
+            )
+        results[benchmark] = per_technique
+    return SingleThreadComparison(
+        benchmarks=tuple(benchmarks),
+        technique_keys=tuple(technique_keys),
+        baseline=baseline,
+        results=results,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: component ablation
+# ----------------------------------------------------------------------
+#: The paper's six feasible component combinations, in Figure 6's order,
+#: with the paper's reported speedups for reference.
+ABLATION_VARIANTS: Tuple[Tuple[str, dict, float], ...] = (
+    ("DBRB alone", dict(use_sampler=False, skewed=False), 1.034),
+    ("DBRB+3 tables", dict(use_sampler=False, skewed=True), 1.023),
+    ("DBRB+sampler", dict(use_sampler=True, skewed=False, sampler_assoc=16), 1.038),
+    (
+        "DBRB+sampler+3 tables",
+        dict(use_sampler=True, skewed=True, sampler_assoc=16),
+        1.040,
+    ),
+    (
+        "DBRB+sampler+12-way",
+        dict(use_sampler=True, skewed=False, sampler_assoc=12),
+        1.056,
+    ),
+    (
+        "DBRB+sampler+3 tables+12-way",
+        dict(use_sampler=True, skewed=True, sampler_assoc=12),
+        1.059,
+    ),
+)
+
+
+def ablation_experiment(
+    cache: WorkloadCache,
+    benchmarks: Sequence[str] = SINGLE_THREAD_SUBSET,
+) -> List[Tuple[str, float, float]]:
+    """Figure 6: gmean speedup of each predictor-component combination.
+
+    Returns ``(variant label, measured gmean speedup, paper's value)``
+    triples in the paper's presentation order.
+    """
+    lru = TECHNIQUES["lru"]
+    speedups: Dict[str, List[float]] = {label: [] for label, _, _ in ABLATION_VARIANTS}
+    for benchmark in benchmarks:
+        filtered = cache.filtered(benchmark)
+        base = cache.system.run(filtered, lambda g, a: lru.build(g, a), "lru")
+        for label, predictor_kwargs, _ in ABLATION_VARIANTS:
+            result = cache.system.run(
+                filtered,
+                lambda g, a, kw=predictor_kwargs: DBRBPolicy(
+                    LRUPolicy(), SamplingDeadBlockPredictor(**kw)
+                ),
+                technique_name=label,
+            )
+            if base.ipc > 0 and result.ipc > 0:
+                speedups[label].append(result.ipc / base.ipc)
+    return [
+        (label, geometric_mean(speedups[label]), paper)
+        for label, _, paper in ABLATION_VARIANTS
+    ]
+
+
+# ----------------------------------------------------------------------
+# Figure 9: coverage and false positives
+# ----------------------------------------------------------------------
+@dataclass
+class AccuracyResult:
+    """Coverage / false-positive rates per predictor per benchmark."""
+
+    predictors: Tuple[str, ...]
+    coverage: Dict[str, Dict[str, float]]          # predictor -> bench -> value
+    false_positive: Dict[str, Dict[str, float]]
+
+    def mean_coverage(self, predictor: str) -> float:
+        values = self.coverage[predictor].values()
+        return sum(values) / len(values)
+
+    def mean_false_positive(self, predictor: str) -> float:
+        values = self.false_positive[predictor].values()
+        return sum(values) / len(values)
+
+
+_ACCURACY_PREDICTORS = {
+    "reftrace": RefTracePredictor,
+    "counting": CountingPredictor,
+    "sampler": SamplingDeadBlockPredictor,
+}
+
+
+def accuracy_experiment(
+    cache: WorkloadCache,
+    benchmarks: Sequence[str] = SINGLE_THREAD_SUBSET,
+) -> AccuracyResult:
+    """Figure 9: per-predictor coverage and false-positive rate, measured
+    on the DBRB policy with a default LRU cache."""
+    coverage: Dict[str, Dict[str, float]] = {k: {} for k in _ACCURACY_PREDICTORS}
+    false_positive: Dict[str, Dict[str, float]] = {k: {} for k in _ACCURACY_PREDICTORS}
+    for benchmark in benchmarks:
+        filtered = cache.filtered(benchmark)
+        for name, predictor_class in _ACCURACY_PREDICTORS.items():
+            result = cache.system.run(
+                filtered,
+                lambda g, a, cls=predictor_class: DBRBPolicy(LRUPolicy(), cls()),
+                technique_name=name,
+                observer_factories=[AccuracyObserver],
+                compute_timing=False,
+            )
+            observer: AccuracyObserver = result.observers[0]
+            coverage[name][benchmark] = observer.coverage
+            false_positive[name][benchmark] = observer.false_positive_rate
+    return AccuracyResult(
+        predictors=tuple(_ACCURACY_PREDICTORS),
+        coverage=coverage,
+        false_positive=false_positive,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 1: cache efficiency
+# ----------------------------------------------------------------------
+@dataclass
+class EfficiencyResult:
+    """Efficiency of the baseline vs the sampler-optimized cache."""
+
+    benchmark: str
+    lru_efficiency: float
+    sampler_efficiency: float
+    lru_matrix: List[List[float]]
+    sampler_matrix: List[List[float]]
+
+
+def efficiency_experiment(
+    cache: WorkloadCache, benchmark: str = "hmmer"
+) -> EfficiencyResult:
+    """Figure 1: live-time ratio under LRU vs sampler-driven DBRB.
+
+    The paper uses 456.hmmer on a 1MB LRU cache (22% -> 87%); we use the
+    synthetic hmmer analogue on the configured machine.
+    """
+    filtered = cache.filtered(benchmark)
+    last_seq = len(filtered.llc_indices)
+
+    def measure(policy_factory, label):
+        result = cache.system.run(
+            filtered,
+            policy_factory,
+            technique_name=label,
+            observer_factories=[EfficiencyObserver],
+            compute_timing=False,
+        )
+        observer: EfficiencyObserver = result.observers[0]
+        observer.finalize(result.cache, last_seq)
+        return observer
+
+    lru_observer = measure(lambda g, a: LRUPolicy(), "lru")
+    sampler_observer = measure(
+        lambda g, a: DBRBPolicy(LRUPolicy(), SamplingDeadBlockPredictor()),
+        "sampler",
+    )
+    return EfficiencyResult(
+        benchmark=benchmark,
+        lru_efficiency=lru_observer.efficiency,
+        sampler_efficiency=sampler_observer.efficiency,
+        lru_matrix=lru_observer.efficiency_matrix(),
+        sampler_matrix=sampler_observer.efficiency_matrix(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 10: multicore
+# ----------------------------------------------------------------------
+@dataclass
+class MulticoreComparison:
+    """Normalized weighted speedups for shared-LLC techniques."""
+
+    mixes: Tuple[str, ...]
+    technique_keys: Tuple[str, ...]
+    baseline: Dict[str, MulticoreResult]
+    results: Dict[str, Dict[str, MulticoreResult]]
+
+    def normalized_weighted_speedup(self, mix: str, technique: str) -> float:
+        """Figure 10's y-axis: weighted IPC over the shared-LRU run's."""
+        return (
+            self.results[mix][technique].weighted_ipc
+            / self.baseline[mix].weighted_ipc
+        )
+
+    def normalized_mpki(self, mix: str, technique: str) -> float:
+        base = self.baseline[mix].llc_stats.misses
+        if base == 0:
+            return 1.0
+        return self.results[mix][technique].llc_stats.misses / base
+
+    def speedup_gmean(self, technique: str) -> float:
+        return geometric_mean(
+            [self.normalized_weighted_speedup(mix, technique) for mix in self.mixes]
+        )
+
+    def mpki_amean(self, technique: str) -> float:
+        values = [self.normalized_mpki(mix, technique) for mix in self.mixes]
+        return sum(values) / len(values)
+
+    def speedup_rows(self) -> List[List]:
+        rows = []
+        for mix in self.mixes:
+            rows.append(
+                [mix]
+                + [
+                    self.normalized_weighted_speedup(mix, key)
+                    for key in self.technique_keys
+                ]
+            )
+        rows.append(
+            ["gmean"] + [self.speedup_gmean(key) for key in self.technique_keys]
+        )
+        return rows
+
+
+def multicore_comparison(
+    cache: WorkloadCache,
+    technique_keys: Sequence[str],
+    mixes: Sequence[str] = MIX_NAMES,
+) -> MulticoreComparison:
+    """Figure 10: run each mix on the shared LLC under each technique."""
+    baseline: Dict[str, MulticoreResult] = {}
+    results: Dict[str, Dict[str, MulticoreResult]] = {}
+    lru = TECHNIQUES["lru"]
+    for mix in mixes:
+        prepared = cache.prepared_mix(mix)
+        baseline[mix] = cache.multicore.run(
+            prepared, lambda g, a, n: lru.build(g, a, n), "lru"
+        )
+        per_technique: Dict[str, MulticoreResult] = {}
+        for key in technique_keys:
+            technique = TECHNIQUES[key]
+            per_technique[key] = cache.multicore.run(
+                prepared,
+                lambda g, a, n, technique=technique: technique.build(g, a, n),
+                technique_name=key,
+            )
+        results[mix] = per_technique
+    return MulticoreComparison(
+        mixes=tuple(mixes),
+        technique_keys=tuple(technique_keys),
+        baseline=baseline,
+        results=results,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III: benchmark characterization
+# ----------------------------------------------------------------------
+def characterization_table(
+    cache: WorkloadCache,
+    benchmarks: Sequence[str] = ALL_BENCHMARKS,
+) -> List[List]:
+    """Table III rows: benchmark, MPKI (LRU), MPKI (MIN), IPC (LRU), and
+    subset membership (the paper's boldface)."""
+    lru = TECHNIQUES["lru"]
+    optimal = TECHNIQUES["optimal"]
+    rows = []
+    for benchmark in benchmarks:
+        filtered = cache.filtered(benchmark)
+        lru_result = cache.system.run(
+            filtered, lambda g, a: lru.build(g, a), "lru"
+        )
+        optimal_result = cache.system.run(
+            filtered,
+            lambda g, a: optimal.build(g, a),
+            "optimal",
+            compute_timing=False,
+        )
+        rows.append(
+            [
+                benchmark,
+                lru_result.mpki,
+                optimal_result.mpki,
+                lru_result.ipc,
+                "yes" if benchmark in _SUBSET else "",
+            ]
+        )
+    return rows

@@ -1,0 +1,105 @@
+"""JSON export of experiment results.
+
+The benchmark scripts print tables; downstream users plotting the figures
+want machine-readable data.  These helpers serialize the experiment
+result objects into plain dictionaries (JSON-ready) with the same
+normalizations the paper's figures use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.harness.experiments import (
+    AccuracyResult,
+    EfficiencyResult,
+    MulticoreComparison,
+    SingleThreadComparison,
+)
+
+__all__ = ["export_json", "to_dict"]
+
+
+def to_dict(result) -> dict:
+    """Serialize a result object from :mod:`repro.harness.experiments`."""
+    if isinstance(result, SingleThreadComparison):
+        return {
+            "kind": "single_thread_comparison",
+            "benchmarks": list(result.benchmarks),
+            "techniques": list(result.technique_keys),
+            "normalized_mpki": {
+                benchmark: {
+                    key: result.normalized_mpki(benchmark, key)
+                    for key in result.technique_keys
+                }
+                for benchmark in result.benchmarks
+            },
+            "speedup": {
+                benchmark: {
+                    key: result.speedup(benchmark, key)
+                    for key in result.technique_keys
+                }
+                for benchmark in result.benchmarks
+            },
+            "mpki_amean": {
+                key: result.mpki_amean(key) for key in result.technique_keys
+            },
+            "speedup_gmean": {
+                key: result.speedup_gmean(key) for key in result.technique_keys
+            },
+        }
+    if isinstance(result, MulticoreComparison):
+        return {
+            "kind": "multicore_comparison",
+            "mixes": list(result.mixes),
+            "techniques": list(result.technique_keys),
+            "normalized_weighted_speedup": {
+                mix: {
+                    key: result.normalized_weighted_speedup(mix, key)
+                    for key in result.technique_keys
+                }
+                for mix in result.mixes
+            },
+            "normalized_mpki": {
+                mix: {
+                    key: result.normalized_mpki(mix, key)
+                    for key in result.technique_keys
+                }
+                for mix in result.mixes
+            },
+            "speedup_gmean": {
+                key: result.speedup_gmean(key) for key in result.technique_keys
+            },
+        }
+    if isinstance(result, AccuracyResult):
+        return {
+            "kind": "accuracy",
+            "predictors": list(result.predictors),
+            "coverage": {p: dict(result.coverage[p]) for p in result.predictors},
+            "false_positive": {
+                p: dict(result.false_positive[p]) for p in result.predictors
+            },
+            "mean_coverage": {
+                p: result.mean_coverage(p) for p in result.predictors
+            },
+            "mean_false_positive": {
+                p: result.mean_false_positive(p) for p in result.predictors
+            },
+        }
+    if isinstance(result, EfficiencyResult):
+        return {
+            "kind": "efficiency",
+            "benchmark": result.benchmark,
+            "lru_efficiency": result.lru_efficiency,
+            "sampler_efficiency": result.sampler_efficiency,
+            "lru_matrix": result.lru_matrix,
+            "sampler_matrix": result.sampler_matrix,
+        }
+    raise TypeError(f"cannot serialize {type(result).__name__}")
+
+
+def export_json(result, path: Union[str, Path]) -> None:
+    """Write a result object to ``path`` as indented JSON."""
+    Path(path).write_text(json.dumps(to_dict(result), indent=2, sort_keys=True))

@@ -1,0 +1,118 @@
+"""Experiment configuration and workload caching.
+
+The paper runs one-billion-instruction SimPoints on a 2MB-LLC machine; a
+pure-Python reproduction scales both down.  :class:`ExperimentConfig`
+holds the knobs, reads overrides from the environment, and builds the
+machine; :class:`WorkloadCache` memoizes generated traces and their
+L1/L2 filtering so the six techniques of Figure 4 (and the benchmark
+suite's many processes' worth of figures) share one filtering pass per
+workload.
+
+Environment overrides:
+
+=====================  =======================================  ========
+Variable               Meaning                                  Default
+=====================  =======================================  ========
+``REPRO_SCALE``        divide every cache capacity by this      8
+``REPRO_INSTRUCTIONS`` instruction budget per benchmark         400000
+``REPRO_SEED``         workload generation seed                 1
+=====================  =======================================  ========
+
+``REPRO_SCALE=1 REPRO_INSTRUCTIONS=1000000000`` reproduces the paper's
+exact machine and budget (at Python speed: bring a cluster and patience).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.sim.hierarchy import FilteredTrace, MachineConfig
+from repro.sim.multicore import MulticoreSystem, PreparedMix
+from repro.sim.system import SingleCoreSystem
+from repro.workloads import build_mix_traces, build_trace
+
+__all__ = ["ExperimentConfig", "WorkloadCache"]
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale, budget, and seed for one experiment campaign."""
+
+    scale: int = 8
+    instructions: int = 400_000
+    seed: int = 1
+    num_cores: int = 4  # for the multicore experiments
+
+    @classmethod
+    def from_env(cls) -> "ExperimentConfig":
+        """Build from ``REPRO_*`` environment variables (see module doc)."""
+        return cls(
+            scale=_env_int("REPRO_SCALE", 8),
+            instructions=_env_int("REPRO_INSTRUCTIONS", 400_000),
+            seed=_env_int("REPRO_SEED", 1),
+        )
+
+    def machine(self) -> MachineConfig:
+        """The scaled machine."""
+        return MachineConfig().scaled(self.scale)
+
+    def describe(self) -> str:
+        machine = self.machine()
+        return (
+            f"scale 1/{self.scale} machine (LLC {machine.llc.describe()}), "
+            f"{self.instructions:,} instructions/benchmark, seed {self.seed}"
+        )
+
+
+class WorkloadCache:
+    """Memoizes generated traces, filtering passes, and prepared mixes."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.machine = config.machine()
+        self.system = SingleCoreSystem(self.machine)
+        self.multicore = MulticoreSystem(self.machine, num_cores=config.num_cores)
+        self._filtered: Dict[Tuple[str, int], FilteredTrace] = {}
+        self._mixes: Dict[Tuple[str, int], PreparedMix] = {}
+
+    def filtered(self, benchmark: str, instructions: int = 0) -> FilteredTrace:
+        """The L1/L2-filtered trace for a benchmark (cached)."""
+        budget = instructions or self.config.instructions
+        key = (benchmark, budget)
+        if key not in self._filtered:
+            trace = build_trace(
+                benchmark, budget, self.machine.llc.size_bytes, seed=self.config.seed
+            )
+            self._filtered[key] = self.system.prepare(trace)
+        return self._filtered[key]
+
+    def prepared_mix(self, mix_name: str, instructions: int = 0) -> PreparedMix:
+        """The prepared quad-core mix (cached), including solo baselines."""
+        budget = instructions or self.config.instructions
+        key = (mix_name, budget)
+        if key not in self._mixes:
+            traces = build_mix_traces(
+                mix_name, budget, self.machine.llc.size_bytes, seed=self.config.seed
+            )
+            self._mixes[key] = self.multicore.prepare(mix_name, traces)
+        return self._mixes[key]
+
+    def clear(self) -> None:
+        """Drop all cached workloads (frees memory between experiments)."""
+        self._filtered.clear()
+        self._mixes.clear()

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for the benchmark scripts.
+
+The paper's figures are bar charts; a terminal reproduction prints the
+same series as aligned tables, one row per benchmark/mix and one column
+per technique, with the paper's reported aggregate alongside ours where
+available.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Render one cell: floats to fixed precision, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Align ``rows`` under ``headers``; first column left-, rest right-aligned."""
+    rendered: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row}"
+            )
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts.extend(cell.rjust(width) for cell, width in zip(cells[1:], widths[1:]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""The cache-management techniques of the paper's Table V.
+
+Each :class:`Technique` builds a fresh LLC replacement policy.  The
+factory receives the LLC geometry, the full access stream (needed by the
+optimal policy's future pass), and the core count (needed by the
+thread-aware policies), mirroring how the paper instantiates each
+comparison point: the DBRB optimization "dropping in the reftrace and
+counting predictors ... in place of our sampling predictor"
+(Section VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.cache.cache import CacheAccess
+from repro.cache.geometry import CacheGeometry
+from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.predictors import CountingPredictor, RefTracePredictor
+from repro.replacement import (
+    DIPPolicy,
+    DRRIPPolicy,
+    LRUPolicy,
+    OptimalPolicy,
+    RandomPolicy,
+    SHiPPolicy,
+    TADIPPolicy,
+    annotate_next_use,
+)
+from repro.replacement.base import ReplacementPolicy
+
+__all__ = [
+    "MULTICORE_LRU_TECHNIQUES",
+    "MULTICORE_RANDOM_TECHNIQUES",
+    "RANDOM_DEFAULT_TECHNIQUES",
+    "SINGLE_THREAD_TECHNIQUES",
+    "TECHNIQUES",
+    "Technique",
+]
+
+PolicyBuilder = Callable[
+    [CacheGeometry, Sequence[CacheAccess], int], ReplacementPolicy
+]
+
+
+@dataclass(frozen=True)
+class Technique:
+    """One row of Table V.
+
+    Attributes:
+        key: short identifier used in code and reports.
+        label: the paper's display name ("Sampler", "TDBP", ...).
+        description: Table V's description of the technique.
+        builder: constructs the LLC policy.
+        timing_meaningful: False for the optimal policy, which the paper
+            reports "only for cache miss reduction and not for speedup".
+    """
+
+    key: str
+    label: str
+    description: str
+    builder: PolicyBuilder = field(repr=False)
+    timing_meaningful: bool = True
+
+    def build(
+        self,
+        geometry: CacheGeometry,
+        accesses: Sequence[CacheAccess],
+        num_cores: int = 1,
+    ) -> ReplacementPolicy:
+        """Instantiate a fresh policy for one run."""
+        return self.builder(geometry, accesses, num_cores)
+
+
+def _lru(geometry, accesses, num_cores):
+    return LRUPolicy()
+
+
+def _random(geometry, accesses, num_cores):
+    return RandomPolicy()
+
+
+def _sampler(geometry, accesses, num_cores):
+    return DBRBPolicy(LRUPolicy(), SamplingDeadBlockPredictor())
+
+
+def _tdbp(geometry, accesses, num_cores):
+    return DBRBPolicy(LRUPolicy(), RefTracePredictor())
+
+
+def _cdbp(geometry, accesses, num_cores):
+    return DBRBPolicy(LRUPolicy(), CountingPredictor())
+
+
+def _dip(geometry, accesses, num_cores):
+    return DIPPolicy()
+
+
+def _tadip(geometry, accesses, num_cores):
+    return TADIPPolicy(num_cores=num_cores)
+
+
+def _rrip(geometry, accesses, num_cores):
+    return DRRIPPolicy(num_cores=num_cores)
+
+
+def _random_sampler(geometry, accesses, num_cores):
+    return DBRBPolicy(RandomPolicy(), SamplingDeadBlockPredictor())
+
+
+def _random_cdbp(geometry, accesses, num_cores):
+    return DBRBPolicy(RandomPolicy(), CountingPredictor())
+
+
+def _ship(geometry, accesses, num_cores):
+    return SHiPPolicy()
+
+
+def _optimal(geometry, accesses, num_cores):
+    return OptimalPolicy(annotate_next_use(accesses, geometry), bypass=True)
+
+
+TECHNIQUES: Dict[str, Technique] = {
+    technique.key: technique
+    for technique in (
+        Technique("lru", "LRU", "Baseline true-LRU replacement", _lru),
+        Technique(
+            "sampler",
+            "Sampler",
+            "Dead block bypass and replacement with sampling predictor, "
+            "default LRU policy",
+            _sampler,
+        ),
+        Technique(
+            "tdbp",
+            "TDBP",
+            "Dead block bypass and replacement with reftrace, default LRU policy",
+            _tdbp,
+        ),
+        Technique(
+            "cdbp",
+            "CDBP",
+            "Dead block bypass and replacement with counting predictor, "
+            "default LRU policy",
+            _cdbp,
+        ),
+        Technique("dip", "DIP", "Dynamic Insertion Policy, default LRU policy", _dip),
+        Technique("rrip", "RRIP", "Re-reference interval prediction", _rrip),
+        Technique("tadip", "TADIP", "Thread-aware DIP, default LRU policy", _tadip),
+        Technique("random", "Random", "Baseline random replacement", _random),
+        Technique(
+            "random_sampler",
+            "Random Sampler",
+            "Dead block bypass and replacement with sampling predictor, "
+            "default random policy",
+            _random_sampler,
+        ),
+        Technique(
+            "random_cdbp",
+            "Random CDBP",
+            "Dead block bypass and replacement with counting predictor, "
+            "default random policy",
+            _random_cdbp,
+        ),
+        Technique(
+            "ship",
+            "SHiP",
+            "Signature-based hit predictor insertion (Wu et al. 2011; "
+            "follow-on work, not in the paper's figures)",
+            _ship,
+        ),
+        Technique(
+            "optimal",
+            "Optimal",
+            "Optimal replacement and bypass policy as described in Section VI-B",
+            _optimal,
+            timing_meaningful=False,
+        ),
+    )
+}
+
+#: Figure 4/5 comparison set (ordered as in the paper's legends).
+SINGLE_THREAD_TECHNIQUES: Tuple[str, ...] = (
+    "tdbp",
+    "cdbp",
+    "dip",
+    "rrip",
+    "sampler",
+    "optimal",
+)
+
+#: Figure 7/8 comparison set (random default).
+RANDOM_DEFAULT_TECHNIQUES: Tuple[str, ...] = (
+    "random",
+    "random_cdbp",
+    "random_sampler",
+)
+
+#: Figure 10(a) comparison set.
+MULTICORE_LRU_TECHNIQUES: Tuple[str, ...] = (
+    "tdbp",
+    "cdbp",
+    "tadip",
+    "rrip",
+    "sampler",
+)
+
+#: Figure 10(b) comparison set.
+MULTICORE_RANDOM_TECHNIQUES: Tuple[str, ...] = (
+    "random",
+    "random_cdbp",
+    "random_sampler",
+)

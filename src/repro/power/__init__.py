@@ -1,0 +1,37 @@
+"""Storage and power models (paper Section IV, Tables I and II).
+
+The paper quantifies each predictor's hardware cost in two currencies:
+
+* **storage** (Table I): predictor structures plus per-block cache
+  metadata -- the sampling predictor's headline 13.75KB against 72KB for
+  reftrace and 108KB for the counting predictor;
+* **power** (Table II): CACTI 5.3 leakage and dynamic figures for the same
+  structures.
+
+CACTI itself is a closed C++ tool, so :mod:`repro.power.cacti` provides an
+analytic stand-in calibrated to the anchor values the paper reports (the
+2MB LLC's 2.75W dynamic / 0.512W leakage and the per-predictor totals);
+see DESIGN.md Section 4 for the substitution rationale.
+"""
+
+from repro.power.cacti import CactiLite, SRAMArray
+from repro.power.report import PowerReport, predictor_power_table
+from repro.power.storage import (
+    StorageBreakdown,
+    counting_storage,
+    reftrace_storage,
+    sampler_storage,
+    storage_table,
+)
+
+__all__ = [
+    "CactiLite",
+    "PowerReport",
+    "SRAMArray",
+    "StorageBreakdown",
+    "counting_storage",
+    "predictor_power_table",
+    "reftrace_storage",
+    "sampler_storage",
+    "storage_table",
+]

@@ -1,0 +1,119 @@
+"""Predictor storage accounting (paper Table I).
+
+Reproduces the paper's arithmetic exactly:
+
+===========  ====================  ==========================  ========
+Predictor    Predictor structures  Cache metadata              Total
+===========  ====================  ==========================  ========
+reftrace     8KB table             16 bits x 32K blocks = 64KB 72KB
+counting     2^16 x 5-bit = 40KB   17 bits x 32K blocks = 68KB 108KB
+sampler      3 x 1KB tables        1 bit x 32K blocks = 4KB    13.75KB
+             + 6.75KB sampler
+===========  ====================  ==========================  ========
+
+A note on the sampler line: Section III-A of the paper says the sampler
+has **32 sets**, but Section III-D counts "1,536 [signatures] for a 12-way
+32-set sampler" and Table I charges 6.75KB -- both of which correspond to
+**128 sets** x 12 ways x 36 bits/entry (32 x 12 = 384 entries would be
+only 1.69KB).  We reproduce the *printed* Table I with
+``sampler_sets=128`` (the default here) and expose the knob so the
+32-set arithmetic is one argument away.  The simulated sampler follows the
+paper's stated 32-set design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+
+__all__ = [
+    "StorageBreakdown",
+    "counting_storage",
+    "reftrace_storage",
+    "sampler_storage",
+    "storage_table",
+]
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Storage cost of one predictor attached to one cache."""
+
+    predictor: str
+    structure_bits: int      # tables, sampler arrays -- outside the cache
+    metadata_bits_per_block: int
+    cache_blocks: int
+
+    @property
+    def metadata_bits(self) -> int:
+        """Total extra metadata carried inside the cache."""
+        return self.metadata_bits_per_block * self.cache_blocks
+
+    @property
+    def total_bits(self) -> int:
+        return self.structure_bits + self.metadata_bits
+
+    @property
+    def total_kbytes(self) -> float:
+        return self.total_bits / 8 / 1024
+
+    def fraction_of_cache(self, geometry: CacheGeometry) -> float:
+        """Total state as a fraction of the cache's data capacity."""
+        return self.total_bits / (geometry.size_bytes * 8)
+
+
+def reftrace_storage(geometry: CacheGeometry) -> StorageBreakdown:
+    """Reftrace: a 2^15-entry 2-bit table, 15-bit signature + 1 dead bit
+    per block (paper Section IV-A)."""
+    return StorageBreakdown(
+        predictor="reftrace",
+        structure_bits=(1 << 15) * 2,
+        metadata_bits_per_block=15 + 1,
+        cache_blocks=geometry.num_blocks,
+    )
+
+
+def counting_storage(geometry: CacheGeometry) -> StorageBreakdown:
+    """Counting (LvP): a 2^16-entry table of 5-bit entries (4-bit count +
+    1-bit confidence); per block an 8-bit hashed PC, two 4-bit counts, and
+    a confidence bit (paper Section IV-B)."""
+    return StorageBreakdown(
+        predictor="counting",
+        structure_bits=(1 << 16) * 5,
+        metadata_bits_per_block=8 + 4 + 4 + 1,
+        cache_blocks=geometry.num_blocks,
+    )
+
+
+def sampler_storage(
+    geometry: CacheGeometry,
+    sampler_sets: int = 128,
+    sampler_assoc: int = 12,
+) -> StorageBreakdown:
+    """Sampling predictor: three 4,096-entry 2-bit tables, the sampler
+    array (36 bits per entry: 15-bit tag, 15-bit PC, prediction, valid,
+    4 LRU bits), and one dead bit per cache block (paper Section IV-C).
+
+    The default ``sampler_sets=128`` matches the arithmetic behind the
+    printed Table I (see the module docstring).
+    """
+    tables_bits = 3 * 4096 * 2
+    lru_bits = max(1, (sampler_assoc - 1).bit_length())
+    entry_bits = 15 + 15 + 1 + 1 + lru_bits
+    sampler_bits = sampler_sets * sampler_assoc * entry_bits
+    return StorageBreakdown(
+        predictor="sampler",
+        structure_bits=tables_bits + sampler_bits,
+        metadata_bits_per_block=1,
+        cache_blocks=geometry.num_blocks,
+    )
+
+
+def storage_table(geometry: CacheGeometry):
+    """All three rows of Table I for the given LLC geometry."""
+    return [
+        reftrace_storage(geometry),
+        counting_storage(geometry),
+        sampler_storage(geometry),
+    ]

@@ -1,0 +1,36 @@
+"""Baseline dead block predictors from prior work.
+
+These are the predictors the paper compares against (Sections II and VII):
+
+* :class:`RefTracePredictor` -- the reference-trace predictor of Lai et al.
+  (drives the paper's "TDBP" technique).
+* :class:`CountingPredictor` -- the Live-time Predictor (LvP) of Kharbutli
+  and Solihin (drives "CDBP"); the Access Interval Predictor (AIP) variant
+  is included for completeness.
+* :class:`BurstFilter` -- the cache-bursts idea of Liu et al., implemented
+  as a filter that can wrap any other predictor (extension; the paper notes
+  bursts offer little advantage at the LLC).
+* :class:`TimeBasedPredictor` -- the live-time timeout predictor of Hu et
+  al., with the reference-count variant of Abella et al. (extension).
+
+The paper's own sampling predictor lives in :mod:`repro.core`.
+All predictors implement the :class:`DeadBlockPredictor` interface, so the
+dead-block replacement and bypass policy (:mod:`repro.core.policy`) can be
+instantiated with any of them -- exactly how the paper drops reftrace and
+counting predictors into the same optimization (Section VII).
+"""
+
+from repro.predictors.base import DeadBlockPredictor
+from repro.predictors.bursts import BurstFilter
+from repro.predictors.counting import AIPPredictor, CountingPredictor
+from repro.predictors.reftrace import RefTracePredictor
+from repro.predictors.time_based import TimeBasedPredictor
+
+__all__ = [
+    "AIPPredictor",
+    "BurstFilter",
+    "CountingPredictor",
+    "DeadBlockPredictor",
+    "RefTracePredictor",
+    "TimeBasedPredictor",
+]

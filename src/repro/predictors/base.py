@@ -1,0 +1,87 @@
+"""The dead block predictor interface.
+
+A dead block predictor answers one question -- *"will this block be
+referenced again before it is evicted?"* -- and is trained by the cache's
+own behaviour.  The dead-block replacement and bypass policy
+(:class:`repro.core.policy.DBRBPolicy`) translates cache events into the
+four calls below and stores each block's current prediction in the block's
+``predicted_dead`` bit (the single bit of per-block metadata the sampling
+predictor needs; baseline predictors additionally hang their larger
+metadata off ``block.meta``, which the storage model charges them for).
+
+Event mapping:
+
+* LLC hit on (set, way)          -> :meth:`touch` (returns the fresh
+  prediction for the block, given the hitting PC)
+* LLC miss, before placement     -> :meth:`predict_fill` (True = the block
+  is dead on arrival and should bypass)
+* LLC fill into (set, way)       -> :meth:`install`
+* LLC eviction of (set, way)     -> :meth:`evicted`
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import Cache, CacheAccess
+
+__all__ = ["DeadBlockPredictor"]
+
+
+class DeadBlockPredictor:
+    """Base class; concrete predictors override the four event methods."""
+
+    #: short name used in reports and the technique registry
+    name = "none"
+
+    def __init__(self) -> None:
+        self.cache: "Cache" = None  # type: ignore[assignment]
+
+    def bind(self, cache: "Cache") -> None:
+        """Attach to the cache whose blocks are being predicted."""
+        if self.cache is not None:
+            raise RuntimeError(
+                f"{type(self).__name__} is already bound; predictors are "
+                "single-cache objects"
+            )
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, access: "CacheAccess") -> bool:
+        """A resident block was hit.  Train, then return the new dead/live
+        prediction for the block (True = predicted dead)."""
+        return False
+
+    def predict_fill(self, set_index: int, access: "CacheAccess") -> bool:
+        """A block is about to be placed.  True = dead on arrival (bypass).
+
+        Must not mutate per-way state: when it returns True no fill happens.
+        """
+        return False
+
+    def install(self, set_index: int, way: int, access: "CacheAccess") -> bool:
+        """The block was placed at (set, way).  Initialize per-block
+        metadata; return the block's initial dead prediction."""
+        return False
+
+    def evicted(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        """The block at (set, way) is being evicted; its last access really
+        was its last touch, so train toward "dead" for that context."""
+
+    # ------------------------------------------------------------------
+    # optional dynamic deadness (time-based predictors)
+    # ------------------------------------------------------------------
+    def is_dead_now(self, set_index: int, way: int, now: int) -> bool:
+        """Whether the block at (set, way) is considered dead *right now*.
+
+        Most predictors precompute this into the block's ``predicted_dead``
+        bit; time-based predictors override it because their deadness is a
+        function of elapsed time since the last access.
+        """
+        return self.cache.sets[set_index][way].predicted_dead
+
+    def __repr__(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,127 @@
+"""Cache-bursts filtering (Liu, Ferdman, Huh, Burger 2008).
+
+A *cache burst* is the run of contiguous accesses a block receives while it
+is the most recently used block of its set.  The bursts insight: predict
+and train once per burst instead of once per reference, which slashes
+predictor traffic for L1 caches.  The paper notes (Section II-A.3) that
+bursts "offer little advantage for higher level caches, since most bursts
+are filtered out by the L1" -- at the LLC nearly every burst has length 1.
+We implement it anyway, both to reproduce that observation (an extension
+bench) and because it composes naturally: :class:`BurstFilter` wraps any
+inner :class:`DeadBlockPredictor` and forwards only burst-boundary events.
+
+Mechanics: a burst on (set, way) ends when any *other* frame of the set is
+touched or filled.  While a burst is open, repeated touches of the same
+frame are absorbed (the inner predictor does not see them); when the burst
+closes with the block still resident, the inner predictor sees one
+``touch`` with the burst's last PC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.predictors.base import DeadBlockPredictor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import Cache, CacheAccess
+
+__all__ = ["BurstFilter"]
+
+
+class BurstFilter(DeadBlockPredictor):
+    """Wrap ``inner`` so it trains/predicts per cache burst, not per access.
+
+    The filter exposes ``burst_events`` and ``raw_events`` counters so the
+    extension bench can report the traffic reduction bursts buy (or fail to
+    buy) at each cache level.
+    """
+
+    name = "bursts"
+
+    def __init__(self, inner: DeadBlockPredictor) -> None:
+        super().__init__()
+        self.inner = inner
+        self.raw_events = 0
+        self.burst_events = 0
+        # Per set: the way with an open burst (or None) and the access that
+        # most recently touched it.
+        self._open_way: List[Optional[int]] = []
+        self._open_access: List[Optional["CacheAccess"]] = []
+        self._open_is_fill: List[bool] = []
+
+    def bind(self, cache: "Cache") -> None:
+        super().bind(cache)
+        self.inner.bind(cache)
+        num_sets = cache.geometry.num_sets
+        self._open_way = [None] * num_sets
+        self._open_access = [None] * num_sets
+        self._open_is_fill = [False] * num_sets
+
+    # ------------------------------------------------------------------
+    def _close_burst(self, set_index: int) -> bool:
+        """Flush the open burst (if any) to the inner predictor.
+
+        Returns the inner predictor's dead prediction for the bursting
+        block, or False when there was nothing to flush.
+        """
+        way = self._open_way[set_index]
+        if way is None:
+            return False
+        access = self._open_access[set_index]
+        is_fill = self._open_is_fill[set_index]
+        self._open_way[set_index] = None
+        self._open_access[set_index] = None
+        self._open_is_fill[set_index] = False
+        block = self.cache.sets[set_index][way]
+        if not block.valid:
+            return False
+        self.burst_events += 1
+        if is_fill:
+            dead = self.inner.install(set_index, way, access)
+        else:
+            dead = self.inner.touch(set_index, way, access)
+        block.predicted_dead = dead
+        return dead
+
+    def _open_burst(
+        self, set_index: int, way: int, access: "CacheAccess", is_fill: bool
+    ) -> None:
+        self._open_way[set_index] = way
+        self._open_access[set_index] = access
+        self._open_is_fill[set_index] = is_fill
+
+    # ------------------------------------------------------------------
+    # predictor events
+    # ------------------------------------------------------------------
+    def touch(self, set_index: int, way: int, access: "CacheAccess") -> bool:
+        self.raw_events += 1
+        block = self.cache.sets[set_index][way]
+        if self._open_way[set_index] == way:
+            # Same block still bursting: absorb, just remember the last PC.
+            self._open_access[set_index] = access
+            return block.predicted_dead
+        self._close_burst(set_index)
+        self._open_burst(set_index, way, access, is_fill=False)
+        return block.predicted_dead
+
+    def predict_fill(self, set_index: int, access: "CacheAccess") -> bool:
+        return self.inner.predict_fill(set_index, access)
+
+    def install(self, set_index: int, way: int, access: "CacheAccess") -> bool:
+        self.raw_events += 1
+        self._close_burst(set_index)
+        self._open_burst(set_index, way, access, is_fill=True)
+        return False  # prediction deferred until the burst closes
+
+    def evicted(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        if self._open_way[set_index] == way:
+            # The bursting block itself is leaving: flush it first so the
+            # inner predictor has seen its final state.
+            self._close_burst(set_index)
+        self.inner.evicted(set_index, way, access)
+
+    def is_dead_now(self, set_index: int, way: int, now: int) -> bool:
+        if self._open_way[set_index] == way:
+            return False  # a bursting block is by definition live
+        return self.inner.is_dead_now(set_index, way, now)

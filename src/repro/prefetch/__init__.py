@@ -1,0 +1,32 @@
+"""Dead-block-directed prefetching (extension).
+
+The original dead block predictor of Lai et al. was built to *prefetch
+into dead blocks*: once a frame's occupant is predicted dead, its space
+is free capacity, and a prefetcher can fill it early.  The paper defers
+"optimizations other than replacement and bypass" to future work
+(Section VIII); this subpackage implements that future work on top of the
+sampling predictor:
+
+* :class:`NextBlockPrefetcher` -- sequential next-N-blocks prediction.
+* :class:`CorrelationPrefetcher` -- Markov-style miss-address correlation
+  (the Lai et al. DBCP flavour).
+* :class:`PrefetchEngine` -- drives a cache: after each demand access it
+  asks the prefetcher for candidates and installs them **only into frames
+  whose occupants are predicted dead** (or invalid), so prefetching never
+  displaces predicted-live data.
+"""
+
+from repro.prefetch.engine import PrefetchEngine, PrefetchStats
+from repro.prefetch.prefetchers import (
+    CorrelationPrefetcher,
+    NextBlockPrefetcher,
+    Prefetcher,
+)
+
+__all__ = [
+    "CorrelationPrefetcher",
+    "NextBlockPrefetcher",
+    "PrefetchEngine",
+    "PrefetchStats",
+    "Prefetcher",
+]

@@ -1,0 +1,77 @@
+"""True least-recently-used replacement.
+
+LRU is the baseline of every figure in the paper and also the policy of the
+*sampler* tag array (paper Section III-B: the sampler stays LRU even when
+the LLC itself is randomly replaced, because a deterministic policy is
+easier to learn from).
+
+The recency state is a per-set list of ways ordered MRU -> LRU.  The class
+exposes the insertion position so that DIP/TADIP (which are "LRU with a
+different insertion point") can subclass it.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.replacement.base import ReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import Cache, CacheAccess
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic LRU: hits and fills promote to MRU; the LRU way is evicted."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stacks: List[List[int]] = []
+
+    def bind(self, cache: "Cache") -> None:
+        super().bind(cache)
+        associativity = cache.geometry.associativity
+        self._stacks = [
+            list(range(associativity)) for _ in range(cache.geometry.num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # recency maintenance
+    # ------------------------------------------------------------------
+    def _promote(self, set_index: int, way: int, position: int) -> None:
+        """Move ``way`` to ``position`` in the recency stack (0 = MRU)."""
+        stack = self._stacks[set_index]
+        stack.remove(way)
+        stack.insert(position, way)
+
+    def recency_order(self, set_index: int) -> List[int]:
+        """Ways of ``set_index`` ordered MRU first.  (Read-only copy.)"""
+        return list(self._stacks[set_index])
+
+    def stack_position(self, set_index: int, way: int) -> int:
+        """Recency position of ``way`` (0 = MRU, assoc-1 = LRU)."""
+        return self._stacks[set_index].index(way)
+
+    # ------------------------------------------------------------------
+    # insertion points, overridable by DIP-family subclasses
+    # ------------------------------------------------------------------
+    def insertion_position(self, set_index: int, access: "CacheAccess") -> int:
+        """Recency position for a newly filled block.  LRU inserts at MRU."""
+        return 0
+
+    def promotion_position(self, set_index: int, access: "CacheAccess") -> int:
+        """Recency position for a block that just hit.  LRU promotes to MRU."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # policy events
+    # ------------------------------------------------------------------
+    def on_hit(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        self._promote(set_index, way, self.promotion_position(set_index, access))
+
+    def choose_victim(self, set_index: int, access: "CacheAccess") -> int:
+        return self._stacks[set_index][-1]
+
+    def on_fill(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        self._promote(set_index, way, self.insertion_position(set_index, access))

@@ -1,0 +1,73 @@
+"""Tree pseudo-LRU replacement.
+
+Not evaluated in the paper's figures, but included because the paper's core
+argument for the random-default configuration is that *true* LRU is too
+expensive at 16 ways; tree PLRU is the structure real LLCs actually ship
+with, so it is the natural third default policy to study with DBRB.  The
+example scripts and extension benches use it.
+
+The per-set state is ``associativity - 1`` tree bits.  Bit semantics: 0
+means "the LRU side is the left subtree", 1 means "the LRU side is the
+right subtree"; an access flips the bits on its root-to-leaf path to point
+*away* from itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.replacement.base import ReplacementPolicy
+from repro.utils.bits import ilog2, is_power_of_two
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import Cache, CacheAccess
+
+__all__ = ["TreePLRUPolicy"]
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU; requires power-of-two associativity."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._trees: List[List[int]] = []
+        self._levels = 0
+
+    def bind(self, cache: "Cache") -> None:
+        super().bind(cache)
+        associativity = cache.geometry.associativity
+        if not is_power_of_two(associativity):
+            raise ValueError(
+                f"tree PLRU needs power-of-two associativity, got {associativity}"
+            )
+        self._levels = ilog2(associativity)
+        self._trees = [
+            [0] * (associativity - 1) for _ in range(cache.geometry.num_sets)
+        ]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        """Point every bit on the way's path away from the accessed way."""
+        tree = self._trees[set_index]
+        node = 0
+        for level in range(self._levels - 1, -1, -1):
+            went_right = (way >> level) & 1
+            # Point at the *other* subtree: 0 means left is LRU side.
+            tree[node] = 0 if went_right else 1
+            node = 2 * node + 1 + went_right
+
+    def on_hit(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        self._touch(set_index, way)
+
+    def choose_victim(self, set_index: int, access: "CacheAccess") -> int:
+        """Follow the tree bits toward the pseudo-LRU leaf."""
+        tree = self._trees[set_index]
+        node = 0
+        way = 0
+        for _ in range(self._levels):
+            go_right = tree[node]
+            way = (way << 1) | go_right
+            node = 2 * node + 1 + go_right
+        return way

@@ -1,0 +1,33 @@
+"""Random replacement.
+
+Section V-A of the paper argues that true LRU is "prohibitively expensive"
+for a highly associative LLC and shows that the sampling predictor can
+rescue a cache whose *default* policy is random: on a miss the DBRB policy
+evicts a predicted-dead block if one exists, falling back to a uniformly
+random victim otherwise (Figures 7, 8, 10b).
+
+The generator is an explicitly seeded xorshift so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.replacement.base import ReplacementPolicy
+from repro.utils.rng import XorShift64
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import CacheAccess
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way; no state is kept per block."""
+
+    def __init__(self, seed: int = 0xDEADBEEF) -> None:
+        super().__init__()
+        self._rng = XorShift64(seed)
+
+    def choose_victim(self, set_index: int, access: "CacheAccess") -> int:
+        return self._rng.randrange(self.cache.geometry.associativity)

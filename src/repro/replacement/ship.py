@@ -1,0 +1,114 @@
+"""SHiP: Signature-based Hit Predictor insertion (follow-on work).
+
+Wu, Jaleel, Hasenplaugh, Martonosi, Steely, Emer -- MICRO 2011.  SHiP is
+the most influential direct descendant of the sampling dead block
+predictor: it keeps this paper's idea of learning *per-PC-signature* reuse
+behaviour from a sampled subset of sets, but applies it to the RRIP
+*insertion* decision instead of to replacement/bypass.  Including it here
+shows the sampler's lineage and gives the benchmark suite a post-2010
+comparison point.
+
+Mechanics (SHiP-PC flavour):
+
+* blocks carry their fill PC's 14-bit signature plus an "outcome" bit
+  (was the block re-referenced?) -- tracked only for blocks in *sampled
+  sets*, as in the original;
+* a Signature History Counter Table (SHCT) of 2-bit saturating counters:
+  incremented when a sampled block is re-referenced, decremented when a
+  sampled block is evicted without re-reference;
+* insertion: a block whose signature's counter is zero (never re-used
+  lately) inserts at distant RRPV (evicted quickly); everything else
+  inserts at the usual SRRIP "long" position.  Hits promote to RRPV 0.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.replacement.rrip import SRRIPPolicy
+from repro.utils.hashing import fold_xor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.cache import Cache, CacheAccess
+
+__all__ = ["SHiPPolicy"]
+
+
+class SHiPPolicy(SRRIPPolicy):
+    """SHiP-PC insertion on an SRRIP-managed cache.
+
+    Args:
+        rrpv_bits: RRPV width (2, as in SRRIP).
+        signature_bits: PC signature width (paper: 14).
+        shct_bits: counter width in the SHCT (paper: 2 or 3).
+        sampled_set_ratio: one sampled set per this many cache sets
+            (the original uses ~64, matching Khan et al.'s sampler).
+    """
+
+    def __init__(
+        self,
+        rrpv_bits: int = 2,
+        signature_bits: int = 14,
+        shct_bits: int = 2,
+        sampled_set_ratio: int = 64,
+    ) -> None:
+        super().__init__(rrpv_bits)
+        if sampled_set_ratio < 1:
+            raise ValueError(
+                f"sampled_set_ratio must be >= 1, got {sampled_set_ratio}"
+            )
+        self.signature_bits = signature_bits
+        self.shct_max = (1 << shct_bits) - 1
+        self.sampled_set_ratio = sampled_set_ratio
+        # SHCT: start counters weakly reusing so cold signatures insert long.
+        self.shct: List[int] = [1] * (1 << signature_bits)
+        # Per-sampled-frame bookkeeping: signature and outcome bit.
+        self._signature: Dict[tuple, int] = {}
+        self._reused: Dict[tuple, bool] = {}
+
+    def bind(self, cache: "Cache") -> None:
+        super().bind(cache)
+        num_sets = cache.geometry.num_sets
+        self._sample_interval = max(1, min(self.sampled_set_ratio, num_sets))
+
+    # ------------------------------------------------------------------
+    def _signature_of(self, pc: int) -> int:
+        return fold_xor(pc, self.signature_bits)
+
+    def _is_sampled(self, set_index: int) -> bool:
+        return set_index % self._sample_interval == 0
+
+    # ------------------------------------------------------------------
+    def on_hit(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        super().on_hit(set_index, way, access)
+        if not self._is_sampled(set_index):
+            return
+        frame = (set_index, way)
+        if frame in self._signature and not self._reused.get(frame, False):
+            self._reused[frame] = True
+            signature = self._signature[frame]
+            if self.shct[signature] < self.shct_max:
+                self.shct[signature] += 1
+
+    def on_fill(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        super().on_fill(set_index, way, access)
+        if self._is_sampled(set_index):
+            frame = (set_index, way)
+            self._signature[frame] = self._signature_of(access.pc)
+            self._reused[frame] = False
+
+    def on_evict(self, set_index: int, way: int, access: "CacheAccess") -> None:
+        super().on_evict(set_index, way, access)
+        if not self._is_sampled(set_index):
+            return
+        frame = (set_index, way)
+        signature = self._signature.pop(frame, None)
+        reused = self._reused.pop(frame, False)
+        if signature is not None and not reused:
+            if self.shct[signature] > 0:
+                self.shct[signature] -= 1
+
+    def insertion_rrpv(self, set_index: int, access: "CacheAccess") -> int:
+        if self.shct[self._signature_of(access.pc)] == 0:
+            return self.rrpv_max      # predicted no-reuse: distant
+        return self.rrpv_max - 1      # default SRRIP long interval

@@ -1,0 +1,43 @@
+"""Trace-driven simulation infrastructure (the CMP$im analogue).
+
+The paper's experimental methodology (Section VI) simulates an
+out-of-order 4-wide core with a three-level cache hierarchy and measures
+misses per kilo-instruction and instructions per cycle.  This package
+rebuilds that pipeline for synthetic traces:
+
+1. :mod:`repro.sim.trace` -- the memory reference trace format emitted by
+   the workload generators.
+2. :mod:`repro.sim.hierarchy` -- L1D and L2 simulation that *filters* the
+   trace down to the LLC access stream.  The filtering is what defeats
+   trace-based predictors at the LLC (paper Section VII-A.3), so modeling
+   it faithfully is essential.
+3. :mod:`repro.sim.cpu` -- a window-based out-of-order timing model that
+   converts per-access hit levels into cycles (and therefore IPC).
+4. :mod:`repro.sim.system` -- the single-core runner tying it together.
+5. :mod:`repro.sim.multicore` -- quad-core shared-LLC runs and the
+   weighted speedup metric of Section VI-A.2.
+"""
+
+from repro.sim.cpu import CoreModel, CoreTiming
+from repro.sim.hierarchy import FilteredTrace, HierarchyFilter, MachineConfig
+from repro.sim.metrics import geometric_mean, normalized_value, weighted_speedup
+from repro.sim.multicore import MulticoreResult, MulticoreSystem
+from repro.sim.system import RunResult, SingleCoreSystem
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "CoreModel",
+    "CoreTiming",
+    "FilteredTrace",
+    "HierarchyFilter",
+    "MachineConfig",
+    "MulticoreResult",
+    "MulticoreSystem",
+    "RunResult",
+    "SingleCoreSystem",
+    "Trace",
+    "TraceRecord",
+    "geometric_mean",
+    "normalized_value",
+    "weighted_speedup",
+]

@@ -1,0 +1,66 @@
+"""Performance metrics used in the paper's figures.
+
+* MPKI normalized to the LRU baseline (Figures 4 and 7);
+* speedup: new IPC / baseline IPC, summarized by the geometric mean
+  (Figures 5, 6, 8);
+* normalized weighted speedup for multi-core workloads (Figure 10,
+  methodology in Section VI-A.2): per thread, IPC in the shared cache is
+  divided by that program's IPC running *alone* with the whole LLC under
+  LRU; the sum is then normalized to the same sum under shared-LRU.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["geometric_mean", "normalized_value", "weighted_speedup"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; raises on empty input or non-positive entries."""
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    total = 0.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {value}")
+        total += math.log(value)
+    return math.exp(total / len(values))
+
+
+def normalized_value(value: float, baseline: float) -> float:
+    """``value / baseline`` with a zero-baseline guard."""
+    if baseline == 0:
+        raise ValueError("cannot normalize to a zero baseline")
+    return value / baseline
+
+
+def weighted_speedup(
+    ipcs: Sequence[float], single_ipcs: Sequence[float]
+) -> float:
+    """Weighted IPC of a multiprogrammed run (paper Section VI-A.2).
+
+    Args:
+        ipcs: per-thread IPC in the shared-cache run under the evaluated
+            policy.
+        single_ipcs: per-thread IPC of the same program running alone with
+            the full LLC under LRU.
+
+    Returns:
+        ``sum_i ipcs[i] / single_ipcs[i]``.  Callers normalize this against
+        the same quantity for the shared-LRU run to get the paper's
+        "normalized weighted speedup".
+    """
+    if len(ipcs) != len(single_ipcs):
+        raise ValueError(
+            f"{len(ipcs)} shared IPCs vs {len(single_ipcs)} single-run IPCs"
+        )
+    if not ipcs:
+        raise ValueError("weighted speedup of an empty workload")
+    total = 0.0
+    for ipc, single in zip(ipcs, single_ipcs):
+        if single <= 0:
+            raise ValueError(f"single-run IPC must be positive, got {single}")
+        total += ipc / single
+    return total

@@ -1,0 +1,146 @@
+"""Single-core system runs (paper Section VI-A.1).
+
+A run has three phases:
+
+1. **filter** the workload trace through L1D and L2 once (shared by every
+   technique evaluated on that workload);
+2. **replay** the LLC access stream against a cache built with the policy
+   under test, collecting hit/miss outcomes and cache statistics;
+3. **time** the full trace with the out-of-order core model to get IPC.
+
+The phases are separable because the LLC policy cannot influence L1/L2
+behaviour (no inclusion enforcement, as in the paper's infrastructure), so
+one expensive filter pass serves all six techniques of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.cache.cache import Cache, CacheAccess, CacheObserver
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+from repro.replacement.base import ReplacementPolicy
+from repro.sim.cpu import CoreModel, CoreTiming
+from repro.sim.hierarchy import FilteredTrace, HierarchyFilter, MachineConfig
+from repro.sim.trace import Trace
+
+__all__ = ["PolicyFactory", "RunResult", "SingleCoreSystem"]
+
+#: A technique is a callable building the LLC policy for a run.  It gets
+#: the LLC geometry and the full access stream (so the optimal policy can
+#: precompute next-use distances).
+PolicyFactory = Callable[[CacheGeometry, Sequence[CacheAccess]], ReplacementPolicy]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (workload, technique) run.
+
+    The LLC itself and any attached observers are kept so analyses
+    (efficiency matrices, accuracy counters) can be read out afterwards.
+    """
+
+    workload: str
+    technique: str
+    instructions: int
+    llc_stats: CacheStats
+    timing: Optional[CoreTiming]
+    llc_hits: List[bool]
+    cache: Optional[Cache] = None
+    observers: Sequence[CacheObserver] = ()
+
+    @property
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction."""
+        return self.llc_stats.mpki(self.instructions)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (0.0 when timing was skipped)."""
+        return self.timing.ipc if self.timing is not None else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.workload}/{self.technique}: "
+            f"MPKI={self.mpki:.2f}, IPC={self.ipc:.3f})"
+        )
+
+
+def build_llc_accesses(
+    filtered: FilteredTrace, core: int = 0, address_offset: int = 0
+) -> List[CacheAccess]:
+    """Materialize the LLC access stream with stream-position sequence
+    numbers (the contract :class:`~repro.replacement.OptimalPolicy` needs)."""
+    accesses = []
+    records = filtered.trace.records
+    for seq, index in enumerate(filtered.llc_indices):
+        record = records[index]
+        accesses.append(
+            CacheAccess(
+                address=record.address + address_offset,
+                pc=record.pc,
+                is_write=record.is_write,
+                seq=seq,
+                core=core,
+            )
+        )
+    return accesses
+
+
+class SingleCoreSystem:
+    """Runs workloads on the single-core machine."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self._filter = HierarchyFilter(config)
+        self._core = CoreModel(config)
+
+    # ------------------------------------------------------------------
+    def prepare(self, trace: Trace) -> FilteredTrace:
+        """Phase 1: one-time L1/L2 filtering of a workload trace."""
+        return self._filter.filter(trace)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        filtered: FilteredTrace,
+        policy_factory: PolicyFactory,
+        technique_name: str = "unnamed",
+        observer_factories: Sequence[Callable[[Cache], CacheObserver]] = (),
+        compute_timing: bool = True,
+        llc_geometry: Optional[CacheGeometry] = None,
+    ) -> RunResult:
+        """Phases 2 and 3: replay the LLC stream and time the trace.
+
+        Args:
+            filtered: the prepared workload.
+            policy_factory: builds the LLC replacement policy under test.
+            technique_name: label for reports.
+            observer_factories: callables building observers for the run's
+                cache (efficiency/accuracy analyses); the constructed
+                observers are returned on the result.
+            compute_timing: set False to skip the core model (the paper
+                reports the optimal policy for misses only).
+            llc_geometry: override the LLC geometry (multicore sizing).
+        """
+        geometry = llc_geometry or self.config.llc
+        accesses = build_llc_accesses(filtered)
+        policy = policy_factory(geometry, accesses)
+        cache = Cache(geometry, policy, name="LLC")
+        observers = [factory(cache) for factory in observer_factories]
+        for observer in observers:
+            cache.add_observer(observer)
+        llc_hits = [cache.access(access) for access in accesses]
+        timing = self._core.run(filtered, llc_hits) if compute_timing else None
+        return RunResult(
+            workload=filtered.name,
+            technique=technique_name,
+            instructions=filtered.instructions,
+            llc_stats=cache.stats,
+            timing=timing,
+            llc_hits=llc_hits,
+            cache=cache,
+            observers=observers,
+        )

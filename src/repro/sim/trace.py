@@ -1,0 +1,80 @@
+"""Memory reference traces.
+
+A trace is the interface between the workload generators and the machine
+model: a sequence of memory operations, each annotated with the issuing
+PC, the number of non-memory instructions preceding it, and whether it
+depends on the previous memory operation (pointer chasing), which the
+timing model uses to serialize miss latencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+class TraceRecord(NamedTuple):
+    """One memory operation.
+
+    Attributes:
+        pc: address of the memory instruction.
+        address: byte address referenced.
+        is_write: store (True) or load (False).
+        gap: count of non-memory instructions executed since the previous
+            memory operation; lets the trace carry full instruction counts
+            without storing non-memory instructions.
+        depends: True when the operation's address depends on the value
+            loaded by the *previous* memory operation (pointer chasing);
+            the timing model serializes such pairs.
+    """
+
+    pc: int
+    address: int
+    is_write: bool
+    gap: int
+    depends: bool
+
+
+class Trace:
+    """A named sequence of :class:`TraceRecord` plus instruction accounting.
+
+    Attributes:
+        name: workload name ("mcf_like", ...).
+        records: the memory operations, in program order.
+        instructions: total instruction count (memory ops + all gaps).
+    """
+
+    __slots__ = ("instructions", "name", "records")
+
+    def __init__(self, name: str, records: List[TraceRecord]) -> None:
+        self.name = name
+        self.records = records
+        self.instructions = sum(record.gap for record in records) + len(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of instructions that are memory operations."""
+        if self.instructions == 0:
+            return 0.0
+        return len(self.records) / self.instructions
+
+    @staticmethod
+    def concatenate(name: str, traces: Iterable["Trace"]) -> "Trace":
+        """Join several traces into one (used by phase-based workloads)."""
+        records: List[TraceRecord] = []
+        for trace in traces:
+            records.extend(trace.records)
+        return Trace(name, records)
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.name!r}, {len(self.records)} memory ops, "
+            f"{self.instructions} instructions)"
+        )

@@ -1,0 +1,91 @@
+"""Trace persistence.
+
+Workload generation is deterministic, but regenerating a multi-hundred-
+thousand-instruction trace still costs seconds; saving traces also lets
+users bring *their own* traces (e.g. converted from Pin/DynamoRIO tools)
+to the simulator.  The format is a line-oriented text file:
+
+    # repro-trace v1 name=<name>
+    <pc> <address> <W|R> <gap> <D|->
+
+Fields are hexadecimal for pc/address, decimal for gap.  Lines starting
+with ``#`` are comments.  Gzip is applied transparently for paths ending
+in ``.gz``.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import List, Union
+
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = ["load_trace", "save_trace"]
+
+_MAGIC = "# repro-trace v1"
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (gzip if the name ends in .gz)."""
+    path = Path(path)
+    with _open(path, "w") as stream:
+        stream.write(f"{_MAGIC} name={trace.name}\n")
+        for record in trace.records:
+            stream.write(
+                f"{record.pc:x} {record.address:x} "
+                f"{'W' if record.is_write else 'R'} {record.gap} "
+                f"{'D' if record.depends else '-'}\n"
+            )
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        ValueError: on a missing/garbled header or malformed record line
+            (with the offending line number).
+    """
+    path = Path(path)
+    records: List[TraceRecord] = []
+    name = path.stem
+    with _open(path, "r") as stream:
+        header = stream.readline().rstrip("\n")
+        if not header.startswith(_MAGIC):
+            raise ValueError(f"{path}: not a repro trace file (bad header)")
+        if "name=" in header:
+            name = header.split("name=", 1)[1].strip()
+        for line_number, line in enumerate(stream, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 5 fields, got {len(parts)}"
+                )
+            pc_text, address_text, kind, gap_text, depends_text = parts
+            try:
+                pc = int(pc_text, 16)
+                address = int(address_text, 16)
+                gap = int(gap_text)
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed numeric field"
+                ) from None
+            if kind not in ("R", "W"):
+                raise ValueError(f"{path}:{line_number}: bad access kind {kind!r}")
+            if depends_text not in ("D", "-"):
+                raise ValueError(
+                    f"{path}:{line_number}: bad dependence flag {depends_text!r}"
+                )
+            records.append(
+                TraceRecord(pc, address, kind == "W", gap, depends_text == "D")
+            )
+    return Trace(name, records)

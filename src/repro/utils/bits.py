@@ -1,0 +1,62 @@
+"""Bit manipulation helpers for address decomposition.
+
+Cache simulators spend their lives slicing addresses into block offsets, set
+indices, and tags.  Keeping that arithmetic in one tested place avoids the
+classic off-by-one-shift bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bit_field", "ilog2", "is_power_of_two", "mask", "sign_extend"]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Integer log2 of a power of two.
+
+    Raises:
+        ValueError: if ``value`` is not a positive power of two.  Cache
+            geometries in this project are always powers of two, so a
+            non-power-of-two here is a configuration bug worth failing on.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def mask(width: int) -> int:
+    """Return a bit mask with ``width`` low-order ones.
+
+    ``mask(0)`` is 0, matching a zero-width field.
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit_field(value: int, low: int, width: int) -> int:
+    """Extract ``width`` bits of ``value`` starting at bit ``low``.
+
+    >>> bit_field(0b101100, low=2, width=3)
+    3
+    """
+    if low < 0:
+        raise ValueError(f"low bit must be non-negative, got {low}")
+    return (value >> low) & mask(width)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as a two's-complement int.
+
+    Used by workload generators that compute strided deltas in fixed-width
+    arithmetic.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit

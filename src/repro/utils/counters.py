@@ -1,0 +1,64 @@
+"""Saturating counters.
+
+Two-bit saturating counters are the storage cell of every predictor in the
+paper: the reftrace predictor's 2\\ :sup:`15`-entry table, the counting
+predictor's confidence bits, and the sampling predictor's three skewed
+tables all hold small saturating counts.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SaturatingCounter"]
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter.
+
+    The class is intentionally tiny; hot loops in the predictors operate on
+    raw integer lists for speed and only use this class at module boundaries
+    and in tests, where readability wins.
+
+    Attributes:
+        value: current counter value, always in ``[0, maximum]``.
+        maximum: largest representable value (``2**bits - 1``).
+    """
+
+    __slots__ = ("maximum", "value")
+
+    def __init__(self, bits: int = 2, initial: int = 0) -> None:
+        if bits <= 0:
+            raise ValueError(f"counter width must be positive, got {bits}")
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(
+                f"initial value {initial} out of range [0, {self.maximum}]"
+            )
+        self.value = initial
+
+    def increment(self) -> int:
+        """Increment, saturating at the maximum.  Returns the new value."""
+        if self.value < self.maximum:
+            self.value += 1
+        return self.value
+
+    def decrement(self) -> int:
+        """Decrement, saturating at zero.  Returns the new value."""
+        if self.value > 0:
+            self.value -= 1
+        return self.value
+
+    def is_saturated(self) -> bool:
+        """True when the counter sits at its maximum."""
+        return self.value == self.maximum
+
+    def reset(self, value: int = 0) -> None:
+        """Set the counter to ``value`` (must be in range)."""
+        if not 0 <= value <= self.maximum:
+            raise ValueError(f"value {value} out of range [0, {self.maximum}]")
+        self.value = value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(value={self.value}, max={self.maximum})"

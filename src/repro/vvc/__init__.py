@@ -1,0 +1,14 @@
+"""The virtual victim cache (extension).
+
+Khan, Jiménez, Falsafi, and Burger's PACT 2010 proposal, cited in the
+paper's related work (Section II-A.1): use the pool of predicted-dead
+blocks as a *virtual victim cache* -- LRU victims from hot sets are
+parked in dead frames of a partner set instead of being dropped, and
+probed there on a miss.  The sampling paper defers such "optimizations
+other than replacement and bypass" to future work (Section VIII); this
+package implements one on top of the sampling predictor.
+"""
+
+from repro.vvc.cache import VictimRelocationCache, VVCStats
+
+__all__ = ["VVCStats", "VictimRelocationCache"]

@@ -1,0 +1,147 @@
+"""A cache whose live victims retire into dead frames of a partner set.
+
+Mechanics (a faithful miniature of the PACT 2010 virtual victim cache):
+
+* sets are paired: set *s* partners with set *s XOR 1*;
+* when a demand fill evicts a block that is **not** predicted dead, and
+  the partner set has an invalid or predicted-dead frame, the victim is
+  *relocated* there instead of dropped (its frame remembers the home set
+  and original tag, since the partner set's index bits differ);
+* a demand miss probes the partner set for a relocated block before
+  going to memory; a *VVC hit* promotes the block back to its home set.
+
+Relocated blocks are marked and never relocated a second time, which
+bounds the extra traffic and prevents ping-pong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cache import Cache, CacheAccess
+
+__all__ = ["VVCStats", "VictimRelocationCache"]
+
+_HOME_KEY = "vvc_home_set"
+_TAG_KEY = "vvc_home_tag"
+
+#: Frame tag used for relocated blocks.  A block parked in set s^1 keeps
+#: the tag it had in set s, which can equal a *different* block's tag in
+#: the partner set (the index bits differ); hardware extends the stored
+#: tag with the index bit to disambiguate.  We store an impossible tag
+#: instead -- native lookups can never match it -- and keep the real
+#: identity in the frame's metadata.
+_RELOCATED_TAG = -1
+
+
+@dataclass
+class VVCStats:
+    """Victim-relocation event counters."""
+
+    relocations: int = 0
+    vvc_hits: int = 0
+    promotions: int = 0
+
+
+class VictimRelocationCache(Cache):
+    """A :class:`~repro.cache.Cache` with dead-frame victim relocation.
+
+    Works with any policy; pairing requires at least two sets.  The
+    predicted-dead bit that gates relocation targets is maintained by the
+    DBRB policy (or can be driven by any predictor through it).
+    """
+
+    def __init__(self, geometry, policy, name: str = "vvc-cache") -> None:
+        if geometry.num_sets < 2:
+            raise ValueError("victim relocation needs at least two sets")
+        super().__init__(geometry, policy, name)
+        self.vvc_stats = VVCStats()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def partner_of(set_index: int) -> int:
+        return set_index ^ 1
+
+    # ------------------------------------------------------------------
+    def access(self, access: CacheAccess) -> bool:
+        geometry = self.geometry
+        set_index = geometry.set_index(access.address)
+        tag = geometry.tag(access.address)
+
+        # A relocated copy must be promoted *before* the normal lookup
+        # runs, so the miss path (bypass decisions, victim choice) never
+        # fires for a block the VVC actually holds.
+        if self.find(set_index, tag) is None:
+            if self._promote_from_partner(set_index, tag, access):
+                self.vvc_stats.vvc_hits += 1
+
+        return super().access(access)
+
+    def _promote_from_partner(
+        self, home_set: int, tag: int, access: CacheAccess
+    ) -> bool:
+        """Find a relocated copy in the partner set; move it back home."""
+        partner = self.partner_of(home_set)
+        for way, block in enumerate(self.sets[partner]):
+            if (
+                block.valid
+                and block.meta.get(_HOME_KEY) == home_set
+                and block.meta.get(_TAG_KEY) == tag
+            ):
+                was_dirty = block.dirty
+                # Remove the relocated copy silently: the data moves, it
+                # does not leave the cache, so neither eviction stats nor
+                # the predictor's "dead" training fire.
+                block.invalidate()
+                # Reinstall at home through the normal fill machinery.
+                home_way = self._frame_for_fill(home_set, access)
+                home_block = self.sets[home_set][home_way]
+                if home_block.valid:
+                    self._evict(home_set, home_way, access)
+                home_block.fill(tag, access.seq, access.is_write)
+                home_block.dirty = home_block.dirty or was_dirty
+                self.policy.on_fill(home_set, home_way, access)
+                self.vvc_stats.promotions += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _evict(self, set_index: int, way: int, access: CacheAccess) -> None:
+        block = self.sets[set_index][way]
+        if (
+            block.valid
+            and not block.predicted_dead
+            and _HOME_KEY not in block.meta
+            and self._relocate(set_index, way, access)
+        ):
+            return  # victim parked in the partner set, not evicted
+        super()._evict(set_index, way, access)
+
+    def _relocate(self, set_index: int, way: int, access: CacheAccess) -> bool:
+        """Move a live victim into a dead/invalid partner frame."""
+        partner = self.partner_of(set_index)
+        target_way = None
+        for candidate, block in enumerate(self.sets[partner]):
+            if not block.valid:
+                target_way = candidate
+                break
+            if block.predicted_dead and _HOME_KEY not in block.meta:
+                target_way = candidate
+                break
+        if target_way is None:
+            return False
+        victim = self.sets[set_index][way]
+        target = self.sets[partner][target_way]
+        if target.valid:
+            super()._evict(partner, target_way, access)
+        home_tag = victim.tag
+        target.fill(_RELOCATED_TAG, access.seq, is_write=False)
+        target.dirty = victim.dirty
+        target.meta[_HOME_KEY] = set_index
+        target.meta[_TAG_KEY] = home_tag
+        self.policy.on_fill(partner, target_way, access)
+        # The victim frame empties without a true eviction: the block is
+        # still cached (in the partner set), so no "dead" training fires.
+        victim.invalidate()
+        self.vvc_stats.relocations += 1
+        return True

@@ -1,0 +1,58 @@
+"""Synthetic SPEC-CPU-2006-like workloads.
+
+The paper evaluates on SimPoint traces of the 29 SPEC CPU 2006 benchmarks
+(Table III), with a memory-intensive 19-benchmark subset for the
+single-thread figures and ten quad-core mixes (Table IV).  Those traces
+are not redistributable, so this package provides *synthetic analogues*:
+one generator per benchmark, each reproducing the memory-behaviour
+archetype the benchmark is known for -- streaming, pointer chasing,
+scan-thrash, hot/cold skew, stencil planes, or unpredictable reference
+patterns -- with working sets expressed as multiples of the LLC capacity
+and PC-correlated last-touch behaviour (the statistic dead block
+predictors live on).
+
+See DESIGN.md Section 4 for why this substitution preserves the paper's
+comparisons, and :mod:`repro.workloads.suite` for the per-benchmark
+parameterization.
+"""
+
+from repro.workloads.base import TraceBuilder, WorkloadGenerator
+from repro.workloads.generators import (
+    HotColdGenerator,
+    MixedPhaseGenerator,
+    PointerChaseGenerator,
+    ScanReuseGenerator,
+    SmallFootprintGenerator,
+    StencilGenerator,
+    StreamingGenerator,
+    ThrashGenerator,
+    UnpredictableGenerator,
+)
+from repro.workloads.mixes import MIX_NAMES, MIXES, build_mix_traces
+from repro.workloads.suite import (
+    ALL_BENCHMARKS,
+    SINGLE_THREAD_SUBSET,
+    build_trace,
+    generator_for,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "HotColdGenerator",
+    "MIXES",
+    "MIX_NAMES",
+    "MixedPhaseGenerator",
+    "PointerChaseGenerator",
+    "SINGLE_THREAD_SUBSET",
+    "ScanReuseGenerator",
+    "SmallFootprintGenerator",
+    "StencilGenerator",
+    "StreamingGenerator",
+    "ThrashGenerator",
+    "TraceBuilder",
+    "UnpredictableGenerator",
+    "WorkloadGenerator",
+    "build_mix_traces",
+    "build_trace",
+    "generator_for",
+]

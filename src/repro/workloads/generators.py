@@ -1,0 +1,626 @@
+"""Archetype workload generators.
+
+Each class models one memory-behaviour archetype found in SPEC CPU 2006;
+:mod:`repro.workloads.suite` instantiates them with per-benchmark
+parameters.  The archetypes were chosen for the properties that drive the
+paper's experiments:
+
+* whether a block's **last touch is PC-predictable** (the sampling
+  predictor's food) or not (the 473.astar pathology);
+* **working-set size relative to the LLC** (decides LRU-friendliness,
+  thrashing, and how much headroom optimal replacement has);
+* **reuse distance structure** (what the mid-level cache filters, which is
+  what breaks trace-based prediction at the LLC);
+* **dependence structure** (pointer chases serialize miss latency, scaling
+  MPKI into IPC loss differently per benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.sim.trace import Trace
+from repro.workloads.base import BLOCK_BYTES, TraceBuilder, WorkloadGenerator
+
+__all__ = [
+    "HotColdGenerator",
+    "MixedPhaseGenerator",
+    "PointerChaseGenerator",
+    "ScanReuseGenerator",
+    "SmallFootprintGenerator",
+    "StencilGenerator",
+    "StreamingGenerator",
+    "ThrashGenerator",
+    "UnpredictableGenerator",
+]
+
+
+class StreamingGenerator(WorkloadGenerator):
+    """Sequential streams over arrays far larger than the LLC.
+
+    Models 462.libquantum, 470.lbm, 433.milc, 410.bwaves: every block is
+    touched in one short burst and never again before its (inevitable)
+    eviction.  The burst's intra-block touches hit in the L1, so the LLC
+    sees exactly one access per block from the stream PC -- the ideal
+    bypass victim.
+
+    Args:
+        streams: concurrent sequential streams (arrays).
+        ws_factor: total footprint as a multiple of LLC capacity.
+        write_fraction: fraction of streams that also store to the block.
+        touches_per_block: word-granularity touches per 64B block.
+        gap: non-memory instructions between touches.
+        revisit_probability: chance per step of re-reading a block
+            ``revisit_distance_factor`` x LLC behind the front.  Real
+            streaming codes (lattice updates, flux sweeps) are not
+            perfectly touch-once; the distant re-reads are beyond LRU's
+            reach but give *optimal* replacement its Table III headroom.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        streams: int = 2,
+        ws_factor: float = 16.0,
+        write_fraction: float = 0.25,
+        touches_per_block: int = 4,
+        gap: int = 3,
+        revisit_probability: float = 0.08,
+        revisit_distance_factor: float = 1.5,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        if streams < 1:
+            raise ValueError(f"need at least one stream, got {streams}")
+        self.streams = streams
+        self.ws_factor = ws_factor
+        self.write_fraction = write_fraction
+        self.touches_per_block = max(1, touches_per_block)
+        self.gap = gap
+        self.revisit_probability = revisit_probability
+        self.revisit_distance_factor = revisit_distance_factor
+
+    def generate(self, instructions: int, llc_bytes: int) -> Trace:
+        builder = TraceBuilder(self.name, instructions)
+        rng = self._rng()
+        blocks_per_stream = self.region_blocks(llc_bytes, self.ws_factor) // self.streams
+        blocks_per_stream = max(blocks_per_stream, 1)
+        revisit_distance = min(
+            self.region_blocks(llc_bytes, self.revisit_distance_factor),
+            max(blocks_per_stream - 1, 1),
+        )
+        stride = max(BLOCK_BYTES // self.touches_per_block, 4)
+        cursors = [0] * self.streams
+        writes = int(self.streams * self.write_fraction)
+        revisit_pc = self.pc(63)
+        while not builder.exhausted:
+            for stream in range(self.streams):
+                base = self.data_region(stream)
+                block_address = base + (cursors[stream] % blocks_per_stream) * BLOCK_BYTES
+                pc = self.pc(stream * 4)
+                for touch in range(self.touches_per_block):
+                    builder.load(pc, block_address + touch * stride, gap=self.gap)
+                if stream < writes:
+                    builder.store(self.pc(stream * 4 + 1), block_address, gap=1)
+                if (
+                    cursors[stream] > revisit_distance
+                    and rng.random() < self.revisit_probability
+                ):
+                    behind = (cursors[stream] - revisit_distance) % blocks_per_stream
+                    builder.load(revisit_pc, base + behind * BLOCK_BYTES, gap=self.gap)
+                cursors[stream] += 1
+        return builder.build()
+
+
+class ThrashGenerator(WorkloadGenerator):
+    """A cyclic working set slightly larger than the LLC.
+
+    The canonical LRU-pathological pattern (the case DIP was invented
+    for): with ``ws_factor`` > 1 every re-reference distance exceeds the
+    cache, so LRU misses on everything; policies that retain *part* of the
+    working set (BIP insertion, or dead-block bypass keeping residents in
+    place) convert a fraction of the pass into hits.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ws_factor: float = 1.5,
+        touches_per_block: int = 2,
+        gap: int = 4,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        self.ws_factor = ws_factor
+        self.touches_per_block = max(1, touches_per_block)
+        self.gap = gap
+
+    def generate(self, instructions: int, llc_bytes: int) -> Trace:
+        builder = TraceBuilder(self.name, instructions)
+        blocks = self.region_blocks(llc_bytes, self.ws_factor)
+        base = self.data_region(0)
+        stride = max(BLOCK_BYTES // self.touches_per_block, 4)
+        pc = self.pc(0)
+        cursor = 0
+        while not builder.exhausted:
+            address = base + (cursor % blocks) * BLOCK_BYTES
+            for touch in range(self.touches_per_block):
+                builder.load(pc, address + touch * stride, gap=self.gap)
+            cursor += 1
+        return builder.build()
+
+
+class PointerChaseGenerator(WorkloadGenerator):
+    """Dependent pointer traversal over a huge node pool.
+
+    Models 429.mcf and the traversal half of 471.omnetpp: a random
+    permutation cycle over ``ws_factor`` x LLC of nodes, walked with
+    dependent loads (the timing model serializes the misses, which is why
+    mcf's MPKI hurts so much).  A fraction of accesses touch a small hot
+    structure (the arc/price arrays) that rewards keeping the pool out of
+    the cache.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ws_factor: float = 12.0,
+        hot_factor: float = 0.4,
+        hot_accesses_per_node: int = 2,
+        gap: int = 6,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        self.ws_factor = ws_factor
+        self.hot_factor = hot_factor
+        self.hot_accesses_per_node = hot_accesses_per_node
+        self.gap = gap
+
+    def _permutation_step(self, node: int, node_count: int, rng_constant: int) -> int:
+        """A fixed full-cycle permutation: multiplicative LCG step."""
+        return (node * 0x2545F491 + rng_constant) % node_count
+
+    def generate(self, instructions: int, llc_bytes: int) -> Trace:
+        builder = TraceBuilder(self.name, instructions)
+        rng = self._rng()
+        node_count = self.region_blocks(llc_bytes, self.ws_factor)
+        hot_blocks = self.region_blocks(llc_bytes, self.hot_factor)
+        pool_base = self.data_region(0)
+        hot_base = self.data_region(1)
+        chase_pc = self.pc(0)
+        hot_pcs = [self.pc(4 + k) for k in range(4)]
+        node = rng.randrange(node_count)
+        step_constant = 0x9E3779B9 | 1
+        while not builder.exhausted:
+            address = pool_base + node * BLOCK_BYTES
+            builder.load(chase_pc, address, gap=self.gap, depends=True)
+            for k in range(self.hot_accesses_per_node):
+                hot_block = rng.randrange(hot_blocks)
+                builder.load(
+                    hot_pcs[k % len(hot_pcs)],
+                    hot_base + hot_block * BLOCK_BYTES,
+                    gap=2,
+                )
+            node = self._permutation_step(node, node_count, step_constant)
+        return builder.build()
+
+
+class ScanReuseGenerator(WorkloadGenerator):
+    """A re-used hot working set periodically thrashed by scans.
+
+    Models 456.hmmer (the paper's Figure 1 benchmark), 401.bzip2, and
+    450.soplex: a hot region smaller than the LLC is swept repeatedly
+    (those re-touches miss the L2 but should hit the LLC), interleaved
+    with bursty single-touch scans several times the LLC.  LRU lets each
+    scan destroy the hot set; dead-block bypass learns the scan PC and
+    keeps the hot set resident -- this is where the sampler's headline
+    gains come from.
+
+    Args:
+        hot_factor: hot region size as a multiple of LLC capacity (< 1).
+        scan_factor: per-round scan volume as a multiple of LLC capacity.
+        hot_passes: sweeps over the hot region per round (>= 2 keeps the
+            hot PC's sampler trainings balanced, as real reuse does).
+        hot_touch_probability: chance a hot block is touched in a given
+            pass; < 1 makes per-generation touch counts vary, which is
+            what starves count-based predictors of confidence and makes
+            trace signatures drift (real programs are never metronomes).
+        echo_probability / echo_distance_factor: each hot touch also
+            re-reads the block ``echo_distance_factor`` x LLC behind it
+            with this probability.  This shallow reuse band sits above the
+            private L2's reach but within the sampler's 12-way reach even
+            when co-runners inflate shared-LLC set depths 4x -- the
+            multi-scale locality real loop nests have, and what keeps hot
+            PCs trained live in multiprogrammed mixes (Figure 10).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hot_factor: float = 0.5,
+        scan_factor: float = 2.0,
+        hot_passes: int = 2,
+        hot_touch_probability: float = 0.85,
+        echo_probability: float = 0.4,
+        echo_distance_factor: float = 0.15,
+        touches_per_block: int = 2,
+        gap: int = 3,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        self.hot_factor = hot_factor
+        self.scan_factor = scan_factor
+        self.hot_passes = max(1, hot_passes)
+        self.hot_touch_probability = hot_touch_probability
+        self.echo_probability = echo_probability
+        self.echo_distance_factor = echo_distance_factor
+        self.touches_per_block = max(1, touches_per_block)
+        self.gap = gap
+
+    def generate(self, instructions: int, llc_bytes: int) -> Trace:
+        builder = TraceBuilder(self.name, instructions)
+        rng = self._rng()
+        hot_blocks = self.region_blocks(llc_bytes, self.hot_factor)
+        scan_blocks_per_round = self.region_blocks(llc_bytes, self.scan_factor)
+        hot_base = self.data_region(0)
+        scan_base = self.data_region(1)
+        stride = max(BLOCK_BYTES // self.touches_per_block, 4)
+        # Four hot PCs keyed by block, as a real multi-statement loop body
+        # would have; this also keeps any one PC's sampler-training swing
+        # well under the dead threshold.
+        hot_pcs = [self.pc(k) for k in range(4)]
+        scan_pc = self.pc(8)
+        scan_cursor = 0
+        echo_blocks = min(
+            self.region_blocks(llc_bytes, self.echo_distance_factor),
+            max(hot_blocks - 1, 1),
+        )
+        while not builder.exhausted:
+            for _ in range(self.hot_passes):
+                for block in range(hot_blocks):
+                    if rng.random() >= self.hot_touch_probability:
+                        continue
+                    address = hot_base + block * BLOCK_BYTES
+                    pc = hot_pcs[block & 3]
+                    for touch in range(self.touches_per_block):
+                        builder.load(pc, address + touch * stride, gap=self.gap)
+                    if rng.random() < self.echo_probability:
+                        echo = (block - echo_blocks) % hot_blocks
+                        builder.load(
+                            hot_pcs[echo & 3],
+                            hot_base + echo * BLOCK_BYTES,
+                            gap=self.gap,
+                        )
+                    if builder.exhausted:
+                        break
+                if builder.exhausted:
+                    break
+            for _ in range(scan_blocks_per_round):
+                address = scan_base + (scan_cursor % (scan_blocks_per_round * 64)) * BLOCK_BYTES
+                builder.load(scan_pc, address, gap=self.gap)
+                scan_cursor += 1
+                if builder.exhausted:
+                    break
+        return builder.build()
+
+
+class StencilGenerator(WorkloadGenerator):
+    """Plane-sweep stencil with a near and a far trailing front.
+
+    Models 434.zeusmp, 437.leslie3d, 436.cactusADM, 459.GemsFDTD, 481.wrf.
+    Each grid step, the sweep:
+
+    * produces block *b* (store, PC *A*);
+    * re-reads the *near* neighbor plane ``near_factor`` x LLC behind the
+      front -- with the **same PC pool A**, as real stencil loop bodies
+      reuse their load PCs across planes (probability ``near_probability``);
+    * re-reads the *far* plane ``far_factor`` x LLC behind (PC *F*),
+      after which the block is dead (probability ``far_probability``);
+    * streams boundary data that is never reused (PC *B*, rate
+      ``stream_fraction``).
+
+    The statistics that matter: the near re-use is shallow (every policy,
+    and the sampler, sees it); the far re-use sits just beyond the LLC's
+    raw LRU depth, so capturing it requires evicting the post-far dead
+    blocks and bypassing the boundary -- the DBRB opportunity.  Because PC
+    *A* ends some generations (when the far touch is skipped) and extends
+    others, aggressive predictors that fire at low confidence kill live
+    blocks here, while the sampler's threshold-8 conservatism holds off --
+    the Section VII-C accuracy story in miniature.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        near_factor: float = 0.12,
+        far_factor: float = 0.46,
+        stream_fraction: float = 0.3,
+        near_probability: float = 0.9,
+        far_probability: float = 0.85,
+        ws_factor: float = 8.0,
+        gap: int = 3,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        if not 0 < near_factor < far_factor:
+            raise ValueError(
+                f"need 0 < near_factor < far_factor, got {near_factor}, {far_factor}"
+            )
+        self.near_factor = near_factor
+        self.far_factor = far_factor
+        self.stream_fraction = stream_fraction
+        self.near_probability = near_probability
+        self.far_probability = far_probability
+        self.ws_factor = ws_factor
+        self.gap = gap
+
+    def generate(self, instructions: int, llc_bytes: int) -> Trace:
+        builder = TraceBuilder(self.name, instructions)
+        rng = self._rng()
+        grid_blocks = self.region_blocks(llc_bytes, self.ws_factor)
+        near_blocks = self.region_blocks(llc_bytes, self.near_factor)
+        far_blocks = self.region_blocks(llc_bytes, self.far_factor)
+        grid_base = self.data_region(0)
+        boundary_base = self.data_region(1)
+        # PC pool A covers both the producing store and the near re-read.
+        pcs_a = [self.pc(0), self.pc(1)]
+        far_pc = self.pc(4)
+        boundary_pc = self.pc(8)
+        boundary_blocks = self.region_blocks(llc_bytes, self.ws_factor * 2)
+        cursor = 0
+        boundary_cursor = 0
+        while not builder.exhausted:
+            lead = cursor % grid_blocks
+            builder.store(pcs_a[lead & 1], grid_base + lead * BLOCK_BYTES, gap=self.gap)
+            if cursor >= near_blocks and rng.random() < self.near_probability:
+                near = (cursor - near_blocks) % grid_blocks
+                builder.load(
+                    pcs_a[near & 1], grid_base + near * BLOCK_BYTES, gap=self.gap
+                )
+            if cursor >= far_blocks and rng.random() < self.far_probability:
+                far = (cursor - far_blocks) % grid_blocks
+                builder.load(far_pc, grid_base + far * BLOCK_BYTES, gap=self.gap)
+            if rng.random() < self.stream_fraction:
+                address = boundary_base + (boundary_cursor % boundary_blocks) * BLOCK_BYTES
+                builder.load(boundary_pc, address, gap=2)
+                boundary_cursor += 1
+            cursor += 1
+        return builder.build()
+
+
+class HotColdGenerator(WorkloadGenerator):
+    """Skewed random accesses: a resident hot region vs. a vast cold one.
+
+    Models 471.omnetpp's event structures, 483.xalancbmk's DOM tables, and
+    482.sphinx3's acoustic scores: most references go to a hot region that
+    *would* fit the LLC, but cold single-touch references (``1 -
+    hot_probability`` of accesses) continuously erode it under LRU.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        hot_factor: float = 0.7,
+        cold_factor: float = 16.0,
+        hot_probability: float = 0.75,
+        dependent_fraction: float = 0.0,
+        recent_fraction: float = 0.25,
+        recent_window_factor: float = 0.25,
+        gap: int = 4,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        if not 0.0 < hot_probability < 1.0:
+            raise ValueError(
+                f"hot_probability must be in (0, 1), got {hot_probability}"
+            )
+        self.hot_factor = hot_factor
+        self.cold_factor = cold_factor
+        self.hot_probability = hot_probability
+        self.dependent_fraction = dependent_fraction
+        # Multi-scale locality: a fraction of hot references re-touch one
+        # of the recently touched hot blocks, creating a shallow reuse
+        # band (just above the private L2) that stays sampler-visible even
+        # under shared-LLC depth inflation -- see ScanReuseGenerator's
+        # echo_* discussion.
+        self.recent_fraction = recent_fraction
+        self.recent_window_factor = recent_window_factor
+        self.gap = gap
+
+    def generate(self, instructions: int, llc_bytes: int) -> Trace:
+        builder = TraceBuilder(self.name, instructions)
+        rng = self._rng()
+        hot_blocks = self.region_blocks(llc_bytes, self.hot_factor)
+        cold_blocks = self.region_blocks(llc_bytes, self.cold_factor)
+        hot_base = self.data_region(0)
+        cold_base = self.data_region(1)
+        hot_pcs = [self.pc(k) for k in range(4)]
+        cold_pc = self.pc(8)
+        cold_cursor = 0
+        recent_window = max(
+            self.region_blocks(llc_bytes, self.recent_window_factor), 1
+        )
+        recent = []
+        recent_cursor = 0
+        while not builder.exhausted:
+            depends = rng.random() < self.dependent_fraction
+            if rng.random() < self.hot_probability:
+                if recent and rng.random() < self.recent_fraction:
+                    block = recent[rng.randrange(len(recent))]
+                else:
+                    block = rng.randrange(hot_blocks)
+                if len(recent) < recent_window:
+                    recent.append(block)
+                else:
+                    recent[recent_cursor] = block
+                    recent_cursor = (recent_cursor + 1) % recent_window
+                builder.load(
+                    hot_pcs[block & 3],
+                    hot_base + block * BLOCK_BYTES,
+                    gap=self.gap,
+                    depends=depends,
+                )
+            else:
+                # Cold references sweep; sweeping (vs. uniform random)
+                # guarantees no accidental short-distance reuse.
+                address = cold_base + (cold_cursor % cold_blocks) * BLOCK_BYTES
+                builder.load(cold_pc, address, gap=self.gap, depends=depends)
+                cold_cursor += 1
+        return builder.build()
+
+
+class UnpredictableGenerator(WorkloadGenerator):
+    """PC-uncorrelated reference behaviour: the 473.astar pathology.
+
+    Every access uses a random PC from a wide pool, so whether a given
+    access is a block's last touch is statistically independent of the
+    PC.  No PC-indexed predictor can beat its base rate here, so each
+    predictor's *damage* is governed purely by how aggressively it
+    predicts: reftrace's threshold-2 counters fire constantly and wreck
+    recoverable hits (the paper's 473.astar blowup), while the sampler's
+    threshold-8 confidence keeps coverage -- and therefore damage -- low
+    (Section VII-C).
+
+    The reference pattern is a *churning frontier*: new blocks are
+    allocated continuously (graph expansion), and re-references target
+    recently allocated blocks with a recency bias.  Recency bias is what
+    makes mispredictions expensive -- the LRU victim is genuinely the best
+    victim, so every block a predictor wrongly marks dead converts a
+    future hit into a miss.
+
+    Args:
+        window_factor: size of the actively re-referenced recent window,
+            as a multiple of LLC capacity.
+        new_probability: chance an access allocates a fresh frontier block
+            instead of re-referencing the window.
+        recency_exponent: re-references pick ``frontier - 1 -
+            int(u**recency_exponent * window)``; higher = stronger bias
+            toward the newest blocks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ws_factor: float = 1.5,  # kept for storage sizing of the region
+        window_factor: float = 0.9,
+        new_probability: float = 0.3,
+        recency_exponent: float = 2.0,
+        pc_pool: int = 48,
+        dependent_fraction: float = 0.5,
+        gap: int = 4,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        self.ws_factor = ws_factor
+        self.window_factor = window_factor
+        self.new_probability = new_probability
+        self.recency_exponent = recency_exponent
+        self.pc_pool = max(2, pc_pool)
+        self.dependent_fraction = dependent_fraction
+        self.gap = gap
+
+    def generate(self, instructions: int, llc_bytes: int) -> Trace:
+        builder = TraceBuilder(self.name, instructions)
+        rng = self._rng()
+        window_blocks = self.region_blocks(llc_bytes, self.window_factor)
+        base = self.data_region(0)
+        pcs = [self.pc(k) for k in range(self.pc_pool)]
+        frontier = 0
+        while not builder.exhausted:
+            if frontier == 0 or rng.random() < self.new_probability:
+                block = frontier
+                frontier += 1
+            else:
+                reach = min(window_blocks, frontier)
+                offset = int((rng.random() ** self.recency_exponent) * reach)
+                block = frontier - 1 - offset
+            pc = pcs[rng.randrange(self.pc_pool)]
+            depends = rng.random() < self.dependent_fraction
+            builder.load(pc, base + block * BLOCK_BYTES, gap=self.gap, depends=depends)
+        return builder.build()
+
+
+class SmallFootprintGenerator(WorkloadGenerator):
+    """Compute-bound codes whose data fits comfortably above the LLC.
+
+    Models 416.gamess, 453.povray, 444.namd, 465.tonto, 454.calculix,
+    447.dealII, 464.h264ref, 435.gromacs, 445.gobmk: long non-memory gaps
+    and a working set of ``ws_factor`` x LLC (well under 1), so the LLC
+    sees almost nothing and no policy can help or hurt -- the "ten of the
+    29 benchmarks experience no significant reduction" group of
+    Section VI-A.1.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ws_factor: float = 0.15,
+        gap: int = 8,
+        touches_per_block: int = 4,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        self.ws_factor = ws_factor
+        self.gap = gap
+        self.touches_per_block = max(1, touches_per_block)
+
+    def generate(self, instructions: int, llc_bytes: int) -> Trace:
+        builder = TraceBuilder(self.name, instructions)
+        rng = self._rng()
+        blocks = self.region_blocks(llc_bytes, self.ws_factor)
+        base = self.data_region(0)
+        pcs = [self.pc(k) for k in range(6)]
+        stride = max(BLOCK_BYTES // self.touches_per_block, 4)
+        while not builder.exhausted:
+            block = rng.randrange(blocks)
+            address = base + block * BLOCK_BYTES
+            pc = pcs[block % len(pcs)]
+            for touch in range(self.touches_per_block):
+                builder.load(pc, address + touch * stride, gap=self.gap)
+        return builder.build()
+
+
+class MixedPhaseGenerator(WorkloadGenerator):
+    """Alternating program phases, each with its own archetype.
+
+    Models 403.gcc, 400.perlbench, 401.bzip2's phase behaviour: the trace
+    cycles through sub-generators, giving predictors non-stationary
+    behaviour to track.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[Tuple[WorkloadGenerator, float]],
+        phase_instructions: int = None,
+        seed: int = 1,
+    ) -> None:
+        super().__init__(name, seed)
+        if not phases:
+            raise ValueError("MixedPhaseGenerator needs at least one phase")
+        self.phases = list(phases)
+        # None = budget-proportional: each phase recurs ~twice per trace.
+        # Real program phases last millions of instructions; pinning phase
+        # length to a small constant would make phase churn an artifact of
+        # short simulation budgets (predictors would spend every phase
+        # re-learning), so the default scales with the trace.
+        self.phase_instructions = phase_instructions
+
+    def generate(self, instructions: int, llc_bytes: int) -> Trace:
+        pieces: List[Trace] = []
+        produced = 0
+        phase_index = 0
+        phase_budget = self.phase_instructions
+        if phase_budget is None:
+            phase_budget = max(instructions // (2 * len(self.phases)), 20_000)
+        while produced < instructions:
+            generator, weight = self.phases[phase_index % len(self.phases)]
+            budget = min(
+                max(int(phase_budget * weight), 1000),
+                instructions - produced,
+            )
+            piece = generator.generate(budget, llc_bytes)
+            pieces.append(piece)
+            produced += piece.instructions
+            phase_index += 1
+        return Trace.concatenate(self.name, pieces)

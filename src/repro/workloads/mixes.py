@@ -1,0 +1,54 @@
+"""The ten quad-core workload mixes of Table IV.
+
+Benchmark composition is taken verbatim from the paper's Table IV; each
+mix combines four single-thread benchmarks with a variety of cache
+sensitivities (streamers, thrash, pointer chase, compute-bound), which is
+what makes shared-LLC management interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.trace import Trace
+from repro.workloads.suite import build_trace
+
+__all__ = ["MIXES", "MIX_NAMES", "build_mix_traces"]
+
+#: Table IV, verbatim.
+MIXES: Dict[str, Tuple[str, str, str, str]] = {
+    "mix1": ("mcf", "hmmer", "libquantum", "omnetpp"),
+    "mix2": ("gobmk", "soplex", "libquantum", "lbm"),
+    "mix3": ("zeusmp", "leslie3d", "libquantum", "xalancbmk"),
+    "mix4": ("gamess", "cactusADM", "soplex", "libquantum"),
+    "mix5": ("bzip2", "gamess", "mcf", "sphinx3"),
+    "mix6": ("gcc", "calculix", "libquantum", "sphinx3"),
+    "mix7": ("perlbench", "milc", "hmmer", "lbm"),
+    "mix8": ("bzip2", "gcc", "gobmk", "lbm"),
+    "mix9": ("gamess", "mcf", "tonto", "xalancbmk"),
+    "mix10": ("milc", "namd", "sphinx3", "xalancbmk"),
+}
+
+MIX_NAMES: Tuple[str, ...] = tuple(MIXES)
+
+
+def build_mix_traces(
+    mix_name: str, instructions_per_core: int, llc_bytes: int, seed: int = 1
+) -> List[Trace]:
+    """Generate the four traces of a mix.
+
+    ``llc_bytes`` should be the *per-core* LLC share (the paper sizes
+    workloads against a 2MB/core budget even though the quad-core LLC is
+    one shared 8MB array), so single-thread and multi-core runs use
+    identical traces for a given machine scale.
+    """
+    try:
+        names = MIXES[mix_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mix {mix_name!r}; known: {', '.join(MIX_NAMES)}"
+        ) from None
+    return [
+        build_trace(name, instructions_per_core, llc_bytes, seed=seed + core)
+        for core, name in enumerate(names)
+    ]

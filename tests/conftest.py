@@ -1,0 +1,82 @@
+"""Shared test helpers.
+
+The helpers here build tiny caches and replay short access strings so the
+unit tests can state expectations exactly.  Everything is deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import pytest
+
+from repro.cache import Cache, CacheAccess, CacheGeometry
+
+
+def tiny_geometry(sets: int = 4, assoc: int = 2, block: int = 64) -> CacheGeometry:
+    """A small cache geometry for unit tests."""
+    return CacheGeometry(
+        size_bytes=sets * assoc * block, associativity=assoc, block_bytes=block
+    )
+
+
+def make_access(
+    block_number: int,
+    geometry: CacheGeometry,
+    pc: int = 0x400000,
+    is_write: bool = False,
+    seq: int = 0,
+    core: int = 0,
+) -> CacheAccess:
+    """Build an access to the ``block_number``-th block of the address space.
+
+    Block numbers enumerate blocks linearly, so consecutive numbers map to
+    consecutive sets and numbers ``sets`` apart collide in one set.
+    """
+    return CacheAccess(
+        address=block_number * geometry.block_bytes,
+        pc=pc,
+        is_write=is_write,
+        seq=seq,
+        core=core,
+    )
+
+
+def replay(cache: Cache, block_numbers: Iterable[int], pc: int = 0x400000) -> List[bool]:
+    """Access a sequence of block numbers; return the per-access hit flags."""
+    results = []
+    for seq, number in enumerate(block_numbers):
+        access = make_access(number, cache.geometry, pc=pc, seq=seq)
+        results.append(cache.access(access))
+    return results
+
+
+def simulate_lru_reference(
+    block_numbers: Iterable[int], sets: int, assoc: int
+) -> List[bool]:
+    """Oracle LRU simulator used to cross-check the Cache + LRUPolicy pair.
+
+    Implemented with per-set ordered lists, independently of the production
+    code, so a bug in the real stack maintenance cannot hide.
+    """
+    contents: List[List[int]] = [[] for _ in range(sets)]
+    hits = []
+    for number in block_numbers:
+        set_index = number % sets
+        tag = number // sets
+        bucket = contents[set_index]
+        if tag in bucket:
+            bucket.remove(tag)
+            bucket.insert(0, tag)
+            hits.append(True)
+        else:
+            bucket.insert(0, tag)
+            if len(bucket) > assoc:
+                bucket.pop()
+            hits.append(False)
+    return hits
+
+
+@pytest.fixture
+def geometry() -> CacheGeometry:
+    return tiny_geometry()

@@ -1,0 +1,227 @@
+"""Tests for the efficiency (Fig 1) and accuracy (Fig 9) instruments."""
+
+import pytest
+
+from repro.analysis import AccuracyObserver, EfficiencyObserver, render_greyscale
+from repro.cache import Cache, CacheAccess
+from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.replacement import LRUPolicy
+
+from tests.conftest import make_access, tiny_geometry
+
+
+def run_with_efficiency(block_seq, sets=1, assoc=2):
+    geometry = tiny_geometry(sets=sets, assoc=assoc)
+    cache = Cache(geometry, LRUPolicy())
+    observer = EfficiencyObserver(cache)
+    cache.add_observer(observer)
+    seq = 0
+    for number in block_seq:
+        cache.access(make_access(number, geometry, seq=seq))
+        seq += 1
+    observer.finalize(cache, seq)
+    return observer
+
+
+class TestEfficiencyObserver:
+    def test_single_touch_block_is_all_dead(self):
+        # Block 0 filled at 0, never re-touched, evicted at seq 2.
+        observer = run_with_efficiency([0, 1, 2], sets=1, assoc=1)
+        # Residencies: block0 [0,1) live 0; block1 [1,2) live 0;
+        # block2 [2,3) resident at end, live 0.
+        assert observer.live_time == 0
+        assert observer.efficiency == 0.0
+
+    def test_fully_live_block(self):
+        # Block 0 touched at every step: live 3 (fill@0 .. last hit@3) of
+        # total 4 (finalized one step past the last access).
+        observer = run_with_efficiency([0, 0, 0, 0], sets=1, assoc=1)
+        assert observer.efficiency == pytest.approx(0.75)
+
+    def test_half_live_block(self):
+        # Block 0: fill@0, last hit@2, evicted@4 -> live 2 of total 4.
+        observer = run_with_efficiency([0, 0, 0, 1, 4], sets=1, assoc=1)
+        assert observer.live_time >= 2
+
+    def test_finalize_accounts_residents(self):
+        observer = run_with_efficiency([0], sets=1, assoc=2)
+        assert observer.total_time == 1  # resident from 0 to finalize at 1
+
+    def test_finalize_twice_rejected(self):
+        geometry = tiny_geometry(sets=1, assoc=1)
+        cache = Cache(geometry, LRUPolicy())
+        observer = EfficiencyObserver(cache)
+        cache.add_observer(observer)
+        observer.finalize(cache, 0)
+        with pytest.raises(RuntimeError):
+            observer.finalize(cache, 1)
+
+    def test_matrix_shape(self):
+        observer = run_with_efficiency([0, 1, 2, 3], sets=2, assoc=2)
+        matrix = observer.efficiency_matrix()
+        assert len(matrix) == 2
+        assert len(matrix[0]) == 2
+
+    def test_frame_efficiency_unused_frame(self):
+        geometry = tiny_geometry(sets=2, assoc=2)
+        cache = Cache(geometry, LRUPolicy())
+        observer = EfficiencyObserver(cache)
+        assert observer.frame_efficiency(1, 1) is None
+
+    def test_dbrb_improves_efficiency_on_scan_reuse(self):
+        """The Figure 1 effect in miniature: bypassing a dead stream makes
+        resident frames spend more of their time live."""
+        from repro.cache import CacheGeometry
+
+        geometry = CacheGeometry(32 * 4 * 64, 4, 64)
+
+        def workload():
+            seq = 0
+            stream = 0
+            for _ in range(25):
+                for i in range(96):
+                    yield CacheAccess(address=i * 64, pc=0x10, seq=seq)
+                    seq += 1
+                for _ in range(128):
+                    yield CacheAccess(address=(1 << 20) + stream * 64, pc=0x99, seq=seq)
+                    seq += 1
+                    stream += 1
+
+        def run(policy):
+            cache = Cache(geometry, policy)
+            observer = EfficiencyObserver(cache)
+            cache.add_observer(observer)
+            last = 0
+            for access in workload():
+                cache.access(access)
+                last = access.seq
+            observer.finalize(cache, last + 1)
+            return observer.efficiency
+
+        lru_eff = run(LRUPolicy())
+        dbrb_eff = run(
+            DBRBPolicy(
+                LRUPolicy(), SamplingDeadBlockPredictor(sampler_assoc=8)
+            )
+        )
+        assert dbrb_eff > lru_eff
+
+
+class TestRenderGreyscale:
+    def test_empty(self):
+        assert "empty" in render_greyscale([])
+
+    def test_dimensions(self):
+        matrix = [[0.0, 1.0]] * 8
+        art = render_greyscale(matrix, max_rows=4)
+        lines = art.split("\n")
+        assert len(lines) == 4
+        assert all(len(line) == 2 for line in lines)
+
+    def test_dark_for_dead_bright_for_live(self):
+        art = render_greyscale([[0.0, 0.99]])
+        assert art[0] == " "   # dead frame: darkest ramp entry
+        assert art[1] == "@"   # live frame: brightest
+
+    def test_downsampling_averages(self):
+        matrix = [[0.0]] * 16 + [[1.0]] * 16
+        art = render_greyscale(matrix, max_rows=2)
+        lines = art.split("\n")
+        assert lines[0] == " "
+        assert lines[1] == "@"
+
+
+class TestAccuracyObserver:
+    def build(self, sets=1, assoc=2):
+        geometry = tiny_geometry(sets=sets, assoc=assoc)
+        cache = Cache(geometry, LRUPolicy())
+        observer = AccuracyObserver(cache)
+        cache.add_observer(observer)
+        return geometry, cache, observer
+
+    def test_no_predictions_no_positives(self):
+        geometry, cache, observer = self.build()
+        for seq, number in enumerate([0, 1, 0, 1]):
+            cache.access(make_access(number, geometry, seq=seq))
+        assert observer.accesses == 4
+        assert observer.positives == 0
+        assert observer.coverage == 0.0
+        assert observer.false_positive_rate == 0.0
+
+    def test_positive_confirmed_by_eviction(self):
+        geometry, cache, observer = self.build(assoc=1)
+        cache.access(make_access(0, geometry, seq=0))
+        # Mark resident block dead by hand (as a predictor would).
+        (_, way, block), = cache.resident_blocks()
+        block.predicted_dead = True
+        observer._pending[0][way] = True
+        observer.positives += 1
+        cache.access(make_access(1, geometry, seq=1))  # evicts block 0
+        assert observer.false_positives == 0
+
+    def test_positive_refuted_by_rehit(self):
+        geometry, cache, observer = self.build(assoc=1)
+        cache.access(make_access(0, geometry, seq=0))
+        (_, way, block), = cache.resident_blocks()
+        block.predicted_dead = True
+        observer._pending[0][way] = True
+        observer.positives += 1
+        cache.access(make_access(0, geometry, seq=1))  # re-hit: refuted
+        assert observer.false_positives == 1
+
+    def test_bypass_counts_as_positive(self):
+        from repro.replacement.base import ReplacementPolicy
+
+        class AlwaysBypass(ReplacementPolicy):
+            def should_bypass(self, set_index, access):
+                return True
+
+            def choose_victim(self, set_index, access):
+                return 0
+
+        geometry = tiny_geometry(sets=1, assoc=2)
+        cache = Cache(geometry, AlwaysBypass())
+        observer = AccuracyObserver(cache)
+        cache.add_observer(observer)
+        cache.access(make_access(0, geometry, seq=0))
+        assert observer.positives == 1
+        assert observer.coverage == 1.0
+
+    def test_quick_bypass_return_is_false_positive(self):
+        from repro.replacement.base import ReplacementPolicy
+
+        class AlwaysBypass(ReplacementPolicy):
+            def should_bypass(self, set_index, access):
+                return True
+
+            def choose_victim(self, set_index, access):
+                return 0
+
+        geometry = tiny_geometry(sets=1, assoc=2)
+        cache = Cache(geometry, AlwaysBypass())
+        observer = AccuracyObserver(cache)
+        cache.add_observer(observer)
+        cache.access(make_access(0, geometry, seq=0))
+        cache.access(make_access(0, geometry, seq=1))  # back within window
+        assert observer.false_positives == 1
+
+    def test_distant_bypass_return_not_penalized(self):
+        from repro.replacement.base import ReplacementPolicy
+
+        class AlwaysBypass(ReplacementPolicy):
+            def should_bypass(self, set_index, access):
+                return True
+
+            def choose_victim(self, set_index, access):
+                return 0
+
+        geometry = tiny_geometry(sets=1, assoc=2)
+        cache = Cache(geometry, AlwaysBypass())
+        observer = AccuracyObserver(cache)
+        cache.add_observer(observer)
+        cache.access(make_access(0, geometry, seq=0))
+        for seq in range(1, 8):  # > assoc other misses to the set
+            cache.access(make_access(seq, geometry, seq=seq))
+        cache.access(make_access(0, geometry, seq=9))
+        # Block 0 returned only after the window: the bypass was correct.
+        assert observer.false_positives == 0

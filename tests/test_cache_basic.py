@@ -1,0 +1,195 @@
+"""Integration tests for the Cache + policy machinery."""
+
+import pytest
+
+from repro.cache import Cache, CacheAccess, CacheBlock, CacheObserver, CacheStats
+from repro.replacement import LRUPolicy
+
+from tests.conftest import make_access, replay, tiny_geometry
+
+
+class TestBasicHitMiss:
+    def test_first_access_misses(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        assert replay(cache, [0]) == [False]
+
+    def test_second_access_hits(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        assert replay(cache, [0, 0]) == [False, True]
+
+    def test_different_blocks_same_set_coexist(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        # blocks 0 and 4 map to set 0 in a 4-set cache; 2 ways hold both.
+        assert replay(cache, [0, 4, 0, 4]) == [False, False, True, True]
+
+    def test_conflict_evicts_lru(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        # Three blocks in a 2-way set: 0 is LRU when 8 arrives.
+        hits = replay(cache, [0, 4, 8, 0])
+        assert hits == [False, False, False, False]
+
+    def test_stats_track_events(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        replay(cache, [0, 0, 4, 8])
+        assert cache.stats.accesses == 4
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 3
+        assert cache.stats.fills == 3
+        assert cache.stats.evictions == 1
+
+    def test_contains(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        replay(cache, [0])
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_flush_empties_cache(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        replay(cache, [0, 1, 2])
+        cache.flush()
+        assert not list(cache.resident_blocks())
+        assert not cache.contains(0)
+
+
+class TestWritebacks:
+    def test_dirty_eviction_counts_writeback(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        cache.access(make_access(0, geometry, is_write=True, seq=0))
+        cache.access(make_access(4, geometry, seq=1))
+        cache.access(make_access(8, geometry, seq=2))  # evicts dirty block 0
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        replay(cache, [0, 4, 8])
+        assert cache.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        cache.access(make_access(0, geometry, seq=0))
+        cache.access(make_access(0, geometry, is_write=True, seq=1))
+        (_, _, block), = cache.resident_blocks()
+        assert block.dirty
+
+
+class TestBlockBookkeeping:
+    def test_access_count_increments(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        replay(cache, [0, 0, 0])
+        (_, _, block), = cache.resident_blocks()
+        assert block.access_count == 3
+
+    def test_fill_and_last_access_seq(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        replay(cache, [0, 4, 0])
+        blocks = {block.tag: block for _, _, block in cache.resident_blocks()}
+        block0 = blocks[geometry.tag(0)]
+        assert block0.fill_seq == 0
+        assert block0.last_access_seq == 2
+
+    def test_fill_resets_metadata(self):
+        block = CacheBlock()
+        block.meta["signature"] = 123
+        block.predicted_dead = True
+        block.fill(tag=7, seq=5, is_write=False)
+        assert block.meta == {}
+        assert not block.predicted_dead
+        assert block.access_count == 1
+
+    def test_invalidate(self):
+        block = CacheBlock()
+        block.fill(tag=7, seq=0, is_write=True)
+        block.invalidate()
+        assert not block.valid
+        assert not block.dirty
+
+    def test_repr_forms(self):
+        block = CacheBlock()
+        assert "invalid" in repr(block)
+        block.fill(tag=7, seq=0, is_write=True)
+        assert "tag" in repr(block)
+
+
+class TestObserver:
+    class Recorder(CacheObserver):
+        def __init__(self):
+            self.events = []
+
+        def on_hit(self, set_index, way, block, access):
+            self.events.append(("hit", set_index, block.tag))
+
+        def on_fill(self, set_index, way, block, access):
+            self.events.append(("fill", set_index, block.tag))
+
+        def on_evict(self, set_index, way, block, access):
+            self.events.append(("evict", set_index, block.tag))
+
+        def on_bypass(self, set_index, access):
+            self.events.append(("bypass", set_index, None))
+
+    def test_events_fire_in_order(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        recorder = self.Recorder()
+        cache.add_observer(recorder)
+        replay(cache, [0, 0, 4, 8])
+        kinds = [event[0] for event in recorder.events]
+        assert kinds == ["fill", "hit", "fill", "evict", "fill"]
+
+    def test_evicted_block_still_readable_in_callback(self, geometry):
+        cache = Cache(geometry, LRUPolicy())
+        recorder = self.Recorder()
+        cache.add_observer(recorder)
+        replay(cache, [0, 4, 8])
+        evict = [event for event in recorder.events if event[0] == "evict"]
+        assert evict == [("evict", 0, geometry.tag(0))]
+
+
+class TestStats:
+    def test_rates(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        assert stats.hit_rate == pytest.approx(0.7)
+        assert stats.miss_rate == pytest.approx(0.3)
+
+    def test_rates_with_no_accesses(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_mpki(self):
+        stats = CacheStats(misses=50)
+        assert stats.mpki(10_000) == pytest.approx(5.0)
+
+    def test_mpki_rejects_bad_instruction_count(self):
+        with pytest.raises(ValueError):
+            CacheStats().mpki(0)
+
+    def test_merge(self):
+        a = CacheStats(accesses=5, hits=3, misses=2, fills=2)
+        b = CacheStats(accesses=1, hits=0, misses=1, fills=1, bypasses=1)
+        a.merge(b)
+        assert a.accesses == 6
+        assert a.misses == 3
+        assert a.bypasses == 1
+
+    def test_snapshot_is_independent(self):
+        stats = CacheStats(accesses=5)
+        copy = stats.snapshot()
+        stats.accesses = 99
+        assert copy.accesses == 5
+
+
+class TestPolicyBinding:
+    def test_policy_cannot_bind_twice(self, geometry):
+        policy = LRUPolicy()
+        Cache(geometry, policy)
+        with pytest.raises(RuntimeError):
+            Cache(geometry, policy)
+
+    def test_bad_victim_way_detected(self, geometry):
+        class BrokenPolicy(LRUPolicy):
+            def choose_victim(self, set_index, access):
+                return 99
+
+        cache = Cache(geometry, BrokenPolicy())
+        with pytest.raises(ValueError):
+            replay(cache, [0, 4, 8])

@@ -1,0 +1,117 @@
+"""Unit tests for repro.cache.geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+
+
+def paper_llc() -> CacheGeometry:
+    """The paper's single-core LLC: 2MB, 16-way, 64B blocks."""
+    return CacheGeometry(size_bytes=2 * 1024 * 1024, associativity=16, block_bytes=64)
+
+
+class TestDerivedFields:
+    def test_paper_llc_has_2048_sets(self):
+        geometry = paper_llc()
+        assert geometry.num_sets == 2048  # stated explicitly in Section III-A
+        assert geometry.offset_bits == 6
+        assert geometry.index_bits == 11
+        assert geometry.num_blocks == 32768  # "32K blocks" in Table I
+
+    def test_paper_l1(self):
+        geometry = CacheGeometry(32 * 1024, 8, 64)
+        assert geometry.num_sets == 64
+
+    def test_paper_l2(self):
+        geometry = CacheGeometry(256 * 1024, 8, 64)
+        assert geometry.num_sets == 512
+
+    def test_quad_core_llc(self):
+        geometry = CacheGeometry(8 * 1024 * 1024, 16, 64)
+        assert geometry.num_sets == 8192
+
+
+class TestValidation:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(0, 4, 64)
+
+    def test_rejects_zero_assoc(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 0, 64)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 4, 48)
+
+    def test_rejects_indivisible_assoc(self):
+        # 1024B / 64B = 16 blocks; 16 % 3 != 0.
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 3, 64)
+
+    def test_rejects_non_power_of_two_sets(self):
+        # 3KB / 64B = 48 blocks / 4 ways = 12 sets: not a power of two.
+        with pytest.raises(ValueError):
+            CacheGeometry(3 * 1024, 4, 64)
+
+
+class TestAddressDecomposition:
+    def test_offset_does_not_change_block(self):
+        geometry = paper_llc()
+        base = 0x12345 * 64
+        for offset in (0, 1, 63):
+            assert geometry.block_address(base + offset) == 0x12345
+            assert geometry.set_index(base + offset) == geometry.set_index(base)
+            assert geometry.tag(base + offset) == geometry.tag(base)
+
+    def test_adjacent_blocks_hit_adjacent_sets(self):
+        geometry = paper_llc()
+        index = geometry.set_index(0)
+        assert geometry.set_index(64) == (index + 1) % geometry.num_sets
+
+    def test_rebuild_address_round_trip(self):
+        geometry = paper_llc()
+        address = 0xDEADBEEF & ~0x3F
+        rebuilt = geometry.rebuild_address(
+            geometry.tag(address), geometry.set_index(address)
+        )
+        assert rebuilt == address
+
+    def test_rebuild_rejects_bad_set(self):
+        with pytest.raises(ValueError):
+            paper_llc().rebuild_address(1, 99999)
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_decomposition_partitions_address(self, address):
+        geometry = paper_llc()
+        reconstructed = (
+            (geometry.tag(address) << geometry.index_bits | geometry.set_index(address))
+            << geometry.offset_bits
+        ) | (address & 0x3F)
+        assert reconstructed == address
+
+
+class TestScaling:
+    def test_scaled_preserves_assoc_and_block(self):
+        scaled = paper_llc().scaled(8)
+        assert scaled.size_bytes == 256 * 1024
+        assert scaled.associativity == 16
+        assert scaled.block_bytes == 64
+        assert scaled.num_sets == 256
+
+    def test_scale_by_one_is_identity(self):
+        assert paper_llc().scaled(1) == paper_llc()
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            paper_llc().scaled(0)
+
+
+class TestDescribe:
+    def test_megabyte_cache(self):
+        assert paper_llc().describe() == "2MB 16-way 64B"
+
+    def test_kilobyte_cache(self):
+        assert CacheGeometry(32 * 1024, 8, 64).describe() == "32KB 8-way 64B"

@@ -1,0 +1,253 @@
+"""Integration tests: sampling predictor + DBRB policy on a live cache.
+
+These tests build the scenario the paper's optimization exists for: a hot
+working set being thrashed by a streaming scan.  LRU destroys the working
+set; dead-block bypass should learn the stream's PC and keep it out.
+"""
+
+import pytest
+
+from repro.cache import Cache, CacheAccess, CacheGeometry
+from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.replacement import LRUPolicy, RandomPolicy
+
+HOT_PC = 0x400100
+STREAM_PC = 0x400990
+
+
+def small_geometry() -> CacheGeometry:
+    # 32 sets x 4 ways: every set is sampled (sampler clamps to 32 sets).
+    return CacheGeometry(size_bytes=32 * 4 * 64, associativity=4, block_bytes=64)
+
+
+def build_sampler_cache(default=None, **predictor_kwargs):
+    # Sampler associativity 8: large enough to retain the hot tags across a
+    # round while stream tags cycle through and train "dead".
+    predictor_kwargs.setdefault("sampler_assoc", 8)
+    predictor = SamplingDeadBlockPredictor(**predictor_kwargs)
+    policy = DBRBPolicy(default or LRUPolicy(), predictor)
+    cache = Cache(small_geometry(), policy, name="LLC")
+    return cache, predictor
+
+
+def hot_and_stream_workload(rounds=30, hot_blocks=64, stream_blocks=64):
+    """Alternate touching a resident-sized hot set (PC_H) with a
+    never-reused stream (PC_S).  Yields CacheAccess objects."""
+    seq = 0
+    stream_base = 1 << 20  # distinct address region
+    next_stream = 0
+    for _ in range(rounds):
+        for i in range(hot_blocks):
+            yield CacheAccess(address=i * 64, pc=HOT_PC, seq=seq)
+            seq += 1
+        for _ in range(stream_blocks):
+            yield CacheAccess(
+                address=stream_base + next_stream * 64, pc=STREAM_PC, seq=seq
+            )
+            seq += 1
+            next_stream += 1
+
+
+def double_touch_workload(rounds=30, hot_blocks=64, stream_blocks=64):
+    """Like :func:`hot_and_stream_workload` but every stream block is
+    touched twice -- filled by STREAM_PC, finalized by STREAM_PC+8.  The
+    fill PC stays live (so no bypass) while the finalizing PC trains dead,
+    exercising the *replacement* half of DBRB: hit -> marked dead ->
+    victimized early."""
+    seq = 0
+    stream_base = 1 << 20
+    next_stream = 0
+    for _ in range(rounds):
+        for i in range(hot_blocks):
+            yield CacheAccess(address=i * 64, pc=HOT_PC, seq=seq)
+            seq += 1
+        for _ in range(stream_blocks):
+            address = stream_base + next_stream * 64
+            yield CacheAccess(address=address, pc=STREAM_PC, seq=seq)
+            seq += 1
+            yield CacheAccess(address=address, pc=STREAM_PC + 8, seq=seq)
+            seq += 1
+            next_stream += 1
+
+
+def run(cache, workload):
+    for access in workload:
+        cache.access(access)
+    return cache.stats
+
+
+class TestSamplerLearnsTheStream:
+    def test_stream_pc_becomes_predicted_dead(self):
+        cache, predictor = build_sampler_cache()
+        run(cache, hot_and_stream_workload(rounds=10))
+        assert predictor._predict(STREAM_PC)
+
+    def test_hot_pc_stays_live(self):
+        cache, predictor = build_sampler_cache()
+        run(cache, hot_and_stream_workload(rounds=10))
+        assert not predictor._predict(HOT_PC)
+
+    def test_stream_blocks_bypass_after_warmup(self):
+        cache, _ = build_sampler_cache()
+        run(cache, hot_and_stream_workload(rounds=20))
+        assert cache.stats.bypasses > 0
+
+    def test_sampler_observes_its_sets(self):
+        cache, predictor = build_sampler_cache()
+        run(cache, hot_and_stream_workload(rounds=5))
+        assert predictor.sampler.accesses > 0
+        assert predictor.sampler.evictions > 0
+
+
+class TestDBRBBeatsLRUOnThrash:
+    def test_fewer_misses_than_lru(self):
+        # 3 hot + 4 stream blocks per 4-way set per round: the stream
+        # pushes the hot blocks out under LRU every round.
+        workload = lambda: hot_and_stream_workload(
+            rounds=30, hot_blocks=96, stream_blocks=128
+        )
+        lru_cache = Cache(small_geometry(), LRUPolicy())
+        dbrb_cache, _ = build_sampler_cache()
+        lru_stats = run(lru_cache, workload())
+        dbrb_stats = run(dbrb_cache, workload())
+        # LRU thrashes: every hot access misses after each stream pass.
+        # DBRB bypasses the stream and preserves the hot set.
+        assert dbrb_stats.misses < 0.7 * lru_stats.misses
+
+    def test_dead_blocks_chosen_as_victims(self):
+        cache, _ = build_sampler_cache()
+        stats = run(cache, double_touch_workload(rounds=30))
+        # The finalizing touch marks stream blocks dead in place; they must
+        # then be selected as victims ahead of the LRU block.
+        assert stats.dead_block_victims > 0
+
+    def test_double_touch_stream_not_bypassed(self):
+        """The fill PC of a twice-touched stream is live, so DBRB must keep
+        placing those blocks (bypassing them would cost the second hit)."""
+        cache, predictor = build_sampler_cache()
+        run(cache, double_touch_workload(rounds=20))
+        assert not predictor._predict(STREAM_PC)
+        assert predictor._predict(STREAM_PC + 8)
+
+    def test_replacement_preserves_hot_set_without_bypass(self):
+        workload = lambda: double_touch_workload(
+            rounds=30, hot_blocks=96, stream_blocks=128
+        )
+        lru_cache = Cache(small_geometry(), LRUPolicy())
+        dbrb_cache, _ = build_sampler_cache()
+        lru_stats = run(lru_cache, workload())
+        dbrb_stats = run(dbrb_cache, workload())
+        assert dbrb_stats.misses < lru_stats.misses
+
+    def test_friendly_workload_unharmed(self):
+        """With no stream, DBRB must match plain LRU (no false bypasses)."""
+
+        def friendly(rounds=30):
+            seq = 0
+            for _ in range(rounds):
+                for i in range(96):  # 3 ways' worth: fits in the cache
+                    yield CacheAccess(address=i * 64, pc=HOT_PC, seq=seq)
+                    seq += 1
+
+        lru_cache = Cache(small_geometry(), LRUPolicy())
+        dbrb_cache, _ = build_sampler_cache()
+        lru_stats = run(lru_cache, friendly())
+        dbrb_stats = run(dbrb_cache, friendly())
+        assert dbrb_stats.misses <= lru_stats.misses * 1.05
+
+
+class TestRandomDefault:
+    def test_dbrb_improves_random_replacement(self):
+        """Paper Section VII-B: the sampling predictor rescues a randomly
+        replaced cache."""
+        random_cache = Cache(small_geometry(), RandomPolicy(seed=3))
+        dbrb_cache, _ = build_sampler_cache(default=RandomPolicy(seed=3))
+        random_stats = run(random_cache, hot_and_stream_workload(rounds=30))
+        dbrb_stats = run(dbrb_cache, hot_and_stream_workload(rounds=30))
+        assert dbrb_stats.misses < random_stats.misses
+
+    def test_sampler_stays_lru_under_random_default(self):
+        """Section III-B: the sampler's replacement is LRU even when the
+        cache's default policy is random."""
+        cache, predictor = build_sampler_cache(default=RandomPolicy(seed=3))
+        run(cache, hot_and_stream_workload(rounds=5))
+        # The sampler has its own LRU stacks, untouched by the random policy.
+        assert predictor.sampler._stacks[0] != list(
+            range(predictor.sampler.associativity)
+        ) or predictor.sampler.accesses == 0
+
+
+class TestVictimSelection:
+    def test_dead_block_closest_to_lru_preferred(self):
+        """Build a set where two blocks are predicted dead; the one nearer
+        the LRU end of the recency stack must be evicted first."""
+        geometry = CacheGeometry(size_bytes=1 * 4 * 64, associativity=4, block_bytes=64)
+        predictor = SamplingDeadBlockPredictor(sampler_assoc=4)
+        default = LRUPolicy()
+        policy = DBRBPolicy(default, predictor, enable_bypass=False)
+        cache = Cache(geometry, policy)
+        # Fill 4 ways: blocks 0..3; mark blocks 1 and 2 dead manually.
+        for seq, block_number in enumerate(range(4)):
+            cache.access(CacheAccess(address=block_number * 64, pc=0x1, seq=seq))
+        tag1 = geometry.tag(1 * 64)
+        tag2 = geometry.tag(2 * 64)
+        for _, way, block in cache.resident_blocks():
+            if block.tag in (tag1, tag2):
+                block.predicted_dead = True
+        cache.access(CacheAccess(address=9 * 64, pc=0x1, seq=10))
+        # Recency stack was MRU->LRU: 3,2,1,0; block 1 is the dead block
+        # closest to LRU and must be gone; block 2 survives this round.
+        assert not cache.contains(1 * 64)
+        assert cache.contains(2 * 64)
+        assert cache.contains(0)  # live LRU block spared
+
+    def test_falls_back_to_default_when_no_dead_block(self):
+        geometry = CacheGeometry(size_bytes=1 * 2 * 64, associativity=2, block_bytes=64)
+        predictor = SamplingDeadBlockPredictor(sampler_assoc=2)
+        policy = DBRBPolicy(LRUPolicy(), predictor, enable_bypass=False)
+        cache = Cache(geometry, policy)
+        for seq, block_number in enumerate([0, 1, 2]):
+            cache.access(CacheAccess(address=block_number * 64, pc=0x1, seq=seq))
+        assert not cache.contains(0)  # plain LRU victim
+
+    def test_replacement_can_be_disabled(self):
+        geometry = CacheGeometry(size_bytes=1 * 2 * 64, associativity=2, block_bytes=64)
+        predictor = SamplingDeadBlockPredictor(sampler_assoc=2)
+        policy = DBRBPolicy(
+            LRUPolicy(), predictor, enable_bypass=False, enable_replacement=False
+        )
+        cache = Cache(geometry, policy)
+        for seq, block_number in enumerate(range(2)):
+            cache.access(CacheAccess(address=block_number * 64, pc=0x1, seq=seq))
+        for _, way, block in cache.resident_blocks():
+            block.predicted_dead = True  # should be ignored
+        cache.access(CacheAccess(address=5 * 64, pc=0x1, seq=9))
+        assert not cache.contains(0)  # LRU victim despite dead bits
+
+
+class TestAblationConfigurations:
+    @pytest.mark.parametrize("use_sampler", [True, False])
+    @pytest.mark.parametrize("skewed", [True, False])
+    def test_all_component_combinations_run(self, use_sampler, skewed):
+        predictor = SamplingDeadBlockPredictor(
+            sampler_assoc=4, use_sampler=use_sampler, skewed=skewed
+        )
+        policy = DBRBPolicy(LRUPolicy(), predictor)
+        cache = Cache(small_geometry(), policy)
+        for access in hot_and_stream_workload(rounds=5):
+            cache.access(access)
+        assert cache.stats.accesses > 0
+
+    def test_no_sampler_learns_from_every_eviction(self):
+        predictor = SamplingDeadBlockPredictor(use_sampler=False)
+        policy = DBRBPolicy(LRUPolicy(), predictor)
+        cache = Cache(small_geometry(), policy)
+        for access in hot_and_stream_workload(rounds=10):
+            cache.access(access)
+        assert predictor.sampler is None
+        assert predictor._predict(STREAM_PC)
+
+    def test_predictor_repr_mentions_configuration(self):
+        assert "skewed" in repr(SamplingDeadBlockPredictor())
+        assert "single-table" in repr(SamplingDeadBlockPredictor(skewed=False))
+        assert "no-sampler" in repr(SamplingDeadBlockPredictor(use_sampler=False))

@@ -1,0 +1,106 @@
+"""Focused tests for SamplingDeadBlockPredictor internals."""
+
+import pytest
+
+from repro.cache import Cache, CacheAccess, CacheGeometry
+from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.replacement import LRUPolicy
+
+
+def build(sets=64, assoc=4, **kwargs):
+    geometry = CacheGeometry(sets * assoc * 64, assoc, 64)
+    predictor = SamplingDeadBlockPredictor(**kwargs)
+    policy = DBRBPolicy(LRUPolicy(), predictor)
+    cache = Cache(geometry, policy)
+    return geometry, cache, predictor
+
+
+class TestSetSampling:
+    def test_only_sampled_sets_touch_the_sampler(self):
+        geometry, cache, predictor = build(sets=64, sampler_sets=32, sampler_assoc=4)
+        assert predictor.sampler.interval == 2
+        # Access an unsampled set (odd index): sampler must stay silent.
+        cache.access(CacheAccess(address=1 * 64, pc=0x1, seq=0))
+        assert predictor.sampler.accesses == 0
+        # Access a sampled set (even index).
+        cache.access(CacheAccess(address=2 * 64, pc=0x1, seq=1))
+        assert predictor.sampler.accesses == 1
+
+    def test_learning_generalizes_to_unsampled_sets(self):
+        """Train a dead PC exclusively through sampled sets, then check an
+        unsampled set's fill bypasses -- the sampling thesis itself."""
+        geometry, cache, predictor = build(sets=64, sampler_sets=32, sampler_assoc=2)
+        dead_pc = 0x666
+        seq = 0
+        # Stream distinct tags through sampled set 0 to train "dead".
+        for i in range(8):
+            address = i * 64 * 64  # always set 0, fresh tags
+            cache.access(CacheAccess(address=address, pc=dead_pc, seq=seq))
+            seq += 1
+        assert predictor._predict(dead_pc)
+        # A fill to unsampled set 1 with the dead PC must bypass.
+        before = cache.stats.bypasses
+        cache.access(CacheAccess(address=1 * 64, pc=dead_pc, seq=seq))
+        assert cache.stats.bypasses == before + 1
+
+    def test_bypassed_accesses_still_train_the_sampler(self):
+        """Section V-B: tags never bypass the sampler, so a dead-predicted
+        PC keeps being re-evaluated and can recover."""
+        geometry, cache, predictor = build(sets=64, sampler_sets=32, sampler_assoc=2)
+        pc = 0x777
+        seq = 0
+        for i in range(8):
+            cache.access(CacheAccess(address=i * 64 * 64, pc=pc, seq=seq))
+            seq += 1
+        assert predictor._predict(pc)
+        accesses_before = predictor.sampler.accesses
+        # This access bypasses the LLC but must still enter the sampler.
+        cache.access(CacheAccess(address=99 * 64 * 64, pc=pc, seq=seq))
+        seq += 1
+        assert predictor.sampler.accesses == accesses_before + 1
+        # Re-touching the same block proves the PC live again; repeated
+        # touches pull the confidence back below threshold.
+        for _ in range(6):
+            cache.access(CacheAccess(address=99 * 64 * 64, pc=pc, seq=seq))
+            seq += 1
+        assert not predictor._predict(pc)
+
+    def test_signature_is_15_bits(self):
+        _, _, predictor = build()
+        for pc in (0x0, 0xDEADBEEF, 2**48 - 1):
+            assert 0 <= predictor._signature(pc) < (1 << 15)
+
+
+class TestConfigurationKnobs:
+    def test_threshold_override(self):
+        _, _, strict = build(threshold=9)
+        assert strict.tables.threshold == 9
+        _, _, loose = build(threshold=3)
+        assert loose.tables.threshold == 3
+
+    def test_single_table_is_four_times_larger(self):
+        _, _, skewed = build(skewed=True)
+        _, _, single = build(skewed=False)
+        assert skewed.tables.num_tables == 3
+        assert single.tables.num_tables == 1
+        assert len(single.tables.tables[0]) == 4 * len(skewed.tables.tables[0])
+
+    def test_storage_paper_figures(self):
+        """The simulated predictor's own storage accounting matches the
+        analytic model's structure sizes."""
+        _, _, predictor = build(sampler_sets=32, sampler_assoc=12)
+        assert predictor.tables.storage_bits == 3 * 4096 * 2
+        assert predictor.sampler.entry_bits == 36
+
+    def test_no_sampler_mode_keeps_metadata_in_blocks(self):
+        geometry, cache, predictor = build(use_sampler=False)
+        cache.access(CacheAccess(address=0, pc=0x5, seq=0))
+        (_, _, block), = cache.resident_blocks()
+        assert "sdbp_last_pc" in block.meta
+
+    def test_sampler_mode_keeps_blocks_clean(self):
+        """The headline claim: one bit per block, nothing else."""
+        geometry, cache, predictor = build(use_sampler=True)
+        cache.access(CacheAccess(address=0, pc=0x5, seq=0))
+        (_, _, block), = cache.resident_blocks()
+        assert block.meta == {}

@@ -1,0 +1,155 @@
+"""Tests for the sampler partial-tag array."""
+
+import pytest
+
+from repro.core.sampler import Sampler
+from repro.core.skewed import SkewedCounterTable
+
+
+def make_sampler(cache_sets=2048, num_sets=32, assoc=12, **kwargs):
+    tables = SkewedCounterTable()
+    return Sampler(
+        tables, cache_sets=cache_sets, num_sets=num_sets, associativity=assoc, **kwargs
+    ), tables
+
+
+class TestSetMapping:
+    def test_paper_mapping_every_64th_set(self):
+        """Paper Section III-A: 2,048 cache sets / 32 sampler sets = every
+        64th set is sampled."""
+        sampler, _ = make_sampler()
+        assert sampler.interval == 64
+        assert sampler.sampler_set_for(0) == 0
+        assert sampler.sampler_set_for(64) == 1
+        assert sampler.sampler_set_for(2048 - 64) == 31
+        assert sampler.sampler_set_for(1) is None
+        assert sampler.sampler_set_for(63) is None
+
+    def test_sampled_fraction_is_1_6_percent(self):
+        """Paper: sampling references to 1.6% of sets suffices."""
+        sampler, _ = make_sampler()
+        sampled = sum(
+            1 for s in range(2048) if sampler.sampler_set_for(s) is not None
+        )
+        assert sampled == 32
+        assert sampled / 2048 == pytest.approx(0.015625)
+
+    def test_small_cache_clamps_sampler(self):
+        sampler, _ = make_sampler(cache_sets=16)
+        assert sampler.num_sets == 16
+        assert sampler.interval == 1
+        assert all(sampler.sampler_set_for(s) == s for s in range(16))
+
+    def test_rejects_bad_geometry(self):
+        tables = SkewedCounterTable()
+        with pytest.raises(ValueError):
+            Sampler(tables, cache_sets=64, num_sets=0)
+        with pytest.raises(ValueError):
+            Sampler(tables, cache_sets=64, associativity=0)
+        with pytest.raises(ValueError):
+            Sampler(tables, cache_sets=0)
+
+
+class TestPartialFields:
+    def test_partial_tag_is_low_15_bits(self):
+        sampler, _ = make_sampler()
+        assert sampler.partial_tag(0xFFFF_FFFF) == 0x7FFF
+        assert sampler.partial_tag(0x1234) == 0x1234
+
+    def test_pc_signature_width(self):
+        sampler, _ = make_sampler()
+        assert 0 <= sampler.pc_signature(0xDEADBEEF) < (1 << 15)
+
+
+class TestTrainingProtocol:
+    def test_eviction_trains_dead(self):
+        """Fill a sampler set beyond capacity with distinct tags from one
+        PC: the evicted entries' signatures must accumulate dead training."""
+        sampler, tables = make_sampler(cache_sets=32, num_sets=32, assoc=2)
+        pc = 0x400100
+        for tag in range(5):  # 5 tags through a 2-way sampler set
+            sampler.access(0, tag=tag, pc=pc)
+        assert sampler.evictions == 3
+        assert tables.confidence(sampler.pc_signature(pc)) == 9
+        assert tables.predict(sampler.pc_signature(pc))
+
+    def test_hit_trains_live_on_previous_signature(self):
+        """A sampler hit proves the *stored* signature was not the last
+        touch; that signature must be decremented."""
+        sampler, tables = make_sampler(cache_sets=32, num_sets=32, assoc=4)
+        pc_first, pc_second = 0x400100, 0x400200
+        sig_first = sampler.pc_signature(pc_first)
+        # Pre-load dead confidence on pc_first.
+        for _ in range(3):
+            tables.train(sig_first, dead=True)
+        assert tables.predict(sig_first)
+        sampler.access(0, tag=7, pc=pc_first)
+        sampler.access(0, tag=7, pc=pc_second)  # hit: pc_first was not last
+        assert tables.confidence(sig_first) == 6
+        assert not tables.predict(sig_first)
+
+    def test_hit_updates_signature_to_new_pc(self):
+        sampler, _ = make_sampler(cache_sets=32, num_sets=32, assoc=4)
+        sampler.access(0, tag=7, pc=0x100)
+        sampler.access(0, tag=7, pc=0x200)
+        entry = next(e for e in sampler.sets[0] if e.valid)
+        assert entry.signature == sampler.pc_signature(0x200)
+
+    def test_lru_victim_order(self):
+        """The sampler is LRU-managed (Section III-B): with a full set, the
+        least recently touched tag is evicted first."""
+        sampler, _ = make_sampler(cache_sets=32, num_sets=32, assoc=2)
+        sampler.access(0, tag=1, pc=0x1)
+        sampler.access(0, tag=2, pc=0x2)
+        sampler.access(0, tag=1, pc=0x3)  # touch tag 1: tag 2 becomes LRU
+        sampler.access(0, tag=3, pc=0x4)  # must evict tag 2
+        tags = {e.partial_tag for e in sampler.sets[0] if e.valid}
+        assert tags == {1, 3}
+
+    def test_tags_never_bypass_the_sampler(self):
+        """Section V-B: every access to a sampled set is placed."""
+        sampler, tables = make_sampler(cache_sets=32, num_sets=32, assoc=2)
+        pc = 0x900
+        # Make pc itself predicted-dead first.
+        for _ in range(3):
+            tables.train(sampler.pc_signature(pc), dead=True)
+        sampler.access(0, tag=42, pc=pc)
+        assert any(e.valid and e.partial_tag == 42 for e in sampler.sets[0])
+
+    def test_access_counters(self):
+        sampler, _ = make_sampler(cache_sets=32, num_sets=32, assoc=2)
+        sampler.access(0, tag=1, pc=0x1)
+        sampler.access(0, tag=1, pc=0x1)
+        sampler.access(0, tag=2, pc=0x1)
+        assert sampler.accesses == 3
+        assert sampler.hits == 1
+        assert sampler.evictions == 0
+
+    def test_prediction_bit_tracks_tables(self):
+        sampler, tables = make_sampler(cache_sets=32, num_sets=32, assoc=2)
+        pc = 0x700
+        for _ in range(3):
+            tables.train(sampler.pc_signature(pc), dead=True)
+        sampler.access(0, tag=9, pc=pc)
+        entry = next(e for e in sampler.sets[0] if e.partial_tag == 9)
+        assert entry.prediction
+
+
+class TestStorage:
+    def test_entry_bits_match_paper_fields(self):
+        """Section IV-C: 15-bit tag + 15-bit PC + prediction bit + valid
+        bit + 4 LRU bits = 36 bits per entry (12-way sampler)."""
+        sampler, _ = make_sampler()
+        assert sampler.entry_bits == 36
+
+    def test_storage_scales_with_geometry(self):
+        small, _ = make_sampler(num_sets=32, assoc=12)
+        large, _ = make_sampler(num_sets=128, assoc=12)
+        assert large.storage_bits == 4 * small.storage_bits
+
+    def test_sixteen_way_sampler_uses_more_storage(self):
+        """Section III-B: the 12-way sampler consumes less storage than a
+        16-way one."""
+        twelve, _ = make_sampler(assoc=12)
+        sixteen, _ = make_sampler(assoc=16)
+        assert twelve.storage_bits < sixteen.storage_bits

@@ -1,0 +1,160 @@
+"""Tests for the storage (Table I) and power (Table II) models."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.power import (
+    CactiLite,
+    SRAMArray,
+    counting_storage,
+    predictor_power_table,
+    reftrace_storage,
+    sampler_storage,
+    storage_table,
+)
+from repro.power.cacti import LLC_DYNAMIC_WATTS, LLC_LEAKAGE_WATTS
+
+
+def paper_llc():
+    return CacheGeometry(2 * 1024 * 1024, 16, 64)
+
+
+class TestStorageTableI:
+    """Table I of the paper, reproduced to the kilobyte."""
+
+    def test_reftrace_is_72kb(self):
+        breakdown = reftrace_storage(paper_llc())
+        assert breakdown.structure_bits == 8 * 1024 * 8       # 8KB table
+        assert breakdown.metadata_bits == 16 * 32 * 1024      # 64KB metadata
+        assert breakdown.total_kbytes == pytest.approx(72.0)
+
+    def test_counting_is_108kb(self):
+        breakdown = counting_storage(paper_llc())
+        assert breakdown.structure_bits == 40 * 1024 * 8      # 40KB table
+        assert breakdown.metadata_bits == 17 * 32 * 1024      # 68KB metadata
+        assert breakdown.total_kbytes == pytest.approx(108.0)
+
+    def test_sampler_is_13_75kb(self):
+        breakdown = sampler_storage(paper_llc())
+        assert breakdown.total_kbytes == pytest.approx(13.75)
+
+    def test_sampler_fraction_under_one_percent(self):
+        """Paper: 'less than 1% of the capacity of a 2MB LLC'."""
+        breakdown = sampler_storage(paper_llc())
+        assert breakdown.fraction_of_cache(paper_llc()) < 0.01
+
+    def test_paper_percentages(self):
+        """Paper: reftrace 3.5%, counting 5.3% of LLC capacity."""
+        geometry = paper_llc()
+        assert reftrace_storage(geometry).fraction_of_cache(geometry) == pytest.approx(
+            0.035, abs=0.002
+        )
+        assert counting_storage(geometry).fraction_of_cache(geometry) == pytest.approx(
+            0.053, abs=0.002
+        )
+
+    def test_storage_table_rows(self):
+        rows = storage_table(paper_llc())
+        assert [row.predictor for row in rows] == ["reftrace", "counting", "sampler"]
+
+    def test_sampler_32_set_variant(self):
+        """The 32-set arithmetic (the paper's *stated* design point)."""
+        breakdown = sampler_storage(paper_llc(), sampler_sets=32)
+        # 3KB tables + 32*12*36 bits + 4KB of dead bits.
+        expected_bits = 3 * 1024 * 8 + 32 * 12 * 36 + 32 * 1024
+        assert breakdown.total_bits == expected_bits
+
+    def test_metadata_scales_with_cache(self):
+        small = CacheGeometry(256 * 1024, 16, 64)
+        assert reftrace_storage(small).metadata_bits == 16 * 4096
+
+
+class TestPowerTableII:
+    """Table II shape: the paper's percentages and ratios."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        rows = predictor_power_table()
+        return {row.predictor: row for row in rows}
+
+    def test_sampler_dynamic_is_3_percent_of_llc(self, reports):
+        assert reports["sampler"].llc_dynamic_percent == pytest.approx(3.1, abs=0.4)
+
+    def test_counting_dynamic_is_11_percent_of_llc(self, reports):
+        assert reports["counting"].llc_dynamic_percent == pytest.approx(11.0, abs=1.5)
+
+    def test_sampler_leakage_is_1_2_percent_of_llc(self, reports):
+        assert reports["sampler"].llc_leakage_percent == pytest.approx(1.2, abs=0.2)
+
+    def test_reftrace_leakage_is_2_9_percent_of_llc(self, reports):
+        assert reports["reftrace"].llc_leakage_percent == pytest.approx(2.9, abs=0.3)
+
+    def test_counting_leakage_is_4_7_percent_of_llc(self, reports):
+        assert reports["counting"].llc_leakage_percent == pytest.approx(4.7, abs=0.8)
+
+    def test_sampler_dynamic_under_60_percent_of_reftrace(self, reports):
+        """Paper: sampler dynamic is 57% of reftrace's."""
+        ratio = reports["sampler"].total_dynamic / reports["reftrace"].total_dynamic
+        assert ratio == pytest.approx(0.57, abs=0.08)
+
+    def test_sampler_dynamic_under_30_percent_of_counting(self, reports):
+        """Paper: sampler dynamic is 28% of counting's."""
+        ratio = reports["sampler"].total_dynamic / reports["counting"].total_dynamic
+        assert ratio == pytest.approx(0.28, abs=0.05)
+
+    def test_sampler_leakage_40_percent_of_reftrace(self, reports):
+        ratio = reports["sampler"].total_leakage / reports["reftrace"].total_leakage
+        assert ratio == pytest.approx(0.40, abs=0.08)
+
+    def test_totals_are_component_sums(self, reports):
+        for report in reports.values():
+            assert report.total_leakage == pytest.approx(
+                report.structure_leakage + report.metadata_leakage
+            )
+            assert report.total_dynamic == pytest.approx(
+                report.structure_dynamic + report.metadata_dynamic
+            )
+
+
+class TestCactiLite:
+    def test_leakage_proportional_to_bits(self):
+        model = CactiLite()
+        small = model.leakage_watts(SRAMArray("a", bits=1000))
+        large = model.leakage_watts(SRAMArray("b", bits=2000))
+        assert large == pytest.approx(2 * small)
+
+    def test_tag_arrays_leak_more(self):
+        model = CactiLite()
+        ram = model.leakage_watts(SRAMArray("a", bits=1000))
+        tag = model.leakage_watts(SRAMArray("b", bits=1000, tag_array=True))
+        assert tag > ram
+
+    def test_dynamic_grows_with_size(self):
+        model = CactiLite()
+        small = model.dynamic_watts(SRAMArray("a", bits=8 * 1024 * 8))
+        large = model.dynamic_watts(SRAMArray("b", bits=32 * 1024 * 8))
+        assert large > small
+
+    def test_banking_is_cheaper_than_monolith(self):
+        """Three small banks cost less than one array of the same total."""
+        model = CactiLite()
+        banked = model.dynamic_watts(SRAMArray("a", bits=3 * 4096 * 2, banks=3))
+        monolith = model.dynamic_watts(SRAMArray("b", bits=3 * 4096 * 2, banks=1))
+        assert banked < monolith * 3
+
+    def test_metadata_bits_add_dynamic(self):
+        model = CactiLite()
+        without = model.dynamic_watts(SRAMArray("a", bits=1024))
+        with_meta = model.dynamic_watts(SRAMArray("a", bits=1024, metadata_bits=16))
+        assert with_meta > without
+
+    def test_rejects_zero_bank_size(self):
+        from repro.power.cacti import _interpolate_dynamic
+
+        with pytest.raises(ValueError):
+            _interpolate_dynamic(0)
+
+    def test_llc_fractions(self):
+        model = CactiLite()
+        assert model.llc_fraction_dynamic(LLC_DYNAMIC_WATTS) == pytest.approx(1.0)
+        assert model.llc_fraction_leakage(LLC_LEAKAGE_WATTS) == pytest.approx(1.0)

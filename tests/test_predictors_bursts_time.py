@@ -1,0 +1,136 @@
+"""Tests for the bursts filter and the time-based predictor."""
+
+import pytest
+
+from repro.cache import Cache, CacheAccess, CacheGeometry
+from repro.core import DBRBPolicy
+from repro.predictors import BurstFilter, RefTracePredictor, TimeBasedPredictor
+from repro.replacement import LRUPolicy
+
+
+def small_cache(predictor, sets=2, assoc=2, bypass=False):
+    geometry = CacheGeometry(size_bytes=sets * assoc * 64, associativity=assoc)
+    policy = DBRBPolicy(LRUPolicy(), predictor, enable_bypass=bypass)
+    return Cache(geometry, policy)
+
+
+class TestBurstFilter:
+    def test_repeated_touches_absorbed(self):
+        """Consecutive accesses to the same MRU block are one burst: the
+        inner predictor must see far fewer events than the raw stream."""
+        inner = RefTracePredictor()
+        predictor = BurstFilter(inner)
+        cache = small_cache(predictor, sets=1, assoc=2)
+        seq = 0
+        for _ in range(10):
+            for _ in range(8):  # 8 consecutive touches = 1 burst
+                cache.access(CacheAccess(address=0, pc=0x5, seq=seq)); seq += 1
+            cache.access(CacheAccess(address=64, pc=0x6, seq=seq)); seq += 1
+        assert predictor.raw_events > 3 * predictor.burst_events
+
+    def test_burst_boundary_on_other_block(self):
+        inner = RefTracePredictor()
+        predictor = BurstFilter(inner)
+        cache = small_cache(predictor, sets=1, assoc=2)
+        cache.access(CacheAccess(address=0, pc=0x5, seq=0))
+        assert predictor.burst_events == 0  # burst on block 0 still open
+        cache.access(CacheAccess(address=64, pc=0x6, seq=1))
+        assert predictor.burst_events == 1  # block 0's burst closed
+
+    def test_different_sets_have_independent_bursts(self):
+        inner = RefTracePredictor()
+        predictor = BurstFilter(inner)
+        cache = small_cache(predictor, sets=2, assoc=2)
+        cache.access(CacheAccess(address=0, pc=0x5, seq=0))     # set 0
+        cache.access(CacheAccess(address=64, pc=0x6, seq=1))    # set 1
+        # Neither burst closed: the blocks are in different sets.
+        assert predictor.burst_events == 0
+
+    def test_eviction_flushes_open_burst(self):
+        inner = RefTracePredictor()
+        predictor = BurstFilter(inner)
+        cache = small_cache(predictor, sets=1, assoc=1)
+        cache.access(CacheAccess(address=0, pc=0x5, seq=0))
+        cache.access(CacheAccess(address=64, pc=0x6, seq=1))  # evicts block 0
+        # Block 0's (fill) burst was flushed before its eviction trained.
+        signature = inner._initial_signature(0x5)
+        assert inner.table[signature] == 1
+
+    def test_bursting_block_never_dead(self):
+        inner = RefTracePredictor()
+        predictor = BurstFilter(inner)
+        cache = small_cache(predictor, sets=1, assoc=2)
+        cache.access(CacheAccess(address=0, pc=0x5, seq=0))
+        assert not predictor.is_dead_now(0, cache.find(0, 0), now=1)
+
+    def test_llc_bursts_are_mostly_length_one(self):
+        """Paper Section II-A.3: at the LLC (post-L1 filtering) bursts
+        degenerate -- with no consecutive re-touches, burst count equals
+        raw access count and the filter buys nothing."""
+        inner = RefTracePredictor()
+        predictor = BurstFilter(inner)
+        cache = small_cache(predictor, sets=1, assoc=2)
+        seq = 0
+        for i in range(50):  # alternating blocks: every access ends a burst
+            cache.access(CacheAccess(address=(i % 2) * 64, pc=0x5, seq=seq))
+            seq += 1
+        assert predictor.burst_events >= predictor.raw_events - 2
+
+
+class TestTimeBasedPredictor:
+    def test_rejects_bad_multiplier(self):
+        with pytest.raises(ValueError):
+            TimeBasedPredictor(multiplier=0)
+
+    def test_block_dead_after_twice_live_time(self):
+        predictor = TimeBasedPredictor(multiplier=2)
+        cache = small_cache(predictor, sets=1, assoc=2)
+        # Generation 1: block 0 lives for 10 sequence units.
+        cache.access(CacheAccess(address=0, pc=0x5, seq=0))
+        cache.access(CacheAccess(address=0, pc=0x5, seq=10))
+        cache.access(CacheAccess(address=64, pc=0x6, seq=11))
+        cache.access(CacheAccess(address=128, pc=0x7, seq=12))  # evicts 0
+        assert predictor.live_times[predictor._context(0x5)] == 10
+        # Generation 2: refill, then idle past 2x10.
+        cache.access(CacheAccess(address=0, pc=0x5, seq=13))
+        way = cache.find(0, 0)
+        assert not predictor.is_dead_now(0, way, now=20)
+        assert predictor.is_dead_now(0, way, now=40)
+
+    def test_live_time_smoothing(self):
+        predictor = TimeBasedPredictor()
+        cache = small_cache(predictor, sets=1, assoc=1)
+        # Gen 1 live time 10; gen 2 live time 30 -> smoothed (10+30)/2 = 20.
+        cache.access(CacheAccess(address=0, pc=0x5, seq=0))
+        cache.access(CacheAccess(address=0, pc=0x5, seq=10))
+        cache.access(CacheAccess(address=64, pc=0x6, seq=11))
+        cache.access(CacheAccess(address=0, pc=0x5, seq=12))
+        cache.access(CacheAccess(address=0, pc=0x5, seq=42))
+        cache.access(CacheAccess(address=64, pc=0x6, seq=43))
+        assert predictor.live_times[predictor._context(0x5)] == 20
+
+    def test_reference_counting_variant(self):
+        predictor = TimeBasedPredictor(count_references=True, multiplier=2)
+        cache = small_cache(predictor, sets=1, assoc=2)
+        seq = 0
+        # Block 0: touched, then 2 other references, touched again (live
+        # span of 3 set references), then evicted.
+        cache.access(CacheAccess(address=0, pc=0x5, seq=seq)); seq += 1
+        cache.access(CacheAccess(address=64, pc=0x6, seq=seq)); seq += 1
+        cache.access(CacheAccess(address=64, pc=0x6, seq=seq)); seq += 1
+        cache.access(CacheAccess(address=0, pc=0x5, seq=seq)); seq += 1
+        cache.access(CacheAccess(address=128, pc=0x7, seq=seq)); seq += 1  # evicts 64
+        cache.access(CacheAccess(address=192, pc=0x8, seq=seq)); seq += 1  # evicts 0
+        assert predictor.live_times[predictor._context(0x5)] == 3
+        # Refill and idle in reference counts.
+        cache.access(CacheAccess(address=0, pc=0x5, seq=seq)); seq += 1
+        way = cache.find(0, 0)
+        for _ in range(10):
+            cache.access(CacheAccess(address=64, pc=0x6, seq=seq)); seq += 1
+        assert predictor.is_dead_now(0, way, now=seq)
+
+    def test_untrained_block_not_dead(self):
+        predictor = TimeBasedPredictor()
+        cache = small_cache(predictor, sets=1, assoc=2)
+        cache.access(CacheAccess(address=0, pc=0x5, seq=0))
+        assert not predictor.is_dead_now(0, cache.find(0, 0), now=1)

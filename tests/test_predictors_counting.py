@@ -1,0 +1,125 @@
+"""Tests for the counting (LvP) predictor and the AIP variant."""
+
+import pytest
+
+from repro.cache import Cache, CacheAccess, CacheGeometry
+from repro.core import DBRBPolicy
+from repro.predictors import AIPPredictor, CountingPredictor
+from repro.replacement import LRUPolicy
+
+
+def small_cache(predictor, sets=4, assoc=2, bypass=True):
+    geometry = CacheGeometry(size_bytes=sets * assoc * 64, associativity=assoc)
+    policy = DBRBPolicy(LRUPolicy(), predictor, enable_bypass=bypass)
+    return Cache(geometry, policy)
+
+
+class TestCountingConstruction:
+    def test_matrix_dimensions(self):
+        predictor = CountingPredictor(pc_bits=8, addr_bits=8)
+        assert len(predictor.counts) == 256 * 256
+        assert len(predictor.confidences) == 256 * 256
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            CountingPredictor(pc_bits=0)
+
+
+class TestLvPLearning:
+    def test_needs_two_matching_generations(self):
+        """LvP's one-bit confidence: the access count must repeat across
+        two generations before predictions fire."""
+        predictor = CountingPredictor()
+        cache = small_cache(predictor, sets=1, assoc=1, bypass=False)
+        pc = 0x30
+        # Generation 1: block 0 accessed twice (fill + hit), then evicted.
+        cache.access(CacheAccess(address=0, pc=pc, seq=0))
+        cache.access(CacheAccess(address=0, pc=pc, seq=1))
+        cache.access(CacheAccess(address=64, pc=0x99, seq=2))  # evict
+        # After one generation: count learned but confidence 0.
+        index = predictor._entry_index(
+            predictor._hash_pc(pc), 0  # block 0's address hash is 0
+        )
+        assert predictor.counts[index] == 2
+        assert predictor.confidences[index] == 0
+        # Generation 2: same behaviour -> confidence set.
+        cache.access(CacheAccess(address=0, pc=pc, seq=3))
+        cache.access(CacheAccess(address=0, pc=pc, seq=4))
+        cache.access(CacheAccess(address=64, pc=0x99, seq=5))
+        assert predictor.confidences[index] == 1
+        # Generation 3: after the second access the block is predicted dead.
+        cache.access(CacheAccess(address=0, pc=pc, seq=6))
+        cache.access(CacheAccess(address=0, pc=pc, seq=7))
+        (_, way, block), = (
+            entry for entry in cache.resident_blocks()
+            if entry[2].tag == cache.geometry.tag(0)
+        )
+        assert block.predicted_dead
+
+    def test_changed_behaviour_clears_confidence(self):
+        predictor = CountingPredictor()
+        cache = small_cache(predictor, sets=1, assoc=1, bypass=False)
+        pc = 0x30
+        # Gen 1: 2 accesses.  Gen 2: 3 accesses -> confidence must drop.
+        for seq, (address, access_pc) in enumerate(
+            [(0, pc), (0, pc), (64, 0x99), (0, pc), (0, pc), (0, pc), (64, 0x99)]
+        ):
+            cache.access(CacheAccess(address=address, pc=access_pc, seq=seq))
+        index = predictor._entry_index(predictor._hash_pc(pc), 0)
+        assert predictor.confidences[index] == 0
+        assert predictor.counts[index] == 3
+
+    def test_dead_on_arrival_bypass(self):
+        """Single-touch blocks (count 1, twice in a row) bypass on the
+        third generation."""
+        predictor = CountingPredictor()
+        cache = small_cache(predictor, sets=1, assoc=2, bypass=True)
+        pc = 0x44
+        seq = 0
+        for _ in range(3):
+            cache.access(CacheAccess(address=0, pc=pc, seq=seq)); seq += 1
+            cache.access(CacheAccess(address=64, pc=0x1, seq=seq)); seq += 1
+            cache.access(CacheAccess(address=128, pc=0x2, seq=seq)); seq += 1
+            cache.access(CacheAccess(address=192, pc=0x3, seq=seq)); seq += 1
+        assert cache.stats.bypasses > 0
+
+    def test_count_saturates_at_four_bits(self):
+        predictor = CountingPredictor(count_bits=4)
+        cache = small_cache(predictor, sets=1, assoc=1, bypass=False)
+        for seq in range(40):
+            cache.access(CacheAccess(address=0, pc=0x5, seq=seq))
+        (_, _, block), = cache.resident_blocks()
+        assert block.meta["lvp_count"] == 15
+
+
+class TestAIP:
+    def test_runs_and_learns_intervals(self):
+        predictor = AIPPredictor()
+        cache = small_cache(predictor, sets=1, assoc=2, bypass=False)
+        seq = 0
+        for _ in range(6):
+            cache.access(CacheAccess(address=0, pc=0x5, seq=seq)); seq += 1
+            cache.access(CacheAccess(address=64, pc=0x6, seq=seq)); seq += 1
+            cache.access(CacheAccess(address=128, pc=0x7, seq=seq)); seq += 1
+        assert cache.stats.accesses == 18
+
+    def test_is_dead_now_after_long_idle(self):
+        predictor = AIPPredictor()
+        cache = small_cache(predictor, sets=1, assoc=2, bypass=False)
+        seq = 0
+        # Teach: block 0 touched every other set-access (interval 2),
+        # across two generations for confidence.
+        for _ in range(2):
+            for _ in range(4):
+                cache.access(CacheAccess(address=0, pc=0x5, seq=seq)); seq += 1
+                cache.access(CacheAccess(address=64, pc=0x6, seq=seq)); seq += 1
+            # evict block 0 by conflicting fills
+            cache.access(CacheAccess(address=128, pc=0x7, seq=seq)); seq += 1
+            cache.access(CacheAccess(address=192, pc=0x8, seq=seq)); seq += 1
+        # Re-fill block 0, then let many other accesses pass.
+        cache.access(CacheAccess(address=0, pc=0x5, seq=seq)); seq += 1
+        way = cache.find(0, cache.geometry.tag(0))
+        assert way is not None
+        for i in range(30):
+            cache.access(CacheAccess(address=64, pc=0x6, seq=seq)); seq += 1
+        assert predictor.is_dead_now(0, way, seq)

@@ -1,0 +1,176 @@
+"""Tests for dead-block-directed prefetching."""
+
+import pytest
+
+from repro.cache import Cache, CacheAccess, CacheGeometry
+from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.prefetch import (
+    CorrelationPrefetcher,
+    NextBlockPrefetcher,
+    PrefetchEngine,
+)
+from repro.replacement import LRUPolicy
+
+
+def make_engine(prefetcher, sets=8, assoc=2):
+    geometry = CacheGeometry(sets * assoc * 64, assoc, 64)
+    cache = Cache(geometry, LRUPolicy())
+    return PrefetchEngine(cache, prefetcher), geometry
+
+
+class TestNextBlockPrefetcher:
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            NextBlockPrefetcher(degree=0)
+
+    def test_predicts_sequential_blocks(self):
+        prefetcher = NextBlockPrefetcher(degree=3)
+        assert prefetcher.predict(10) == [11, 12, 13]
+
+
+class TestCorrelationPrefetcher:
+    def test_learns_miss_pairs(self):
+        prefetcher = CorrelationPrefetcher()
+        prefetcher.observe_miss(100)
+        prefetcher.observe_miss(250)
+        assert prefetcher.predict(100) == [250]
+
+    def test_most_recent_successor_first(self):
+        prefetcher = CorrelationPrefetcher(ways=2)
+        for successor in (250, 300):
+            prefetcher.observe_miss(100)
+            prefetcher.observe_miss(successor)
+        assert prefetcher.predict(100) == [300, 250]
+
+    def test_ways_bounded(self):
+        prefetcher = CorrelationPrefetcher(ways=2)
+        for successor in (250, 300, 350):
+            prefetcher.observe_miss(100)
+            prefetcher.observe_miss(successor)
+        assert len(prefetcher.predict(100)) == 2
+
+    def test_cold_trigger_predicts_nothing(self):
+        assert CorrelationPrefetcher().predict(7) == []
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            CorrelationPrefetcher(ways=0)
+
+    def test_repeated_same_block_not_self_linked(self):
+        prefetcher = CorrelationPrefetcher()
+        prefetcher.observe_miss(100)
+        prefetcher.observe_miss(100)
+        assert prefetcher.predict(100) == []
+
+
+class TestPrefetchEngine:
+    def test_sequential_stream_gets_covered(self):
+        """Next-block prefetching over a stream that fits in the cache's
+        invalid frames: two of every three accesses hit on prefetches."""
+        engine, geometry = make_engine(NextBlockPrefetcher(degree=2))
+        hits = [
+            engine.access(CacheAccess(address=block * 64, pc=0x1, seq=block))
+            for block in range(12)  # 16 frames: everything placeable
+        ]
+        engine.finalize()
+        assert sum(hits) >= 7
+        assert engine.stats.issued >= 7
+        assert engine.stats.accuracy > 0.8
+
+    def test_without_dead_frames_prefetching_starves(self):
+        """The defining constraint: once the cache fills with predicted-
+        live blocks, dead-block prefetching has nowhere to put data."""
+        engine, geometry = make_engine(NextBlockPrefetcher(degree=2))
+        for block in range(100):
+            engine.access(CacheAccess(address=block * 64, pc=0x1, seq=block))
+        # After the 16 frames fill, every prefetch is rejected.
+        assert engine.stats.rejected_no_dead_frame > 40
+
+    def test_prefetch_only_into_invalid_or_dead_frames(self):
+        """A set full of predicted-live blocks must reject prefetches."""
+        engine, geometry = make_engine(NextBlockPrefetcher(degree=1), sets=2, assoc=2)
+        cache = engine.cache
+        # Fill set 0 with two live blocks (blocks 0 and 2 -> set 0).
+        for seq, block in enumerate((0, 2)):
+            cache.access(CacheAccess(address=block * 64, pc=0x1, seq=seq))
+        # Miss on block 3 (set 1) predicts block 4 (set 0): must be rejected.
+        engine.access(CacheAccess(address=3 * 64, pc=0x1, seq=5))
+        assert engine.stats.rejected_no_dead_frame == 1
+        assert not cache.contains(4 * 64)
+
+    def test_prefetch_into_dead_frame(self):
+        engine, geometry = make_engine(NextBlockPrefetcher(degree=1), sets=2, assoc=2)
+        cache = engine.cache
+        for seq, block in enumerate((0, 2)):
+            cache.access(CacheAccess(address=block * 64, pc=0x1, seq=seq))
+        # Mark block 2's frame dead: prefetch of block 4 may now displace it.
+        set_index = geometry.set_index(2 * 64)
+        way = cache.find(set_index, geometry.tag(2 * 64))
+        cache.sets[set_index][way].predicted_dead = True
+        engine.access(CacheAccess(address=3 * 64, pc=0x1, seq=5))
+        assert cache.contains(4 * 64)
+        assert not cache.contains(2 * 64)
+
+    def test_useful_prefetch_accounting(self):
+        engine, geometry = make_engine(NextBlockPrefetcher(degree=1))
+        engine.access(CacheAccess(address=0, pc=0x1, seq=0))    # miss, pf block 1
+        hit = engine.access(CacheAccess(address=64, pc=0x1, seq=1))
+        assert hit
+        assert engine.stats.useful == 1
+
+    def test_wasted_prefetch_accounting(self):
+        engine, geometry = make_engine(NextBlockPrefetcher(degree=1), sets=2, assoc=1)
+        engine.access(CacheAccess(address=0, pc=0x1, seq=0))      # pf block 1 (set 1)
+        engine.access(CacheAccess(address=3 * 64, pc=0x1, seq=1))  # set 1: evicts pf
+        engine.finalize()
+        assert engine.stats.wasted >= 1
+
+    def test_already_resident_not_reissued(self):
+        engine, geometry = make_engine(NextBlockPrefetcher(degree=1))
+        engine.access(CacheAccess(address=64, pc=0x1, seq=0))  # block 1 resident
+        engine.access(CacheAccess(address=0, pc=0x1, seq=1))   # pf target = block 1
+        assert engine.stats.already_resident == 1
+
+    def test_with_dbrb_policy_on_stream(self):
+        """Integration: the sampling predictor marks stream blocks dead,
+        opening frames that sequential prefetching then fills."""
+        geometry = CacheGeometry(32 * 4 * 64, 4, 64)
+        policy = DBRBPolicy(
+            LRUPolicy(),
+            SamplingDeadBlockPredictor(sampler_assoc=4),
+            enable_bypass=False,  # prefetch study: keep fills observable
+        )
+        cache = Cache(geometry, policy)
+        engine = PrefetchEngine(cache, NextBlockPrefetcher(degree=2))
+        hits = [
+            engine.access(CacheAccess(address=block * 64, pc=0x5, seq=block))
+            for block in range(1500)
+        ]
+        assert sum(hits[500:]) > 500  # the stream is largely covered
+
+
+class TestCacheInsert:
+    def test_insert_rejects_bad_way(self):
+        geometry = CacheGeometry(2 * 2 * 64, 2, 64)
+        cache = Cache(geometry, LRUPolicy())
+        with pytest.raises(ValueError):
+            cache.insert(CacheAccess(address=0, pc=0, seq=0), way=5)
+
+    def test_insert_rejects_duplicate_block(self):
+        geometry = CacheGeometry(2 * 2 * 64, 2, 64)
+        cache = Cache(geometry, LRUPolicy())
+        cache.access(CacheAccess(address=0, pc=0, seq=0))
+        resident_way = cache.find(0, 0)
+        other_way = 1 - resident_way
+        with pytest.raises(ValueError):
+            cache.insert(CacheAccess(address=0, pc=0, seq=1), way=other_way)
+
+    def test_insert_evicts_occupant(self):
+        geometry = CacheGeometry(2 * 2 * 64, 2, 64)
+        cache = Cache(geometry, LRUPolicy())
+        cache.access(CacheAccess(address=0, pc=0, seq=0))
+        way = cache.find(0, 0)
+        cache.insert(CacheAccess(address=4 * 64, pc=0, seq=1), way=way)
+        assert not cache.contains(0)
+        assert cache.contains(4 * 64)
+        assert cache.stats.evictions == 1

@@ -1,0 +1,83 @@
+"""Unit and property tests for LRU replacement."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Cache
+from repro.replacement import LRUPolicy
+
+from tests.conftest import replay, simulate_lru_reference, tiny_geometry
+
+
+class TestLRUBasics:
+    def test_stack_order_after_fills(self):
+        geometry = tiny_geometry(sets=1, assoc=4)
+        cache = Cache(geometry, LRUPolicy())
+        replay(cache, [0, 1, 2, 3])
+        policy: LRUPolicy = cache.policy
+        # Most recent fill (block 3, way 3) must be MRU.
+        assert policy.recency_order(0)[0] == 3
+        assert policy.recency_order(0)[-1] == 0
+
+    def test_hit_promotes_to_mru(self):
+        geometry = tiny_geometry(sets=1, assoc=4)
+        cache = Cache(geometry, LRUPolicy())
+        replay(cache, [0, 1, 2, 3, 0])
+        assert cache.policy.stack_position(0, 0) == 0
+
+    def test_victim_is_lru(self):
+        geometry = tiny_geometry(sets=1, assoc=2)
+        cache = Cache(geometry, LRUPolicy())
+        replay(cache, [0, 1, 2])  # evicts block 0
+        assert not cache.contains(0)
+        assert cache.contains(64)   # block 1
+        assert cache.contains(128)  # block 2
+
+    def test_classic_abcab_pattern(self):
+        geometry = tiny_geometry(sets=1, assoc=2)
+        cache = Cache(geometry, LRUPolicy())
+        # A B A: A promoted; C evicts B, not A.
+        replay(cache, [0, 1, 0, 2])
+        assert cache.contains(0)
+        assert not cache.contains(64)
+
+    def test_stack_property_smaller_cache_subset(self):
+        """The LRU stack (inclusion) property: every hit in a 2-way LRU cache
+        is also a hit in a 4-way LRU cache with the same number of sets."""
+        pattern = [0, 1, 2, 0, 3, 1, 0, 2, 2, 1, 4, 0, 5, 1, 0]
+        small = Cache(tiny_geometry(sets=1, assoc=2), LRUPolicy())
+        large = Cache(tiny_geometry(sets=1, assoc=4), LRUPolicy())
+        small_hits = replay(small, pattern)
+        large_hits = replay(large, pattern)
+        for small_hit, large_hit in zip(small_hits, large_hits):
+            assert not small_hit or large_hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    blocks=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300),
+    sets_log=st.integers(min_value=0, max_value=3),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+)
+def test_lru_matches_reference_oracle(blocks, sets_log, assoc):
+    """Property: the Cache+LRUPolicy pair behaves exactly like an
+    independently written LRU oracle on arbitrary access strings."""
+    sets = 1 << sets_log
+    cache = Cache(tiny_geometry(sets=sets, assoc=assoc), LRUPolicy())
+    expected = simulate_lru_reference(blocks, sets, assoc)
+    actual = replay(cache, blocks)
+    assert actual == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    blocks=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200),
+)
+def test_lru_inclusion_property(blocks):
+    """Property: for any access string, hits in an A-way LRU cache are a
+    subset of hits in a 2A-way LRU cache (the classic stack property)."""
+    small = Cache(tiny_geometry(sets=2, assoc=2), LRUPolicy())
+    large = Cache(tiny_geometry(sets=2, assoc=4), LRUPolicy())
+    small_hits = replay(small, blocks)
+    large_hits = replay(large, blocks)
+    assert all(large for small, large in zip(small_hits, large_hits) if small)

@@ -1,0 +1,102 @@
+"""Tests for random and tree-PLRU replacement."""
+
+import pytest
+
+from repro.cache import Cache
+from repro.replacement import LRUPolicy, RandomPolicy, TreePLRUPolicy
+
+from tests.conftest import replay, tiny_geometry
+
+
+class TestRandomPolicy:
+    def test_reproducible_with_same_seed(self):
+        pattern = list(range(12)) * 3
+        results = []
+        for _ in range(2):
+            cache = Cache(tiny_geometry(sets=2, assoc=2), RandomPolicy(seed=99))
+            results.append(replay(cache, pattern))
+        assert results[0] == results[1]
+
+    def test_different_seeds_choose_different_victims(self):
+        from repro.cache import CacheObserver
+
+        class WayRecorder(CacheObserver):
+            def __init__(self):
+                self.ways = []
+
+            def on_evict(self, set_index, way, block, access):
+                self.ways.append((set_index, way))
+
+        pattern = list(range(24)) * 4
+        recordings = []
+        for seed in (1, 2):
+            cache = Cache(tiny_geometry(sets=2, assoc=2), RandomPolicy(seed=seed))
+            recorder = WayRecorder()
+            cache.add_observer(recorder)
+            replay(cache, pattern)
+            recordings.append(recorder.ways)
+        # ~88 evictions of 1 random bit each: identical sequences for two
+        # seeds would mean the streams are correlated.
+        assert recordings[0] != recordings[1]
+
+    def test_victims_cover_all_ways(self):
+        geometry = tiny_geometry(sets=1, assoc=4)
+        cache = Cache(geometry, RandomPolicy(seed=5))
+        evicted_ways = set()
+
+        from repro.cache import CacheObserver
+
+        class WayRecorder(CacheObserver):
+            def on_evict(self, set_index, way, block, access):
+                evicted_ways.add(way)
+
+        cache.add_observer(WayRecorder())
+        replay(cache, list(range(200)))
+        assert evicted_ways == {0, 1, 2, 3}
+
+    def test_hits_still_happen(self):
+        geometry = tiny_geometry(sets=1, assoc=4)
+        cache = Cache(geometry, RandomPolicy(seed=5))
+        hits = replay(cache, [0, 1, 0, 1, 0, 1])
+        assert hits == [False, False, True, True, True, True]
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two_assoc(self):
+        # Construct an 8-block, 2-set, 4-way geometry but claim 3 ways:
+        # geometry validation rejects non-dividing assoc first, so build a
+        # legal 12-block geometry with 3 ways.
+        from repro.cache.geometry import CacheGeometry
+
+        geometry = CacheGeometry(size_bytes=3 * 4 * 64, associativity=3, block_bytes=64)
+        with pytest.raises(ValueError):
+            Cache(geometry, TreePLRUPolicy())
+
+    def test_assoc_two_matches_true_lru(self):
+        """With 2 ways, tree PLRU degenerates to exact LRU."""
+        pattern = [0, 1, 2, 0, 1, 2, 3, 0, 3, 1, 2, 0, 0, 1]
+        plru = Cache(tiny_geometry(sets=2, assoc=2), TreePLRUPolicy())
+        lru = Cache(tiny_geometry(sets=2, assoc=2), LRUPolicy())
+        assert replay(plru, pattern) == replay(lru, pattern)
+
+    def test_most_recent_block_never_victimized(self):
+        geometry = tiny_geometry(sets=1, assoc=4)
+        cache = Cache(geometry, TreePLRUPolicy())
+        replay(cache, [0, 1, 2, 3])
+        # Touch block 3 (way 3), then force an eviction: way 3 must survive.
+        replay_result = replay(cache, [3, 4])
+        assert replay_result == [True, False]
+        assert cache.contains(3 * 64)
+
+    def test_fills_all_ways_before_evicting(self):
+        geometry = tiny_geometry(sets=1, assoc=8)
+        cache = Cache(geometry, TreePLRUPolicy())
+        replay(cache, list(range(8)))
+        assert cache.stats.evictions == 0
+        assert len(list(cache.resident_blocks())) == 8
+
+    def test_repeated_scans_evict_everything_eventually(self):
+        geometry = tiny_geometry(sets=1, assoc=4)
+        cache = Cache(geometry, TreePLRUPolicy())
+        replay(cache, list(range(100)))
+        assert cache.stats.evictions == 96

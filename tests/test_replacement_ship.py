@@ -1,0 +1,109 @@
+"""Tests for the SHiP follow-on insertion policy."""
+
+import pytest
+
+from repro.cache import Cache, CacheAccess, CacheGeometry
+from repro.replacement import LRUPolicy, SHiPPolicy, SRRIPPolicy
+
+from tests.conftest import replay, tiny_geometry
+
+
+def small_cache(sets=4, assoc=4, ratio=1):
+    geometry = tiny_geometry(sets=sets, assoc=assoc)
+    policy = SHiPPolicy(sampled_set_ratio=ratio)
+    return Cache(geometry, policy), policy
+
+
+class TestConstruction:
+    def test_shct_size(self):
+        policy = SHiPPolicy(signature_bits=14)
+        assert len(policy.shct) == 1 << 14
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            SHiPPolicy(sampled_set_ratio=0)
+
+    def test_counters_start_weakly_reusing(self):
+        policy = SHiPPolicy()
+        assert all(value == 1 for value in policy.shct)
+
+
+class TestLearning:
+    def test_reuse_increments_signature(self):
+        cache, policy = small_cache()
+        signature = policy._signature_of(0x500)
+        replay(cache, [0, 0], pc=0x500)  # fill + re-reference in sampled set
+        assert policy.shct[signature] == 2
+
+    def test_no_reuse_decrements_on_eviction(self):
+        cache, policy = small_cache(sets=1, assoc=2)
+        signature = policy._signature_of(0x500)
+        # Stream single-touch blocks through: each eviction decrements.
+        replay(cache, [0, 1, 2, 3, 4], pc=0x500)
+        assert policy.shct[signature] == 0
+
+    def test_reuse_counted_once_per_generation(self):
+        cache, policy = small_cache()
+        signature = policy._signature_of(0x500)
+        replay(cache, [0, 0, 0, 0], pc=0x500)  # many hits, one generation
+        assert policy.shct[signature] == 2
+
+    def test_unsampled_sets_do_not_train(self):
+        cache, policy = small_cache(sets=4, ratio=4)  # only set 0 sampled
+        signature = policy._signature_of(0x500)
+        replay(cache, [1, 1], pc=0x500)  # set 1: unsampled
+        assert policy.shct[signature] == 1  # untouched
+
+
+class TestInsertion:
+    def test_dead_signature_inserts_distant(self):
+        cache, policy = small_cache(sets=1, assoc=2)
+        replay(cache, [0, 1, 2, 3, 4], pc=0x500)  # trains SHCT to 0
+        cache.access(CacheAccess(address=9 * 64, pc=0x500, seq=99))
+        way = cache.find(0, cache.geometry.tag(9 * 64))
+        assert policy._rrpv[0][way] == policy.rrpv_max
+
+    def test_reusing_signature_inserts_long(self):
+        cache, policy = small_cache(sets=1, assoc=4)
+        cache.access(CacheAccess(address=0, pc=0x700, seq=0))
+        way = cache.find(0, 0)
+        assert policy._rrpv[0][way] == policy.rrpv_max - 1
+
+    def test_ship_protects_hot_set_from_long_scans(self):
+        """The SHiP value proposition: single-touch scan signatures learn
+        distant insertion, so arbitrarily long scans evict each other while
+        the re-used working set keeps its near-RRPV -- SRRIP, whose scans
+        insert at the *long* interval, ages the hot blocks out once a scan
+        burst exceeds what its RRPV range can absorb."""
+
+        def workload(cache):
+            seq = 0
+            stream = 1 << 14
+            hits = 0
+            total = 0
+            for _ in range(30):
+                for hot in range(8):  # 2 hot blocks per set
+                    for _ in range(2):  # touched twice: shallow reuse
+                        hit = cache.access(
+                            CacheAccess(address=hot * 64, pc=0x100, seq=seq)
+                        )
+                        hits += hit
+                        total += 1
+                        seq += 1
+                for _ in range(128):  # a long single-touch scan burst
+                    cache.access(
+                        CacheAccess(address=stream * 64, pc=0x200, seq=seq)
+                    )
+                    stream += 1
+                    seq += 1
+            return hits / total
+
+        ship_cache, _ = small_cache(sets=4, assoc=4)
+        srrip_cache = Cache(tiny_geometry(sets=4, assoc=4), SRRIPPolicy())
+        assert workload(ship_cache) > workload(srrip_cache) + 0.1
+
+    def test_ship_comparable_on_friendly_reuse(self):
+        pattern = [0, 1, 2, 3] * 30
+        ship_cache, _ = small_cache(sets=4, assoc=4)
+        lru_cache = Cache(tiny_geometry(sets=4, assoc=4), LRUPolicy())
+        assert sum(replay(ship_cache, pattern)) >= sum(replay(lru_cache, pattern)) - 2

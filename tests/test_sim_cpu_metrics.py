@@ -1,0 +1,126 @@
+"""Tests for the timing model and the metrics helpers."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.sim.cpu import CoreModel
+from repro.sim.hierarchy import FilteredTrace, MachineConfig
+from repro.sim.metrics import geometric_mean, normalized_value, weighted_speedup
+from repro.sim.trace import Trace, TraceRecord
+
+
+def machine() -> MachineConfig:
+    return MachineConfig(
+        l1=CacheGeometry(2 * 2 * 64, 2, 64),
+        l2=CacheGeometry(4 * 4 * 64, 4, 64),
+        llc=CacheGeometry(16 * 8 * 64, 8, 64),
+    )
+
+
+def make_filtered(records, levels):
+    trace = Trace("t", records)
+    llc_indices = [i for i, level in enumerate(levels) if level == 3]
+    return FilteredTrace(trace, levels, llc_indices)
+
+
+def rec(gap=3, depends=False, pc=1, address=0):
+    return TraceRecord(pc, address, False, gap, depends)
+
+
+class TestCoreModel:
+    def test_all_l1_hits_issue_bound(self):
+        """With only L1 hits, IPC approaches the machine width."""
+        records = [rec(gap=3) for _ in range(1000)]
+        filtered = make_filtered(records, [1] * 1000)
+        timing = CoreModel(machine()).run(filtered, [])
+        assert timing.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_independent_misses_overlap(self):
+        """Independent LLC misses within the window overlap: total cycles
+        are far less than misses x memory latency."""
+        count = 200
+        records = [rec(gap=3, depends=False) for _ in range(count)]
+        filtered = make_filtered(records, [3] * count)
+        timing = CoreModel(machine()).run(filtered, [False] * count)
+        serialized = count * machine().memory_latency
+        assert timing.cycles < 0.25 * serialized
+
+    def test_dependent_misses_serialize(self):
+        """Pointer-chase misses cannot overlap: cycles approach
+        misses x memory latency."""
+        count = 200
+        records = [rec(gap=3, depends=True) for _ in range(count)]
+        filtered = make_filtered(records, [3] * count)
+        timing = CoreModel(machine()).run(filtered, [False] * count)
+        assert timing.cycles > 0.9 * count * machine().memory_latency
+
+    def test_dependent_slower_than_independent(self):
+        count = 300
+        for depends in (False, True):
+            records = [rec(gap=3, depends=depends) for _ in range(count)]
+            filtered = make_filtered(records, [3] * count)
+            timing = CoreModel(machine()).run(filtered, [False] * count)
+            if depends:
+                dependent_cycles = timing.cycles
+            else:
+                independent_cycles = timing.cycles
+        assert dependent_cycles > 3 * independent_cycles
+
+    def test_llc_hits_faster_than_misses(self):
+        count = 300
+        records = [rec(gap=3) for _ in range(count)]
+        filtered = make_filtered(records, [3] * count)
+        model = CoreModel(machine())
+        hit_cycles = model.run(filtered, [True] * count).cycles
+        miss_cycles = model.run(filtered, [False] * count).cycles
+        assert hit_cycles < miss_cycles
+
+    def test_window_limits_mlp(self):
+        """A 16-entry window must extract less MLP than a 256-entry one."""
+        count = 400
+        records = [rec(gap=7) for _ in range(count)]
+        filtered = make_filtered(records, [3] * count)
+        small = CoreModel(MachineConfig(window=16)).run(filtered, [False] * count)
+        large = CoreModel(MachineConfig(window=256)).run(filtered, [False] * count)
+        assert large.cycles < small.cycles
+
+    def test_hit_vector_length_checked(self):
+        records = [rec()]
+        filtered = make_filtered(records, [3])
+        with pytest.raises(ValueError):
+            CoreModel(machine()).run(filtered, [])
+
+    def test_ipc_zero_cycles_guard(self):
+        from repro.sim.cpu import CoreTiming
+
+        assert CoreTiming(instructions=10, cycles=0).ipc == 0.0
+
+
+class TestMetrics:
+    def test_geometric_mean_basics(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalized_value(self):
+        assert normalized_value(5.0, 10.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            normalized_value(1.0, 0.0)
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_weighted_speedup_validation(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])

@@ -1,0 +1,162 @@
+"""Tests for the single-core runner and the quad-core shared-LLC system."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.replacement import LRUPolicy, OptimalPolicy, annotate_next_use
+from repro.sim import MachineConfig, MulticoreSystem, SingleCoreSystem
+from repro.sim.system import build_llc_accesses
+from repro.sim.trace import Trace, TraceRecord
+from repro.workloads import build_trace
+
+
+def small_machine() -> MachineConfig:
+    return MachineConfig(
+        l1=CacheGeometry(2 * 2 * 64, 2, 64),
+        l2=CacheGeometry(4 * 4 * 64, 4, 64),
+        llc=CacheGeometry(16 * 8 * 64, 8, 64),
+    )
+
+
+def simple_trace(name="t", blocks=200, repeats=3, gap=3):
+    records = []
+    for _ in range(repeats):
+        for block in range(blocks):
+            records.append(TraceRecord(0x400, block * 64, False, gap, False))
+    return Trace(name, records)
+
+
+class TestSingleCoreSystem:
+    def test_run_produces_consistent_result(self):
+        system = SingleCoreSystem(small_machine())
+        filtered = system.prepare(simple_trace())
+        result = system.run(filtered, lambda g, a: LRUPolicy(), "lru")
+        assert result.technique == "lru"
+        assert result.llc_stats.accesses == len(filtered.llc_indices)
+        assert len(result.llc_hits) == len(filtered.llc_indices)
+        assert result.mpki > 0
+        assert result.ipc > 0
+
+    def test_compute_timing_false_skips_ipc(self):
+        system = SingleCoreSystem(small_machine())
+        filtered = system.prepare(simple_trace())
+        result = system.run(
+            filtered, lambda g, a: LRUPolicy(), "lru", compute_timing=False
+        )
+        assert result.timing is None
+        assert result.ipc == 0.0
+
+    def test_build_llc_accesses_seq_is_stream_position(self):
+        system = SingleCoreSystem(small_machine())
+        filtered = system.prepare(simple_trace())
+        accesses = build_llc_accesses(filtered)
+        assert [a.seq for a in accesses] == list(range(len(accesses)))
+
+    def test_optimal_policy_integrates(self):
+        system = SingleCoreSystem(small_machine())
+        filtered = system.prepare(simple_trace())
+        lru = system.run(filtered, lambda g, a: LRUPolicy(), "lru")
+        optimal = system.run(
+            filtered,
+            lambda g, a: OptimalPolicy(annotate_next_use(a, g)),
+            "optimal",
+            compute_timing=False,
+        )
+        assert optimal.llc_stats.misses <= lru.llc_stats.misses
+
+    def test_fewer_misses_means_no_worse_ipc(self):
+        """The timing model must be monotone: an all-hit LLC outcome is at
+        least as fast as an all-miss one."""
+        system = SingleCoreSystem(small_machine())
+        filtered = system.prepare(simple_trace())
+        hits = [True] * len(filtered.llc_indices)
+        misses = [False] * len(filtered.llc_indices)
+        fast = system._core.run(filtered, hits)
+        slow = system._core.run(filtered, misses)
+        assert fast.ipc >= slow.ipc
+
+    def test_llc_geometry_override(self):
+        system = SingleCoreSystem(small_machine())
+        filtered = system.prepare(simple_trace())
+        big = CacheGeometry(64 * 8 * 64, 8, 64)
+        small_result = system.run(filtered, lambda g, a: LRUPolicy(), "s")
+        big_result = system.run(
+            filtered, lambda g, a: LRUPolicy(), "b", llc_geometry=big
+        )
+        assert big_result.llc_stats.misses <= small_result.llc_stats.misses
+
+
+class TestMulticoreSystem:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return MulticoreSystem(small_machine(), num_cores=4)
+
+    @pytest.fixture(scope="class")
+    def prepared(self, system):
+        traces = [
+            simple_trace(name=f"core{i}", blocks=100 + 40 * i) for i in range(4)
+        ]
+        return system.prepare("testmix", traces)
+
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(ValueError):
+            MulticoreSystem(small_machine(), num_cores=0)
+
+    def test_prepare_rejects_wrong_trace_count(self, system):
+        with pytest.raises(ValueError):
+            system.prepare("bad", [simple_trace()])
+
+    def test_shared_geometry_is_four_times_private(self, system):
+        assert system.shared_geometry.size_bytes == 4 * small_machine().llc.size_bytes
+
+    def test_merge_preserves_all_accesses(self, prepared):
+        per_core = sum(len(positions) for positions in prepared.per_core_positions)
+        assert per_core == len(prepared.merged)
+        assert [a.seq for a in prepared.merged] == list(range(len(prepared.merged)))
+
+    def test_merged_stream_interleaves_cores(self, prepared):
+        cores_in_first_quarter = {
+            access.core for access in prepared.merged[: len(prepared.merged) // 4]
+        }
+        assert len(cores_in_first_quarter) == 4  # nobody runs alone up front
+
+    def test_core_address_spaces_disjoint(self, prepared):
+        by_core = {}
+        for access in prepared.merged:
+            by_core.setdefault(access.core, set()).add(access.address >> 44)
+        for core, prefixes in by_core.items():
+            assert prefixes == {core}
+
+    def test_single_ipcs_positive(self, prepared):
+        assert all(ipc > 0 for ipc in prepared.single_ipcs)
+
+    def test_run_produces_per_core_ipcs(self, system, prepared):
+        result = system.run(prepared, lambda g, a, n: LRUPolicy(), "lru")
+        assert len(result.ipcs) == 4
+        assert all(ipc > 0 for ipc in result.ipcs)
+        assert result.weighted_ipc > 0
+        assert result.llc_stats.accesses == len(prepared.merged)
+
+    def test_weighted_ipc_at_most_num_cores(self, system, prepared):
+        """Each thread's shared IPC cannot beat its solo full-cache IPC, so
+        the weighted sum is bounded by the core count (up to timing-model
+        noise from the merged interleaving)."""
+        result = system.run(prepared, lambda g, a, n: LRUPolicy(), "lru")
+        assert result.weighted_ipc <= 4.0 + 0.2
+
+    def test_sampler_not_worse_than_lru_on_real_mix(self):
+        machine = MachineConfig().scaled(32)
+        system = MulticoreSystem(machine, num_cores=4)
+        traces = [
+            build_trace(name, 30_000, machine.llc.size_bytes, seed=3)
+            for name in ("hmmer", "libquantum", "soplex", "gamess")
+        ]
+        prepared = system.prepare("mix", traces)
+        lru = system.run(prepared, lambda g, a, n: LRUPolicy(), "lru")
+        sampler = system.run(
+            prepared,
+            lambda g, a, n: DBRBPolicy(LRUPolicy(), SamplingDeadBlockPredictor()),
+            "sampler",
+        )
+        assert sampler.llc_stats.misses <= lru.llc_stats.misses * 1.02

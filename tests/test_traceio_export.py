@@ -1,0 +1,136 @@
+"""Tests for trace persistence and JSON result export."""
+
+import json
+
+import pytest
+
+from repro.harness import ExperimentConfig, WorkloadCache, single_thread_comparison
+from repro.harness.export import export_json, to_dict
+from repro.sim.trace import Trace, TraceRecord
+from repro.sim.traceio import load_trace, save_trace
+from repro.workloads import build_trace
+
+
+def sample_trace():
+    return Trace(
+        "sample",
+        [
+            TraceRecord(0x400100, 0x1000, False, 3, False),
+            TraceRecord(0x400104, 0x2040, True, 0, False),
+            TraceRecord(0x400108, 0xDEADBEC0, False, 7, True),
+        ],
+    )
+
+
+class TestTraceIO:
+    def test_round_trip(self, tmp_path):
+        original = sample_trace()
+        path = tmp_path / "t.trace"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.name == "sample"
+        assert loaded.records == original.records
+        assert loaded.instructions == original.instructions
+
+    def test_gzip_round_trip(self, tmp_path):
+        original = sample_trace()
+        path = tmp_path / "t.trace.gz"
+        save_trace(original, path)
+        assert load_trace(path).records == original.records
+
+    def test_generated_workload_round_trip(self, tmp_path):
+        original = build_trace("hmmer", 20_000, 64 * 1024)
+        path = tmp_path / "hmmer.trace"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.records == original.records
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(ValueError, match="bad header"):
+            load_trace(path)
+
+    def test_rejects_short_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1 name=x\n400 1000 R\n")
+        with pytest.raises(ValueError, match="expected 5 fields"):
+            load_trace(path)
+
+    def test_rejects_bad_kind(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1 name=x\n400 1000 Q 3 -\n")
+        with pytest.raises(ValueError, match="bad access kind"):
+            load_trace(path)
+
+    def test_rejects_bad_numbers(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1 name=x\nzz 1000 R 3 -\n")
+        with pytest.raises(ValueError, match="malformed numeric"):
+            load_trace(path)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.trace"
+        path.write_text(
+            "# repro-trace v1 name=x\n# comment\n\n400 1000 R 3 -\n"
+        )
+        assert len(load_trace(path)) == 1
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        cache = WorkloadCache(ExperimentConfig(scale=32, instructions=25_000))
+        return single_thread_comparison(
+            cache, technique_keys=("sampler",), benchmarks=("hmmer",)
+        )
+
+    def test_to_dict_structure(self, comparison):
+        data = to_dict(comparison)
+        assert data["kind"] == "single_thread_comparison"
+        assert data["benchmarks"] == ["hmmer"]
+        assert "sampler" in data["normalized_mpki"]["hmmer"]
+        assert "sampler" in data["speedup_gmean"]
+
+    def test_export_json_writes_valid_json(self, comparison, tmp_path):
+        path = tmp_path / "out.json"
+        export_json(comparison, path)
+        data = json.loads(path.read_text())
+        assert data["kind"] == "single_thread_comparison"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_dict(object())
+
+
+class TestExportOtherKinds:
+    @pytest.fixture(scope="class")
+    def cache(self):
+        return WorkloadCache(ExperimentConfig(scale=32, instructions=25_000))
+
+    def test_accuracy_result_serializes(self, cache, tmp_path):
+        from repro.harness import accuracy_experiment
+
+        result = accuracy_experiment(cache, benchmarks=("hmmer",))
+        data = to_dict(result)
+        assert data["kind"] == "accuracy"
+        assert "sampler" in data["mean_coverage"]
+        export_json(result, tmp_path / "a.json")
+        assert json.loads((tmp_path / "a.json").read_text())["kind"] == "accuracy"
+
+    def test_efficiency_result_serializes(self, cache):
+        from repro.harness import efficiency_experiment
+
+        result = efficiency_experiment(cache, benchmark="hmmer")
+        data = to_dict(result)
+        assert data["kind"] == "efficiency"
+        assert 0 <= data["lru_efficiency"] <= 1
+
+    def test_multicore_result_serializes(self, cache):
+        from repro.harness import multicore_comparison
+
+        result = multicore_comparison(cache, ("sampler",), mixes=("mix1",))
+        data = to_dict(result)
+        assert data["kind"] == "multicore_comparison"
+        assert "sampler" in data["normalized_weighted_speedup"]["mix1"]
+        assert "sampler" in data["speedup_gmean"]

@@ -1,0 +1,91 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import bit_field, ilog2, is_power_of_two, mask, sign_extend
+
+
+class TestIsPowerOfTwo:
+    def test_powers_are_recognized(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_zero_is_not(self):
+        assert not is_power_of_two(0)
+
+    def test_negative_is_not(self):
+        assert not is_power_of_two(-4)
+
+    def test_non_powers_are_rejected(self):
+        for value in (3, 5, 6, 7, 9, 12, 100, 1000):
+            assert not is_power_of_two(value)
+
+
+class TestIlog2:
+    def test_round_trip(self):
+        for exponent in range(24):
+            assert ilog2(1 << exponent) == exponent
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            ilog2(12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 0b1
+        assert mask(4) == 0b1111
+        assert mask(15) == 0x7FFF
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitField:
+    def test_documented_example(self):
+        assert bit_field(0b101100, low=2, width=3) == 0b011
+
+    def test_full_value(self):
+        assert bit_field(0xABCD, low=0, width=16) == 0xABCD
+
+    def test_high_bits(self):
+        assert bit_field(0xF0, low=4, width=4) == 0xF
+
+    def test_rejects_negative_low(self):
+        with pytest.raises(ValueError):
+            bit_field(1, low=-1, width=2)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(0, 30), st.integers(1, 20))
+    def test_matches_shift_and_mask(self, value, low, width):
+        assert bit_field(value, low, width) == (value >> low) & ((1 << width) - 1)
+
+
+class TestSignExtend:
+    def test_positive_stays(self):
+        assert sign_extend(0b0111, 4) == 7
+
+    def test_negative_extends(self):
+        assert sign_extend(0b1111, 4) == -1
+        assert sign_extend(0b1000, 4) == -8
+
+    def test_width_one(self):
+        assert sign_extend(1, 1) == -1
+        assert sign_extend(0, 1) == 0
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+    @given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_round_trip_16_bit(self, value):
+        assert sign_extend(value & 0xFFFF, 16) == value

@@ -1,0 +1,68 @@
+"""Unit tests for repro.utils.counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.counters import SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_default_is_two_bit(self):
+        counter = SaturatingCounter()
+        assert counter.maximum == 3
+        assert counter.value == 0
+
+    def test_increment_saturates(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+        assert counter.is_saturated()
+
+    def test_decrement_saturates_at_zero(self):
+        counter = SaturatingCounter(bits=2, initial=1)
+        for _ in range(10):
+            counter.decrement()
+        assert counter.value == 0
+
+    def test_increment_returns_new_value(self):
+        counter = SaturatingCounter(bits=3)
+        assert counter.increment() == 1
+        assert counter.increment() == 2
+
+    def test_initial_value_respected(self):
+        assert SaturatingCounter(bits=4, initial=9).value == 9
+
+    def test_rejects_out_of_range_initial(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=2, initial=4)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+    def test_reset(self):
+        counter = SaturatingCounter(bits=2, initial=3)
+        counter.reset()
+        assert counter.value == 0
+        counter.reset(2)
+        assert counter.value == 2
+
+    def test_reset_rejects_out_of_range(self):
+        counter = SaturatingCounter(bits=2)
+        with pytest.raises(ValueError):
+            counter.reset(4)
+
+    def test_int_conversion(self):
+        assert int(SaturatingCounter(bits=2, initial=2)) == 2
+
+    @given(st.integers(1, 8), st.lists(st.booleans(), max_size=200))
+    def test_always_in_range(self, bits, operations):
+        counter = SaturatingCounter(bits=bits)
+        for up in operations:
+            if up:
+                counter.increment()
+            else:
+                counter.decrement()
+            assert 0 <= counter.value <= counter.maximum

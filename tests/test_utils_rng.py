@@ -1,0 +1,71 @@
+"""Unit tests for repro.utils.rng."""
+
+import pytest
+
+from repro.utils.rng import XorShift64
+
+
+class TestXorShift64:
+    def test_deterministic_for_same_seed(self):
+        a = XorShift64(42)
+        b = XorShift64(42)
+        assert [a.next_u64() for _ in range(20)] == [b.next_u64() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = XorShift64(1)
+        b = XorShift64(2)
+        assert [a.next_u64() for _ in range(5)] != [b.next_u64() for _ in range(5)]
+
+    def test_zero_seed_does_not_stick(self):
+        rng = XorShift64(0)
+        values = {rng.next_u64() for _ in range(10)}
+        assert len(values) == 10
+
+    def test_randrange_in_bounds(self):
+        rng = XorShift64(7)
+        for _ in range(1000):
+            assert 0 <= rng.randrange(16) < 16
+
+    def test_randrange_covers_all_values(self):
+        rng = XorShift64(7)
+        seen = {rng.randrange(8) for _ in range(500)}
+        assert seen == set(range(8))
+
+    def test_randrange_rejects_nonpositive(self):
+        rng = XorShift64(7)
+        with pytest.raises(ValueError):
+            rng.randrange(0)
+
+    def test_random_in_unit_interval(self):
+        rng = XorShift64(9)
+        for _ in range(1000):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_random_mean_near_half(self):
+        rng = XorShift64(11)
+        mean = sum(rng.random() for _ in range(20_000)) / 20_000
+        assert abs(mean - 0.5) < 0.02
+
+    def test_choice(self):
+        rng = XorShift64(3)
+        items = ["a", "b", "c"]
+        assert {rng.choice(items) for _ in range(100)} == set(items)
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(IndexError):
+            XorShift64(3).choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = XorShift64(5)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_fork_streams_independent(self):
+        parent = XorShift64(123)
+        child = parent.fork()
+        parent_values = [parent.next_u64() for _ in range(10)]
+        child_values = [child.next_u64() for _ in range(10)]
+        assert parent_values != child_values

@@ -1,0 +1,92 @@
+"""Property-based invariants for the victim-relocation cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Cache, CacheAccess, CacheGeometry
+from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.replacement import LRUPolicy
+from repro.vvc import VictimRelocationCache
+
+
+def geometry():
+    return CacheGeometry(4 * 2 * 64, 2, 64)
+
+
+def build_accesses(pairs):
+    return [
+        CacheAccess(address=block * 64, pc=0x400 + 4 * pc, seq=seq)
+        for seq, (block, pc) in enumerate(pairs)
+    ]
+
+
+access_strings = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 4)),
+    min_size=1,
+    max_size=200,
+)
+
+
+def run_vvc(pairs):
+    cache = VictimRelocationCache(
+        geometry(),
+        DBRBPolicy(LRUPolicy(), SamplingDeadBlockPredictor(sampler_assoc=2)),
+    )
+    hits = [cache.access(access) for access in build_accesses(pairs)]
+    return cache, hits
+
+
+@settings(max_examples=40, deadline=None)
+@given(pairs=access_strings)
+def test_no_block_is_resident_twice(pairs):
+    """A block must never exist both natively and as a relocated copy
+    (or as two relocated copies)."""
+    cache, _ = run_vvc(pairs)
+    identities = []
+    for set_index, way, block in cache.resident_blocks():
+        if "vvc_home_set" in block.meta:
+            identities.append((block.meta["vvc_home_set"], block.meta["vvc_home_tag"]))
+        else:
+            identities.append((set_index, block.tag))
+    assert len(identities) == len(set(identities))
+
+
+@settings(max_examples=40, deadline=None)
+@given(pairs=access_strings)
+def test_relocated_frames_use_sentinel_tag(pairs):
+    """Relocated frames carry the impossible tag so native lookups in the
+    partner set can never falsely hit them."""
+    cache, _ = run_vvc(pairs)
+    for _, _, block in cache.resident_blocks():
+        if "vvc_home_set" in block.meta:
+            assert block.tag == -1
+        else:
+            assert block.tag >= 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(pairs=access_strings)
+def test_vvc_never_misses_what_plain_dbrb_hits_overall(pairs):
+    """Victim relocation may only *add* retention: total hits with VVC are
+    >= total hits of the identical cache without relocation, up to the
+    small perturbation promotions introduce (bounded here)."""
+    plain = Cache(
+        geometry(),
+        DBRBPolicy(LRUPolicy(), SamplingDeadBlockPredictor(sampler_assoc=2)),
+    )
+    plain_hits = sum(plain.access(a) for a in build_accesses(pairs))
+    _, vvc_hit_list = run_vvc(pairs)
+    vvc_hits = sum(vvc_hit_list)
+    assert vvc_hits >= plain_hits - 2  # promotions can cost a couple of evictions
+
+
+@settings(max_examples=40, deadline=None)
+@given(pairs=access_strings)
+def test_stats_identities_still_hold(pairs):
+    cache, _ = run_vvc(pairs)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses
+    resident = sum(1 for _ in cache.resident_blocks())
+    # Relocations move blocks without touching fills/evictions symmetry;
+    # promotions refill at home.  Occupancy still cannot exceed capacity.
+    assert resident <= cache.geometry.num_blocks

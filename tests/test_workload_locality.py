@@ -1,0 +1,161 @@
+"""Tests for the generators' multi-scale locality features.
+
+These features exist to reproduce specific predictor dynamics (see
+docs/architecture.md §5), so the tests check the *statistics* they are
+supposed to produce, not just that code runs.
+"""
+
+from collections import Counter
+
+from repro.workloads.generators import (
+    HotColdGenerator,
+    MixedPhaseGenerator,
+    ScanReuseGenerator,
+    SmallFootprintGenerator,
+    StencilGenerator,
+    StreamingGenerator,
+    UnpredictableGenerator,
+)
+
+LLC = 256 * 1024
+BLOCK = 64
+
+
+def reuse_distances(trace, max_count=200_000):
+    """LRU stack distances for each re-reference in the trace.
+
+    O(n * d) stack simulation; fine at test sizes.
+    """
+    distances = []
+    seen = set()
+    stack = []
+    for record in trace.records[:max_count]:
+        block = record.address // BLOCK
+        if block in seen:
+            index = stack.index(block)
+            distances.append(index)
+            stack.pop(index)
+        stack.insert(0, block)
+        seen.add(block)
+    return distances
+
+
+class TestStreamingRevisit:
+    def test_revisits_present_at_configured_distance(self):
+        generator = StreamingGenerator(
+            "s", streams=1, ws_factor=8.0, touches_per_block=1,
+            revisit_probability=0.2, revisit_distance_factor=1.0,
+        )
+        trace = generator.generate(80_000, LLC)
+        revisit_pc = generator.pc(63)
+        revisits = [r for r in trace.records if r.pc == revisit_pc]
+        assert revisits  # the revisit band exists
+        # Revisited blocks were previously touched by the stream PC.
+        stream_blocks = {r.address // BLOCK for r in trace.records if r.pc != revisit_pc}
+        assert all(r.address // BLOCK in stream_blocks for r in revisits)
+
+    def test_zero_probability_disables_revisits(self):
+        generator = StreamingGenerator(
+            "s", streams=1, ws_factor=8.0, revisit_probability=0.0
+        )
+        trace = generator.generate(40_000, LLC)
+        assert all(r.pc != generator.pc(63) for r in trace.records)
+
+
+class TestScanReuseEcho:
+    def test_echo_creates_shallow_reuse_band(self):
+        with_echo = ScanReuseGenerator(
+            "e", hot_factor=0.5, scan_factor=1.0,
+            echo_probability=0.5, echo_distance_factor=0.1,
+            touches_per_block=1, seed=3,
+        ).generate(120_000, LLC)
+        without = ScanReuseGenerator(
+            "e", hot_factor=0.5, scan_factor=1.0,
+            echo_probability=0.0, touches_per_block=1, seed=3,
+        ).generate(120_000, LLC)
+        # Echoes re-touch blocks ~0.1xLLC behind: a band of reuse
+        # distances well inside the LLC that the plain version lacks.
+        shallow = [d for d in reuse_distances(with_echo) if 100 < d < 1500]
+        shallow_plain = [d for d in reuse_distances(without) if 100 < d < 1500]
+        assert len(shallow) > 2 * max(len(shallow_plain), 1)
+
+
+class TestHotColdRecentWindow:
+    def test_recent_band_biases_reuse(self):
+        biased = HotColdGenerator(
+            "h", hot_factor=0.7, cold_factor=4.0, hot_probability=0.8,
+            recent_fraction=0.5, recent_window_factor=0.1, seed=5,
+        ).generate(80_000, LLC)
+        uniform = HotColdGenerator(
+            "h", hot_factor=0.7, cold_factor=4.0, hot_probability=0.8,
+            recent_fraction=0.0, seed=5,
+        ).generate(80_000, LLC)
+        biased_shallow = [d for d in reuse_distances(biased) if d < 500]
+        uniform_shallow = [d for d in reuse_distances(uniform) if d < 500]
+        assert len(biased_shallow) > 1.3 * max(len(uniform_shallow), 1)
+
+
+class TestStencilProbabilisticTouches:
+    def test_touch_counts_vary_per_block(self):
+        generator = StencilGenerator(
+            "st", near_factor=0.1, far_factor=0.5, ws_factor=4.0,
+            near_probability=0.7, far_probability=0.7, seed=9,
+        )
+        trace = generator.generate(150_000, LLC)
+        counts = Counter(r.address // BLOCK for r in trace.records
+                         if r.address < generator.data_region(1))
+        histogram = Counter(counts.values())
+        # At least blocks touched once, twice, and three times must all
+        # occur -- the generation-count noise CDBP/TDBP contend with.
+        assert histogram[1] > 0 and histogram[2] > 0 and histogram[3] > 0
+
+    def test_rejects_inverted_planes(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            StencilGenerator("bad", near_factor=0.5, far_factor=0.2)
+
+
+class TestMixedPhaseProportionality:
+    def test_default_phase_length_scales_with_budget(self):
+        phases = [
+            (SmallFootprintGenerator("a", ws_factor=0.1, seed=1), 1.0),
+            (SmallFootprintGenerator("b", ws_factor=0.1, seed=2), 1.0),
+        ]
+        generator = MixedPhaseGenerator("m", phases=phases)
+        small = generator.generate(80_000, LLC)
+        large = generator.generate(320_000, LLC)
+        # Both should contain roughly the same number of phase cycles
+        # (phases scale), so PC alternation counts stay similar.
+        def transitions(trace):
+            pcs = [r.pc & ~0xFFF for r in trace.records]
+            return sum(1 for a, b in zip(pcs, pcs[1:]) if a != b)
+
+        assert abs(transitions(small) - transitions(large)) <= 4
+
+    def test_explicit_phase_length_respected(self):
+        phases = [
+            (SmallFootprintGenerator("a", ws_factor=0.1, seed=1), 1.0),
+            (SmallFootprintGenerator("b", ws_factor=0.1, seed=2), 1.0),
+        ]
+        generator = MixedPhaseGenerator("m", phases=phases, phase_instructions=10_000)
+        trace = generator.generate(100_000, LLC)
+        assert trace.instructions >= 100_000
+
+
+class TestUnpredictableChurn:
+    def test_frontier_grows(self):
+        generator = UnpredictableGenerator("u", new_probability=0.3, seed=2)
+        trace = generator.generate(60_000, LLC)
+        blocks = [r.address // BLOCK for r in trace.records]
+        assert max(blocks) > 2000  # the frontier kept allocating
+
+    def test_recency_bias(self):
+        generator = UnpredictableGenerator(
+            "u", window_factor=0.5, new_probability=0.2,
+            recency_exponent=3.0, seed=2,
+        )
+        trace = generator.generate(60_000, LLC)
+        distances = reuse_distances(trace)
+        shallow = sum(1 for d in distances if d < 200)
+        assert shallow > len(distances) * 0.3
