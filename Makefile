@@ -2,15 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-fast results clean help
+# Let every target run from a fresh clone, installed or not.
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: install test check bench bench-smoke figures figures-fast results clean help
 
 help:
-	@echo "install     editable install (falls back to setup.py develop)"
-	@echo "test        run the unit/property test suite"
-	@echo "bench       regenerate every paper table and figure"
-	@echo "bench-fast  quick bench pass (scale 1/32, short traces)"
-	@echo "results     show the rendered experiment tables"
-	@echo "clean       remove caches and generated results"
+	@echo "install      editable install (falls back to setup.py develop)"
+	@echo "test         run the unit/property test suite"
+	@echo "check        test suite + bench-smoke (the default pre-commit gate)"
+	@echo "bench        measure replay-engine throughput -> BENCH_PR1.json"
+	@echo "bench-smoke  tiny-budget bench harness validation -> BENCH_SMOKE.json"
+	@echo "figures      regenerate every paper table and figure"
+	@echo "figures-fast quick figure pass (scale 1/32, short traces)"
+	@echo "results      show the rendered experiment tables"
+	@echo "clean        remove caches and generated results"
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -18,15 +24,23 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+check: test bench-smoke
+
 bench:
+	$(PYTHON) benchmarks/bench_throughput.py
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_throughput.py --smoke
+
+figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-bench-fast:
+figures-fast:
 	REPRO_SCALE=32 REPRO_INSTRUCTIONS=80000 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 results:
 	@for f in benchmarks/results/*.txt; do echo; cat $$f; done
 
 clean:
-	rm -rf .pytest_cache benchmarks/results
+	rm -rf .pytest_cache benchmarks/results BENCH_SMOKE.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

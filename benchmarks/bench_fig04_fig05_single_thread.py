@@ -24,7 +24,7 @@ from repro.harness import (
     SINGLE_THREAD_TECHNIQUES,
     TECHNIQUES,
     format_table,
-    single_thread_comparison,
+    parallel_single_thread_comparison,
 )
 
 PAPER_MPKI_AMEAN = {
@@ -45,8 +45,12 @@ PAPER_SPEEDUP_GMEAN = {
 
 
 def test_fig04_fig05_single_thread_lru(benchmark, workload_cache, report):
+    # Honors REPRO_JOBS: >1 fans the (benchmark, technique) cells over
+    # worker processes with bit-identical results (docs/performance.md).
     comparison = benchmark.pedantic(
-        lambda: single_thread_comparison(workload_cache, SINGLE_THREAD_TECHNIQUES),
+        lambda: parallel_single_thread_comparison(
+            workload_cache, SINGLE_THREAD_TECHNIQUES
+        ),
         rounds=1,
         iterations=1,
     )

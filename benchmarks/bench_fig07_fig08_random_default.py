@@ -15,7 +15,7 @@ from repro.harness import (
     RANDOM_DEFAULT_TECHNIQUES,
     TECHNIQUES,
     format_table,
-    single_thread_comparison,
+    parallel_single_thread_comparison,
 )
 
 PAPER_MPKI_AMEAN = {"random": 1.025, "random_cdbp": 1.00, "random_sampler": 0.925}
@@ -23,8 +23,12 @@ PAPER_SPEEDUP_GMEAN = {"random": 0.989, "random_cdbp": 1.001, "random_sampler": 
 
 
 def test_fig07_fig08_random_default(benchmark, workload_cache, report):
+    # Honors REPRO_JOBS: >1 fans the (benchmark, technique) cells over
+    # worker processes with bit-identical results (docs/performance.md).
     comparison = benchmark.pedantic(
-        lambda: single_thread_comparison(workload_cache, RANDOM_DEFAULT_TECHNIQUES),
+        lambda: parallel_single_thread_comparison(
+            workload_cache, RANDOM_DEFAULT_TECHNIQUES
+        ),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,467 @@
+"""Replay-engine throughput benchmark and regression harness.
+
+Measures the simulation substrate two ways and writes a machine-readable
+report (``BENCH_PR1.json`` by default):
+
+* **substrate**: accesses/second of every Figure 4 (benchmark, technique)
+  cell, replayed once through the *pre-replay-engine* cache (linear tag
+  scan, per-access geometry calls, unconditional observer loops -- kept
+  verbatim in :class:`_LegacyCache` below) and once through
+  :func:`repro.sim.replay.replay` over the precomputed stream.  Both
+  paths must produce identical :class:`~repro.cache.stats.CacheStats`;
+  the run aborts otherwise.
+* **end-to-end**: wall time of the Figure 4/5 sweep (workload generation,
+  L1/L2 filtering, replay, timing model), serially and -- when more than
+  one job is requested -- through the process-parallel runner.
+
+Usage::
+
+    python benchmarks/bench_throughput.py                # full, BENCH_PR1.json
+    python benchmarks/bench_throughput.py --smoke        # seconds, tiny budget
+    python benchmarks/bench_throughput.py --check BENCH_PR1.json
+    REPRO_JOBS=4 python benchmarks/bench_throughput.py   # also times parallel
+
+``--check OLD.json`` turns the script into a regression gate: it exits
+non-zero when the freshly measured aggregate replay throughput falls
+below ``--tolerance`` (default 0.7) of the recorded one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro.predictors.counting as _counting_mod  # noqa: E402
+import repro.predictors.reftrace as _reftrace_mod  # noqa: E402
+from repro.cache.cache import Cache, CacheAccess  # noqa: E402
+from repro.core.predictor import SamplingDeadBlockPredictor  # noqa: E402
+from repro.core.sampler import Sampler  # noqa: E402
+from repro.core.skewed import SkewedCounterTable  # noqa: E402
+from repro.harness.parallel import (  # noqa: E402
+    parallel_single_thread_comparison,
+    resolve_jobs,
+)
+from repro.harness.runner import ExperimentConfig, WorkloadCache  # noqa: E402
+from repro.harness.techniques import (  # noqa: E402
+    SINGLE_THREAD_TECHNIQUES,
+    TECHNIQUES,
+)
+from repro.replacement.lru import LRUPolicy  # noqa: E402
+from repro.sim.replay import replay  # noqa: E402
+from repro.utils.bits import mask  # noqa: E402
+from repro.utils.hashing import _MASK64, _SKEW_SALTS, mix64  # noqa: E402
+from repro.workloads import SINGLE_THREAD_SUBSET  # noqa: E402
+
+#: Techniques whose substrate throughput is measured ("lru" is the
+#: baseline cell every sweep also runs).
+SUBSTRATE_TECHNIQUES = ("lru",) + tuple(SINGLE_THREAD_TECHNIQUES)
+
+_SMOKE_BENCHMARKS = ("perlbench", "mcf")
+_SMOKE_TECHNIQUES = ("lru", "sampler")
+_SMOKE_INSTRUCTIONS = 40_000
+
+
+class _LegacyCache(Cache):
+    """The pre-replay-engine access path, kept verbatim as the "before"
+    reference of every throughput report.
+
+    The four overrides reproduce the original implementation: linear tag
+    scans, ``geometry.set_index``/``geometry.tag`` calls per access, and
+    unconditionally iterated (empty) observer lists.  None of them touch
+    the tag index the modern cache maintains, so the legacy path measures
+    exactly the old substrate on top of today's policies.
+    """
+
+    def find(self, set_index: int, tag: int) -> Optional[int]:
+        for way, block in enumerate(self.sets[set_index]):
+            if block.valid and block.tag == tag:
+                return way
+        return None
+
+    def access(self, access: CacheAccess) -> bool:
+        geometry = self.geometry
+        set_index = geometry.set_index(access.address)
+        tag = geometry.tag(access.address)
+        blocks = self.sets[set_index]
+        stats = self.stats
+        stats.accesses += 1
+
+        for way, block in enumerate(blocks):
+            if block.valid and block.tag == tag:
+                stats.hits += 1
+                block.touch(access.seq, access.is_write)
+                self.policy.on_hit(set_index, way, access)
+                for observer in self._observers:
+                    observer.on_hit(set_index, way, block, access)
+                return True
+
+        stats.misses += 1
+        self.policy.on_miss(set_index, access)
+
+        if self.policy.should_bypass(set_index, access):
+            stats.bypasses += 1
+            for observer in self._observers:
+                observer.on_bypass(set_index, access)
+            return False
+
+        way = self._frame_for_fill(set_index, access)
+        block = blocks[way]
+        if block.valid:
+            self._evict(set_index, way, access)
+        block.fill(tag, access.seq, access.is_write)
+        stats.fills += 1
+        self.policy.on_fill(set_index, way, access)
+        for observer in self._observers:
+            observer.on_fill(set_index, way, block, access)
+        return False
+
+    def _frame_for_fill(self, set_index: int, access: CacheAccess) -> int:
+        for way, block in enumerate(self.sets[set_index]):
+            if not block.valid:
+                return way
+        way = self.policy.choose_victim(set_index, access)
+        if not 0 <= way < self.geometry.associativity:
+            raise ValueError(
+                f"policy {self.policy!r} chose invalid victim way {way}"
+            )
+        return way
+
+    def _evict(self, set_index: int, way: int, access: CacheAccess) -> None:
+        block = self.sets[set_index][way]
+        self.stats.evictions += 1
+        if block.dirty:
+            self.stats.writebacks += 1
+        if block.predicted_dead:
+            self.stats.dead_block_victims += 1
+        self.policy.on_evict(set_index, way, access)
+        for observer in self._observers:
+            observer.on_evict(set_index, way, block, access)
+        block.invalidate()
+
+
+# ----------------------------------------------------------------------
+# The pre-PR predictor/policy hot paths, frozen verbatim from the seed
+# tree.  The replay-engine PR memoized signature folds and skewed-table
+# indices and short-circuited identity LRU promotions; those speedups are
+# part of the substrate under measurement, so the "before" runs must not
+# get them.  _pre_pr_substrate() swaps these originals in for the
+# duration of a legacy run.  The stats-equivalence check then doubles as
+# proof that every memoization is behavior-preserving.
+# ----------------------------------------------------------------------
+def _legacy_fold_xor(value: int, width: int) -> int:
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    folded = 0
+    value &= _MASK64
+    while value:
+        folded ^= value & mask(width)
+        value >>= width
+    return folded
+
+
+def _legacy_skewed_hash(signature: int, table: int, index_bits: int) -> int:
+    if table < 0:
+        raise ValueError(f"table must be non-negative, got {table}")
+    salt = _SKEW_SALTS[table % len(_SKEW_SALTS)] + table
+    return _legacy_fold_xor(mix64(signature ^ salt), index_bits)
+
+
+def _legacy_confidence(self, signature: int) -> int:
+    total = 0
+    for table_index, table in enumerate(self.tables):
+        total += table[_legacy_skewed_hash(signature, table_index, self.index_bits)]
+    return total
+
+
+def _legacy_table_predict(self, signature: int) -> bool:
+    return _legacy_confidence(self, signature) >= self.threshold
+
+
+def _legacy_train(self, signature: int, dead: bool) -> None:
+    maximum = self.counter_max
+    for table_index, table in enumerate(self.tables):
+        index = _legacy_skewed_hash(signature, table_index, self.index_bits)
+        value = table[index]
+        if dead:
+            if value < maximum:
+                table[index] = value + 1
+        elif value > 0:
+            table[index] = value - 1
+
+
+def _legacy_partial_tag(self, tag: int) -> int:
+    return tag & mask(self.tag_bits)
+
+
+def _legacy_pc_signature(self, pc: int) -> int:
+    return _legacy_fold_xor(pc, self.pc_bits)
+
+
+def _legacy_signature(self, pc: int) -> int:
+    return _legacy_fold_xor(pc, self._pc_bits)
+
+
+def _legacy_sample(self, set_index: int, access) -> None:
+    sampler = self.sampler
+    if sampler is None:
+        return
+    sampler_set = sampler.sampler_set_for(set_index)
+    if sampler_set is not None:
+        sampler.access(
+            sampler_set, self.cache.geometry.tag(access.address), access.pc
+        )
+
+
+def _legacy_promote(self, set_index: int, way: int, position: int) -> None:
+    stack = self._stacks[set_index]
+    stack.remove(way)
+    stack.insert(position, way)
+
+
+#: (owner, attribute, seed implementation) -- classes for method patches,
+#: modules for their imported-by-name fold_xor reference.
+_LEGACY_PATCHES = (
+    (SkewedCounterTable, "confidence", _legacy_confidence),
+    (SkewedCounterTable, "predict", _legacy_table_predict),
+    (SkewedCounterTable, "train", _legacy_train),
+    (Sampler, "partial_tag", _legacy_partial_tag),
+    (Sampler, "pc_signature", _legacy_pc_signature),
+    (SamplingDeadBlockPredictor, "_signature", _legacy_signature),
+    (SamplingDeadBlockPredictor, "_sample", _legacy_sample),
+    (LRUPolicy, "_promote", _legacy_promote),
+    (_counting_mod, "fold_xor", _legacy_fold_xor),
+    (_reftrace_mod, "fold_xor", _legacy_fold_xor),
+)
+
+
+@contextlib.contextmanager
+def _pre_pr_substrate():
+    """Run the enclosed block on the seed tree's hot paths."""
+    saved = [
+        (owner, name, getattr(owner, name)) for owner, name, _ in _LEGACY_PATCHES
+    ]
+    for owner, name, legacy in _LEGACY_PATCHES:
+        setattr(owner, name, legacy)
+    try:
+        yield
+    finally:
+        for owner, name, original in saved:
+            setattr(owner, name, original)
+
+
+def _measure_substrate(config, technique_keys, benchmarks) -> Dict:
+    """Time every cell through the legacy loop and the replay kernel."""
+    workload_cache = WorkloadCache(config)
+    geometry = workload_cache.machine.llc
+    per_technique: Dict[str, Dict] = {
+        key: {"accesses": 0, "before_seconds": 0.0, "after_seconds": 0.0}
+        for key in technique_keys
+    }
+    for benchmark in benchmarks:
+        filtered = workload_cache.filtered(benchmark)
+        stream = filtered.llc_stream(geometry)
+        accesses = stream.accesses
+        for key in technique_keys:
+            technique = TECHNIQUES[key]
+
+            with _pre_pr_substrate():
+                legacy = _LegacyCache(
+                    geometry, technique.build(geometry, accesses), name="LLC"
+                )
+                legacy_access = legacy.access
+                start = time.perf_counter()
+                for access in accesses:
+                    legacy_access(access)
+                before = time.perf_counter() - start
+
+            cache = Cache(geometry, technique.build(geometry, accesses), name="LLC")
+            start = time.perf_counter()
+            replay(cache, accesses, stream.set_indices, stream.tags)
+            after = time.perf_counter() - start
+
+            if legacy.stats.snapshot() != cache.stats.snapshot():
+                raise SystemExit(
+                    f"EQUIVALENCE FAILURE on ({benchmark}, {key}): "
+                    f"legacy {legacy.stats.snapshot()} != "
+                    f"replay {cache.stats.snapshot()}"
+                )
+
+            cell = per_technique[key]
+            cell["accesses"] += len(accesses)
+            cell["before_seconds"] += before
+            cell["after_seconds"] += after
+
+    total = {"accesses": 0, "before_seconds": 0.0, "after_seconds": 0.0}
+    for cell in per_technique.values():
+        for field in total:
+            total[field] += cell[field]
+        cell["before_acc_per_sec"] = cell["accesses"] / cell["before_seconds"]
+        cell["after_acc_per_sec"] = cell["accesses"] / cell["after_seconds"]
+        cell["speedup"] = cell["before_seconds"] / cell["after_seconds"]
+    total["before_acc_per_sec"] = total["accesses"] / total["before_seconds"]
+    total["after_acc_per_sec"] = total["accesses"] / total["after_seconds"]
+    total["speedup"] = total["before_seconds"] / total["after_seconds"]
+    return {
+        "benchmarks": list(benchmarks),
+        "techniques": list(technique_keys),
+        "per_technique": per_technique,
+        "total": total,
+        "stats_equivalent": True,
+    }
+
+
+def _measure_end_to_end(config, technique_keys, benchmarks, jobs) -> Dict:
+    """Wall time of the Figure 4/5 sweep, serial and (optionally) parallel."""
+    start = time.perf_counter()
+    serial = parallel_single_thread_comparison(
+        config, technique_keys, benchmarks, jobs=1
+    )
+    serial_seconds = time.perf_counter() - start
+
+    parallel_seconds = None
+    if jobs > 1:
+        start = time.perf_counter()
+        parallel = parallel_single_thread_comparison(
+            config, technique_keys, benchmarks, jobs=jobs
+        )
+        parallel_seconds = time.perf_counter() - start
+        for benchmark in benchmarks:
+            for key in technique_keys:
+                if (
+                    serial.results[benchmark][key].llc_stats.snapshot()
+                    != parallel.results[benchmark][key].llc_stats.snapshot()
+                ):
+                    raise SystemExit(
+                        f"PARALLEL DIVERGENCE on ({benchmark}, {key})"
+                    )
+    return {
+        "figure": "fig04_fig05_single_thread",
+        "jobs": jobs,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+    }
+
+
+def _print_report(report: Dict) -> None:
+    substrate = report["substrate"]
+    print(f"\nsubstrate throughput ({len(substrate['benchmarks'])} benchmarks):")
+    header = f"  {'technique':14s} {'before acc/s':>14s} {'after acc/s':>14s} {'speedup':>8s}"
+    print(header)
+    for key, cell in substrate["per_technique"].items():
+        print(
+            f"  {key:14s} {cell['before_acc_per_sec']:>14,.0f} "
+            f"{cell['after_acc_per_sec']:>14,.0f} {cell['speedup']:>7.2f}x"
+        )
+    total = substrate["total"]
+    print(
+        f"  {'TOTAL':14s} {total['before_acc_per_sec']:>14,.0f} "
+        f"{total['after_acc_per_sec']:>14,.0f} {total['speedup']:>7.2f}x"
+    )
+    end_to_end = report["end_to_end"]
+    line = (
+        f"\nend-to-end {end_to_end['figure']}: "
+        f"serial {end_to_end['serial_seconds']:.1f}s"
+    )
+    if end_to_end["parallel_seconds"] is not None:
+        line += (
+            f", parallel ({end_to_end['jobs']} jobs) "
+            f"{end_to_end['parallel_seconds']:.1f}s"
+        )
+    print(line)
+
+
+def _check_regression(report: Dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    old = baseline["substrate"]["total"]["after_acc_per_sec"]
+    new = report["substrate"]["total"]["after_acc_per_sec"]
+    floor = tolerance * old
+    verdict = "OK" if new >= floor else "REGRESSION"
+    print(
+        f"\nregression check vs {baseline_path}: {new:,.0f} acc/s vs "
+        f"baseline {old:,.0f} (floor {floor:,.0f}): {verdict}"
+    )
+    return 0 if new >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny budget, two benchmarks, single job (harness validation)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="report path (default BENCH_PR1.json, BENCH_SMOKE.json with --smoke)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the end-to-end timing (default REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None,
+        help="compare against a previous report; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.7,
+        help="fraction of baseline throughput still accepted by --check",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        config = ExperimentConfig(
+            scale=ExperimentConfig().scale, instructions=_SMOKE_INSTRUCTIONS
+        )
+        benchmarks = _SMOKE_BENCHMARKS
+        technique_keys = _SMOKE_TECHNIQUES
+        jobs = 1 if args.jobs is None else args.jobs
+    else:
+        config = ExperimentConfig.from_env()
+        benchmarks = SINGLE_THREAD_SUBSET
+        technique_keys = SUBSTRATE_TECHNIQUES
+        jobs = resolve_jobs(args.jobs)
+
+    print(f"machine: {config.describe()}")
+    print(f"substrate cells: {len(benchmarks)} benchmarks x "
+          f"{len(technique_keys)} techniques, both access paths")
+
+    report = {
+        "schema": "repro-bench/1",
+        "unix_time": time.time(),
+        "smoke": args.smoke,
+        "config": {
+            "scale": config.scale,
+            "instructions": config.instructions,
+            "seed": config.seed,
+        },
+        "substrate": _measure_substrate(config, technique_keys, benchmarks),
+        "end_to_end": _measure_end_to_end(
+            config,
+            [k for k in technique_keys if k != "lru"],
+            benchmarks,
+            jobs,
+        ),
+    }
+    _print_report(report)
+
+    output = args.output
+    if output is None:
+        output = REPO_ROOT / ("BENCH_SMOKE.json" if args.smoke else "BENCH_PR1.json")
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"\nreport written to {output}")
+
+    if args.check is not None:
+        return _check_regression(report, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

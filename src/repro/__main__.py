@@ -9,7 +9,10 @@ Commands:
 * ``storage`` / ``power`` -- print Tables I and II.
 
 All commands respect the ``REPRO_SCALE`` / ``REPRO_INSTRUCTIONS`` /
-``REPRO_SEED`` environment variables.
+``REPRO_SEED`` / ``REPRO_CORES`` environment variables.  ``run`` and
+``suite`` additionally honor ``REPRO_JOBS`` (or ``--jobs N``) to fan the
+(benchmark, technique) cells over worker processes; results are
+bit-identical to a serial run (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from repro.harness import (
     TECHNIQUES,
     WorkloadCache,
     format_table,
-    single_thread_comparison,
+    parallel_single_thread_comparison,
 )
 from repro.power import predictor_power_table, storage_table
 from repro.workloads import ALL_BENCHMARKS, MIXES, SINGLE_THREAD_SUBSET
@@ -48,9 +51,11 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _comparison(config, technique_keys, benchmarks):
+def _comparison(config, technique_keys, benchmarks, jobs=None):
     cache = WorkloadCache(config)
-    comparison = single_thread_comparison(cache, technique_keys, benchmarks)
+    comparison = parallel_single_thread_comparison(
+        cache, technique_keys, benchmarks, jobs=jobs
+    )
     labels = [TECHNIQUES[key].label for key in technique_keys]
     print(format_table(
         ["benchmark"] + labels,
@@ -89,6 +94,7 @@ def _cmd_run(args) -> int:
         ExperimentConfig.from_env(),
         _parse_techniques(args.techniques),
         (args.benchmark,),
+        jobs=args.jobs,
     )
 
 
@@ -97,7 +103,7 @@ def _cmd_suite(args) -> int:
     print(f"running the {len(SINGLE_THREAD_SUBSET)}-benchmark subset on "
           f"{config.describe()}; expect a few minutes...\n")
     return _comparison(config, _parse_techniques(args.techniques),
-                       SINGLE_THREAD_SUBSET)
+                       SINGLE_THREAD_SUBSET, jobs=args.jobs)
 
 
 def _cmd_profile(args) -> int:
@@ -164,8 +170,16 @@ def main(argv=None) -> int:
     run_parser = subparsers.add_parser("run", help="compare techniques on one benchmark")
     run_parser.add_argument("benchmark")
     run_parser.add_argument("techniques", nargs="*")
+    run_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or 1)",
+    )
     suite_parser = subparsers.add_parser("suite", help="the full Figure 4/5 run")
     suite_parser.add_argument("techniques", nargs="*")
+    suite_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or 1)",
+    )
     profile_parser = subparsers.add_parser(
         "profile", help="reuse-distance profile of one benchmark"
     )

@@ -17,11 +17,19 @@ Access flow (one call to :meth:`Cache.access`):
    are not placed);
 4. otherwise pick a frame -- an invalid one if present, else the policy's
    victim -- evict its occupant, and fill.
+
+Lookup cost: each set keeps a ``tag -> way`` index alongside the block
+frames, so the probe in step 2 is one dict lookup instead of an
+O(associativity) tag scan -- on the paper's 16-way LLC this is the single
+hottest operation of every experiment.  The index is maintained through
+:meth:`_install_frame` / :meth:`_clear_frame`; subclasses that move blocks
+around directly (e.g. the victim-relocation cache) must use those helpers
+rather than calling ``block.fill`` / ``block.invalidate`` themselves.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.cache.block import CacheBlock
 from repro.cache.geometry import CacheGeometry
@@ -74,7 +82,8 @@ class CacheObserver:
 
     The efficiency analysis (Figure 1) and the accuracy analysis (Figure 9)
     attach observers rather than patching the cache, so the measured cache
-    is exactly the one the policies run on.
+    is exactly the one the policies run on.  Replay with no observer
+    attached skips the notification loops entirely.
     """
 
     def on_hit(self, set_index: int, way: int, block: CacheBlock, access: CacheAccess) -> None:
@@ -117,6 +126,19 @@ class Cache:
             [CacheBlock() for _ in range(geometry.associativity)]
             for _ in range(geometry.num_sets)
         ]
+        #: Per-set ``tag -> way`` index over *valid* frames; the invariant
+        #: is that every valid frame's tag maps to its way (frames holding
+        #: a sentinel tag that can collide, like the VVC's relocation
+        #: marker, keep only the most recent mapping -- such tags are never
+        #: produced by address decomposition, so demand lookups are exact).
+        self._tag_index: List[Dict[int, int]] = [
+            {} for _ in range(geometry.num_sets)
+        ]
+        # Address arithmetic hoisted out of geometry method calls; these
+        # mirror CacheGeometry.set_index/tag exactly.
+        self._offset_bits = geometry.offset_bits
+        self._index_bits = geometry.index_bits
+        self._index_mask = geometry.num_sets - 1
         self._observers: List[CacheObserver] = []
         policy.bind(self)
 
@@ -127,20 +149,25 @@ class Cache:
         """Attach an event observer (see :class:`CacheObserver`)."""
         self._observers.append(observer)
 
+    @property
+    def has_observers(self) -> bool:
+        """True when at least one observer is attached (replay consults
+        this to pick the zero-observer fast path)."""
+        return bool(self._observers)
+
     # ------------------------------------------------------------------
     # lookup helpers
     # ------------------------------------------------------------------
     def find(self, set_index: int, tag: int) -> Optional[int]:
         """Return the way holding ``tag`` in ``set_index``, or None."""
-        for way, block in enumerate(self.sets[set_index]):
-            if block.valid and block.tag == tag:
-                return way
-        return None
+        return self._tag_index[set_index].get(tag)
 
     def contains(self, address: int) -> bool:
         """True if the block containing ``address`` is currently resident."""
-        set_index = self.geometry.set_index(address)
-        return self.find(set_index, self.geometry.tag(address)) is not None
+        block_address = address >> self._offset_bits
+        set_index = block_address & self._index_mask
+        tag = block_address >> self._index_bits
+        return tag in self._tag_index[set_index]
 
     def resident_blocks(self):
         """Yield ``(set_index, way, block)`` for every valid frame."""
@@ -150,51 +177,80 @@ class Cache:
                     yield set_index, way, block
 
     # ------------------------------------------------------------------
+    # frame bookkeeping (the only writers of the tag index)
+    # ------------------------------------------------------------------
+    def _install_frame(
+        self, set_index: int, way: int, tag: int, seq: int, is_write: bool
+    ) -> CacheBlock:
+        """Fill ``(set_index, way)`` with a block, keeping the index
+        coherent.  No statistics or policy callbacks; callers layer those."""
+        block = self.sets[set_index][way]
+        block.fill(tag, seq, is_write)
+        self._tag_index[set_index][tag] = way
+        return block
+
+    def _clear_frame(self, set_index: int, way: int) -> CacheBlock:
+        """Invalidate ``(set_index, way)``, keeping the index coherent.
+        No statistics or policy callbacks; callers layer those."""
+        block = self.sets[set_index][way]
+        index = self._tag_index[set_index]
+        if index.get(block.tag) == way:
+            del index[block.tag]
+        block.invalidate()
+        return block
+
+    # ------------------------------------------------------------------
     # the access path
     # ------------------------------------------------------------------
     def access(self, access: CacheAccess) -> bool:
         """Perform one demand access.  Returns True on a hit."""
-        geometry = self.geometry
-        set_index = geometry.set_index(access.address)
-        tag = geometry.tag(access.address)
-        blocks = self.sets[set_index]
+        block_address = access.address >> self._offset_bits
+        set_index = block_address & self._index_mask
+        tag = block_address >> self._index_bits
         stats = self.stats
         stats.accesses += 1
 
-        for way, block in enumerate(blocks):
-            if block.valid and block.tag == tag:
-                stats.hits += 1
-                block.touch(access.seq, access.is_write)
-                self.policy.on_hit(set_index, way, access)
+        way = self._tag_index[set_index].get(tag)
+        if way is not None:
+            block = self.sets[set_index][way]
+            stats.hits += 1
+            block.touch(access.seq, access.is_write)
+            self.policy.on_hit(set_index, way, access)
+            if self._observers:
                 for observer in self._observers:
                     observer.on_hit(set_index, way, block, access)
-                return True
+            return True
 
         stats.misses += 1
         self.policy.on_miss(set_index, access)
 
         if self.policy.should_bypass(set_index, access):
             stats.bypasses += 1
-            for observer in self._observers:
-                observer.on_bypass(set_index, access)
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_bypass(set_index, access)
             return False
 
         way = self._frame_for_fill(set_index, access)
-        block = blocks[way]
-        if block.valid:
+        if self.sets[set_index][way].valid:
             self._evict(set_index, way, access)
-        block.fill(tag, access.seq, access.is_write)
+        block = self._install_frame(set_index, way, tag, access.seq, access.is_write)
         stats.fills += 1
         self.policy.on_fill(set_index, way, access)
-        for observer in self._observers:
-            observer.on_fill(set_index, way, block, access)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_fill(set_index, way, block, access)
         return False
 
     def _frame_for_fill(self, set_index: int, access: CacheAccess) -> int:
         """Pick the frame the missing block will occupy."""
-        for way, block in enumerate(self.sets[set_index]):
-            if not block.valid:
-                return way
+        blocks = self.sets[set_index]
+        # A full set has one index entry per frame; only scan for an
+        # invalid frame when the index says one may exist.
+        if len(self._tag_index[set_index]) < len(blocks):
+            for way, block in enumerate(blocks):
+                if not block.valid:
+                    return way
         way = self.policy.choose_victim(set_index, access)
         if not 0 <= way < self.geometry.associativity:
             raise ValueError(
@@ -210,9 +266,10 @@ class Cache:
         if block.predicted_dead:
             self.stats.dead_block_victims += 1
         self.policy.on_evict(set_index, way, access)
-        for observer in self._observers:
-            observer.on_evict(set_index, way, block, access)
-        block.invalidate()
+        if self._observers:
+            for observer in self._observers:
+                observer.on_evict(set_index, way, block, access)
+        self._clear_frame(set_index, way)
 
     # ------------------------------------------------------------------
     # direct installation (prefetchers, victim relocation)
@@ -238,11 +295,12 @@ class Cache:
         block = self.sets[set_index][way]
         if block.valid and block.tag != tag:
             self._evict(set_index, way, access)
-        block.fill(tag, access.seq, access.is_write)
+        block = self._install_frame(set_index, way, tag, access.seq, access.is_write)
         self.stats.fills += 1
         self.policy.on_fill(set_index, way, access)
-        for observer in self._observers:
-            observer.on_fill(set_index, way, block, access)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_fill(set_index, way, block, access)
 
     # ------------------------------------------------------------------
     # maintenance
@@ -252,6 +310,8 @@ class Cache:
         for ways in self.sets:
             for block in ways:
                 block.invalidate()
+        for index in self._tag_index:
+            index.clear()
 
     def __repr__(self) -> str:
         return f"Cache({self.name}, {self.geometry.describe()}, policy={self.policy!r})"

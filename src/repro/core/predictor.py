@@ -23,11 +23,12 @@ The constructor exposes every knob of the paper's Figure 6 ablation:
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.core.sampler import Sampler
 from repro.core.skewed import SkewedCounterTable
 from repro.predictors.base import DeadBlockPredictor
+from repro.utils.hashing import fold_xor
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache.cache import Cache, CacheAccess
@@ -90,6 +91,9 @@ class SamplingDeadBlockPredictor(DeadBlockPredictor):
         self._sampler_assoc = sampler_assoc
         self._tag_bits = tag_bits
         self._pc_bits = pc_bits
+        # PC -> folded signature memo; the fold is pure and the distinct-PC
+        # set of a workload is small, so it is computed once per PC.
+        self._signature_cache: Dict[int, int] = {}
         self.sampler: Optional[Sampler] = None
 
     def bind(self, cache: "Cache") -> None:
@@ -108,9 +112,11 @@ class SamplingDeadBlockPredictor(DeadBlockPredictor):
     # prediction: purely a function of the accessing PC
     # ------------------------------------------------------------------
     def _signature(self, pc: int) -> int:
-        from repro.utils.hashing import fold_xor
-
-        return fold_xor(pc, self._pc_bits)
+        signature = self._signature_cache.get(pc)
+        if signature is None:
+            signature = fold_xor(pc, self._pc_bits)
+            self._signature_cache[pc] = signature
+        return signature
 
     def _predict(self, pc: int) -> bool:
         return self.tables.predict(self._signature(pc))
@@ -120,8 +126,14 @@ class SamplingDeadBlockPredictor(DeadBlockPredictor):
         sampler = self.sampler
         if sampler is None:
             return
-        sampler_set = sampler.sampler_set_for(set_index)
-        if sampler_set is not None:
+        # Inlined Sampler.sampler_set_for: this runs on every LLC access,
+        # and only ~1.6% of sets are sampled, so the reject path must be
+        # two integer ops, not a method call.
+        interval = sampler.interval
+        if set_index % interval:
+            return
+        sampler_set = set_index // interval
+        if sampler_set < sampler.num_sets:
             sampler.access(
                 sampler_set, self.cache.geometry.tag(access.address), access.pc
             )

@@ -26,7 +26,7 @@ Training protocol on an access to a sampled set:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.skewed import SkewedCounterTable
 from repro.utils.bits import mask
@@ -91,6 +91,10 @@ class Sampler:
         self.tag_bits = tag_bits
         self.pc_bits = pc_bits
         self.interval = max(1, cache_sets // self.num_sets)
+        self._tag_mask = mask(tag_bits)
+        # PC -> folded signature memo (the fold is pure; the distinct-PC
+        # set of a workload is small).
+        self._signature_cache: Dict[int, int] = {}
         self.sets: List[List[SamplerEntry]] = [
             [SamplerEntry() for _ in range(associativity)]
             for _ in range(self.num_sets)
@@ -126,11 +130,15 @@ class Sampler:
     # ------------------------------------------------------------------
     def partial_tag(self, tag: int) -> int:
         """Lower-order bits of the full tag (paper Section III-A)."""
-        return tag & mask(self.tag_bits)
+        return tag & self._tag_mask
 
     def pc_signature(self, pc: int) -> int:
         """Fold the PC to the signature width used to index the tables."""
-        return fold_xor(pc, self.pc_bits)
+        signature = self._signature_cache.get(pc)
+        if signature is None:
+            signature = fold_xor(pc, self.pc_bits)
+            self._signature_cache[pc] = signature
+        return signature
 
     # ------------------------------------------------------------------
     # the access path

@@ -19,7 +19,7 @@ Figure 6 (``num_tables=1`` with a 4x larger table), where the paper's
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.utils.bits import ilog2
 from repro.utils.hashing import skewed_hash
@@ -61,25 +61,44 @@ class SkewedCounterTable:
         self.tables: List[List[int]] = [
             [0] * entries_per_table for _ in range(num_tables)
         ]
+        # The per-bank index of a signature is a pure function of the
+        # signature (the salts are fixed), and the signature space is small
+        # (15 bits), so the hashes are computed once per signature and
+        # memoized for the predictor's lifetime.
+        self._index_cache: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
+    def _indices(self, signature: int) -> Tuple[int, ...]:
+        """Per-bank table indices for ``signature`` (memoized)."""
+        indices = self._index_cache.get(signature)
+        if indices is None:
+            index_bits = self.index_bits
+            indices = tuple(
+                skewed_hash(signature, table_index, index_bits)
+                for table_index in range(self.num_tables)
+            )
+            self._index_cache[signature] = indices
+        return indices
+
     def confidence(self, signature: int) -> int:
         """Summed counter value across the banks for ``signature``."""
         total = 0
-        for table_index, table in enumerate(self.tables):
-            total += table[skewed_hash(signature, table_index, self.index_bits)]
+        for table, index in zip(self.tables, self._indices(signature)):
+            total += table[index]
         return total
 
     def predict(self, signature: int) -> bool:
         """True when ``signature``'s confidence meets the dead threshold."""
-        return self.confidence(signature) >= self.threshold
+        total = 0
+        for table, index in zip(self.tables, self._indices(signature)):
+            total += table[index]
+        return total >= self.threshold
 
     def train(self, signature: int, dead: bool) -> None:
         """Push every bank's counter toward dead (increment) or live
         (decrement), saturating."""
         maximum = self.counter_max
-        for table_index, table in enumerate(self.tables):
-            index = skewed_hash(signature, table_index, self.index_bits)
+        for table, index in zip(self.tables, self._indices(signature)):
             value = table[index]
             if dead:
                 if value < maximum:

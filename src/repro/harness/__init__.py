@@ -8,6 +8,8 @@
   techniques.
 * :mod:`repro.harness.experiments` -- one function per paper experiment
   (Figures 1, 4-10; Tables I-IV), returning structured results.
+* :mod:`repro.harness.parallel` -- process-parallel fan-out of the
+  single-thread sweeps (``REPRO_JOBS``), bit-identical to serial runs.
 * :mod:`repro.harness.tables` -- plain-text rendering used by the
   benchmark scripts to print paper-style tables.
 """
@@ -23,6 +25,10 @@ from repro.harness.experiments import (
     efficiency_experiment,
     multicore_comparison,
     single_thread_comparison,
+)
+from repro.harness.parallel import (
+    parallel_single_thread_comparison,
+    resolve_jobs,
 )
 from repro.harness.runner import ExperimentConfig, WorkloadCache
 from repro.harness.tables import format_table
@@ -54,5 +60,7 @@ __all__ = [
     "efficiency_experiment",
     "format_table",
     "multicore_comparison",
+    "parallel_single_thread_comparison",
+    "resolve_jobs",
     "single_thread_comparison",
 ]

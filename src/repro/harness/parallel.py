@@ -1,0 +1,167 @@
+"""Process-parallel experiment sweeps.
+
+The single-thread comparisons behind Figures 4/5 and 7/8 are
+embarrassingly parallel: every (benchmark, technique) cell replays its
+own LLC stream on its own cache, and cells only meet again at reporting
+time.  This module fans those cells over a :mod:`multiprocessing` pool.
+
+Determinism contract: a parallel sweep is bit-identical to the serial
+one, whatever the job count or OS scheduling.  That holds because every
+source of randomness is seeded per *task*, not per process:
+
+* workload generation draws from ``ExperimentConfig.seed`` and the
+  benchmark name only (``build_trace(benchmark, ..., seed=config.seed)``),
+  so each worker regenerates exactly the trace the serial run would use;
+* policy RNGs (e.g. the random-replacement XorShift) use fixed
+  per-policy seeds and are constructed fresh inside each cell.
+
+``tests/test_parallel_harness.py`` pins serial == parallel equality.
+
+Worker processes each hold a private :class:`WorkloadCache`, so a
+workload's generation + L1/L2 filtering pass is repeated once per worker
+that draws a cell of that benchmark (cells are handed out benchmark-major
+so a pool chunk usually keeps one benchmark in one worker).  That
+duplicated filtering is the price of process isolation; it is amortized
+across the techniques of the sweep.
+
+The job count comes from, in priority order: the ``jobs`` argument, the
+``REPRO_JOBS`` environment variable, default 1 (serial, in-process).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.harness.experiments import (
+    SingleThreadComparison,
+    single_thread_comparison,
+)
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.harness.techniques import TECHNIQUES
+from repro.sim.system import RunResult
+from repro.workloads import SINGLE_THREAD_SUBSET
+
+__all__ = ["parallel_single_thread_comparison", "resolve_jobs"]
+
+#: Sentinel technique key for the per-benchmark LRU baseline cell.
+_BASELINE = None
+
+#: Per-worker-process workload cache, built once by the pool initializer.
+_WORKER_CACHE: Optional[WorkloadCache] = None
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-process count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    Raises ValueError for non-positive or non-integer settings.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS")
+        if raw is None:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
+    if jobs < 1:
+        raise ValueError(f"job count must be positive, got {jobs}")
+    return jobs
+
+
+def _init_worker(config: ExperimentConfig) -> None:
+    """Pool initializer: give this worker its own workload cache."""
+    global _WORKER_CACHE
+    _WORKER_CACHE = WorkloadCache(config)
+
+
+def _run_cell(
+    task: Tuple[str, Optional[str]]
+) -> Tuple[str, Optional[str], RunResult]:
+    """Run one (benchmark, technique) cell in a worker process.
+
+    ``technique_key=None`` is the LRU baseline cell.  The result is
+    stripped of its cache and observers before crossing the process
+    boundary (policies hold unpicklable state; sweeps only read stats,
+    timing, and hit vectors).
+    """
+    benchmark, technique_key = task
+    cache = _WORKER_CACHE
+    filtered = cache.filtered(benchmark)
+    if technique_key is _BASELINE:
+        technique = TECHNIQUES["lru"]
+        name = "lru"
+        compute_timing = True
+    else:
+        technique = TECHNIQUES[technique_key]
+        name = technique_key
+        compute_timing = technique.timing_meaningful
+    result = cache.system.run(
+        filtered,
+        lambda g, a: technique.build(g, a),
+        technique_name=name,
+        compute_timing=compute_timing,
+    )
+    result.cache = None
+    result.observers = ()
+    return benchmark, technique_key, result
+
+
+def parallel_single_thread_comparison(
+    cache: Union[WorkloadCache, ExperimentConfig],
+    technique_keys: Sequence[str],
+    benchmarks: Sequence[str] = SINGLE_THREAD_SUBSET,
+    jobs: Optional[int] = None,
+) -> SingleThreadComparison:
+    """Figure 4/5/7/8 sweep, fanned over worker processes.
+
+    Args:
+        cache: a :class:`WorkloadCache` to use (and to run serially in
+            when ``jobs == 1``), or an :class:`ExperimentConfig` from
+            which each worker builds its own cache.
+        technique_keys: techniques to sweep (baseline LRU always runs).
+        benchmarks: workloads to sweep.
+        jobs: worker processes; ``None`` defers to ``REPRO_JOBS``.
+
+    Returns the same :class:`SingleThreadComparison` a serial
+    :func:`single_thread_comparison` call would, bit-identically.
+    """
+    if isinstance(cache, ExperimentConfig):
+        config, workload_cache = cache, None
+    else:
+        config, workload_cache = cache.config, cache
+
+    cells: List[Tuple[str, Optional[str]]] = []
+    for benchmark in benchmarks:
+        cells.append((benchmark, _BASELINE))
+        cells.extend((benchmark, key) for key in technique_keys)
+
+    jobs = min(resolve_jobs(jobs), len(cells))
+    if jobs <= 1:
+        if workload_cache is None:
+            workload_cache = WorkloadCache(config)
+        return single_thread_comparison(workload_cache, technique_keys, benchmarks)
+
+    with multiprocessing.Pool(
+        processes=jobs, initializer=_init_worker, initargs=(config,)
+    ) as pool:
+        cell_results = pool.map(_run_cell, cells)
+
+    baseline: Dict[str, RunResult] = {}
+    results: Dict[str, Dict[str, RunResult]] = {
+        benchmark: {} for benchmark in benchmarks
+    }
+    for benchmark, technique_key, result in cell_results:
+        if technique_key is _BASELINE:
+            baseline[benchmark] = result
+        else:
+            results[benchmark][technique_key] = result
+    return SingleThreadComparison(
+        benchmarks=tuple(benchmarks),
+        technique_keys=tuple(technique_keys),
+        baseline=baseline,
+        results=results,
+    )

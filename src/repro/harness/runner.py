@@ -16,7 +16,13 @@ Variable               Meaning                                  Default
 ``REPRO_SCALE``        divide every cache capacity by this      8
 ``REPRO_INSTRUCTIONS`` instruction budget per benchmark         400000
 ``REPRO_SEED``         workload generation seed                 1
+``REPRO_CORES``        cores in the multicore experiments       4
+``REPRO_JOBS``         worker processes for experiment sweeps   1
 =====================  =======================================  ========
+
+``REPRO_JOBS`` is read by :mod:`repro.harness.parallel`, not here: it
+controls how many (benchmark, technique) cells run concurrently and has
+no effect on simulated results (see docs/performance.md).
 
 ``REPRO_SCALE=1 REPRO_INSTRUCTIONS=1000000000`` reproduces the paper's
 exact machine and budget (at Python speed: bring a cluster and patience).
@@ -65,6 +71,7 @@ class ExperimentConfig:
             scale=_env_int("REPRO_SCALE", 8),
             instructions=_env_int("REPRO_INSTRUCTIONS", 400_000),
             seed=_env_int("REPRO_SEED", 1),
+            num_cores=_env_int("REPRO_CORES", 4),
         )
 
     def machine(self) -> MachineConfig:

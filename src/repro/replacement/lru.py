@@ -42,6 +42,10 @@ class LRUPolicy(ReplacementPolicy):
     def _promote(self, set_index: int, way: int, position: int) -> None:
         """Move ``way`` to ``position`` in the recency stack (0 = MRU)."""
         stack = self._stacks[set_index]
+        # Re-touching the block already at the target position (the common
+        # case on hit-heavy streams) is the identity move.
+        if stack[position] == way:
+            return
         stack.remove(way)
         stack.insert(position, way)
 

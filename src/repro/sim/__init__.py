@@ -16,12 +16,20 @@ rebuilds that pipeline for synthetic traces:
 4. :mod:`repro.sim.system` -- the single-core runner tying it together.
 5. :mod:`repro.sim.multicore` -- quad-core shared-LLC runs and the
    weighted speedup metric of Section VI-A.2.
+6. :mod:`repro.sim.replay` -- the fast LLC replay kernel driving a policy
+   over a precomputed stream (see docs/performance.md).
 """
 
 from repro.sim.cpu import CoreModel, CoreTiming
-from repro.sim.hierarchy import FilteredTrace, HierarchyFilter, MachineConfig
+from repro.sim.hierarchy import (
+    FilteredTrace,
+    HierarchyFilter,
+    MachineConfig,
+    PreparedStream,
+)
 from repro.sim.metrics import geometric_mean, normalized_value, weighted_speedup
 from repro.sim.multicore import MulticoreResult, MulticoreSystem
+from repro.sim.replay import replay
 from repro.sim.system import RunResult, SingleCoreSystem
 from repro.sim.trace import Trace, TraceRecord
 
@@ -33,11 +41,13 @@ __all__ = [
     "MachineConfig",
     "MulticoreResult",
     "MulticoreSystem",
+    "PreparedStream",
     "RunResult",
     "SingleCoreSystem",
     "Trace",
     "TraceRecord",
     "geometric_mean",
     "normalized_value",
+    "replay",
     "weighted_speedup",
 ]

@@ -75,10 +75,13 @@ class CoreModel:
         config = self.config
         width = config.width
         window = config.window
-        l1_latency = config.l1_latency
         l2_latency = config.l2_latency
         llc_latency = config.llc_latency
         memory_latency = config.memory_latency
+        # Per-record resolved latency for L1/L2 hits (-1 marks LLC-bound
+        # records), precomputed once per workload and shared across the
+        # techniques replayed on it.
+        fixed_latencies = filtered.fixed_latencies(config.l1_latency, l2_latency)
 
         issue = 0.0            # cycle the next instruction issues
         inst_pos = 0           # instructions issued so far
@@ -87,7 +90,6 @@ class CoreModel:
         # In-flight long-latency ops: (instruction position, completion).
         in_flight: deque = deque()
         llc_cursor = 0
-        levels = filtered.levels
 
         for record_index, record in enumerate(filtered.trace.records):
             gap = record.gap
@@ -100,12 +102,8 @@ class CoreModel:
                 if done > issue:
                     issue = done
 
-            level = levels[record_index]
-            if level == 1:
-                latency = l1_latency
-            elif level == 2:
-                latency = l2_latency
-            else:
+            latency = fixed_latencies[record_index]
+            if latency < 0:
                 latency = llc_latency if llc_hits[llc_cursor] else memory_latency
                 llc_cursor += 1
 

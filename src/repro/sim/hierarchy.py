@@ -18,12 +18,13 @@ sized mid-level cache filters out most of the temporal locality"
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.cache.cache import CacheAccess
 from repro.cache.geometry import CacheGeometry
 from repro.sim.trace import Trace
 
-__all__ = ["FilteredTrace", "HierarchyFilter", "MachineConfig"]
+__all__ = ["FilteredTrace", "HierarchyFilter", "MachineConfig", "PreparedStream"]
 
 #: Hit-level codes stored per trace record.
 L1_HIT, L2_HIT, LLC_LEVEL = 1, 2, 3
@@ -115,6 +116,38 @@ class _FastLRU:
         return False
 
 
+class PreparedStream:
+    """The LLC access stream of one workload, decomposed for one geometry.
+
+    Struct-of-arrays layout: position ``i`` of every array describes the
+    same LLC access, so a replay kernel
+    (:func:`repro.sim.replay.replay`) can walk precomputed
+    ``(set_index, tag)`` pairs instead of re-deriving them from the byte
+    address once per technique.  The :class:`~repro.cache.cache.CacheAccess`
+    objects carry stream-position ``seq`` numbers (the contract the
+    optimal policy needs) and are safe to share across techniques: no
+    policy or predictor mutates them.
+    """
+
+    __slots__ = ("accesses", "set_indices", "tags")
+
+    def __init__(
+        self,
+        accesses: List[CacheAccess],
+        set_indices: List[int],
+        tags: List[int],
+    ) -> None:
+        self.accesses = accesses
+        self.set_indices = set_indices
+        self.tags = tags
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __repr__(self) -> str:
+        return f"PreparedStream({len(self.accesses)} LLC accesses)"
+
+
 class FilteredTrace:
     """A trace plus its L1/L2 filtering results.
 
@@ -124,14 +157,98 @@ class FilteredTrace:
             reference reached the LLC; its final latency depends on the
             LLC policy under test).
         llc_indices: indices into ``trace.records`` of LLC-bound accesses.
+
+    The paper's methodology simulates L1+L2 once and replays the LLC
+    stream once per technique, so everything derivable from the filtering
+    alone is precomputed here exactly once per workload and shared:
+    struct-of-arrays views of the LLC stream (:meth:`llc_arrays`),
+    per-geometry ``(set_index, tag)`` decompositions (:meth:`llc_stream`),
+    and per-record resolved latencies for the L1/L2 hits
+    (:meth:`fixed_latencies`).
     """
 
-    __slots__ = ("levels", "llc_indices", "trace")
+    __slots__ = ("_latencies", "_llc_arrays", "_streams", "levels", "llc_indices", "trace")
 
     def __init__(self, trace: Trace, levels: List[int], llc_indices: List[int]) -> None:
         self.trace = trace
         self.levels = levels
         self.llc_indices = llc_indices
+        self._llc_arrays: Optional[Tuple[List[int], List[int], List[bool]]] = None
+        self._streams: Dict[Tuple[int, int, int, int], PreparedStream] = {}
+        self._latencies: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # precomputed views (built once per workload, shared by techniques)
+    # ------------------------------------------------------------------
+    def llc_arrays(self) -> Tuple[List[int], List[int], List[bool]]:
+        """The LLC stream as parallel ``(pcs, addresses, writes)`` arrays.
+
+        Geometry-independent; computed on first use and cached.
+        """
+        if self._llc_arrays is None:
+            records = self.trace.records
+            pcs: List[int] = []
+            addresses: List[int] = []
+            writes: List[bool] = []
+            for index in self.llc_indices:
+                record = records[index]
+                pcs.append(record.pc)
+                addresses.append(record.address)
+                writes.append(record.is_write)
+            self._llc_arrays = (pcs, addresses, writes)
+        return self._llc_arrays
+
+    def llc_stream(
+        self,
+        geometry: CacheGeometry,
+        address_offset: int = 0,
+        core: int = 0,
+    ) -> PreparedStream:
+        """The LLC stream prepared for ``geometry`` (cached per geometry).
+
+        ``address_offset`` and ``core`` support multicore runs, where each
+        core's stream is relocated into a disjoint address range.
+        """
+        key = (geometry.offset_bits, geometry.index_bits, address_offset, core)
+        stream = self._streams.get(key)
+        if stream is None:
+            pcs, addresses, writes = self.llc_arrays()
+            offset_bits = geometry.offset_bits
+            index_bits = geometry.index_bits
+            index_mask = geometry.num_sets - 1
+            accesses: List[CacheAccess] = []
+            set_indices: List[int] = []
+            tags: List[int] = []
+            for seq in range(len(addresses)):
+                address = addresses[seq] + address_offset
+                accesses.append(
+                    CacheAccess(
+                        address=address,
+                        pc=pcs[seq],
+                        is_write=writes[seq],
+                        seq=seq,
+                        core=core,
+                    )
+                )
+                block_address = address >> offset_bits
+                set_indices.append(block_address & index_mask)
+                tags.append(block_address >> index_bits)
+            stream = PreparedStream(accesses, set_indices, tags)
+            self._streams[key] = stream
+        return stream
+
+    def fixed_latencies(self, l1_latency: int, l2_latency: int) -> List[int]:
+        """Per-record resolved latency for L1/L2 hits; ``-1`` marks records
+        that reach the LLC (their latency depends on the policy under
+        test).  Cached, so the timing model's per-record level branching is
+        paid once per workload rather than once per technique."""
+        key = (l1_latency, l2_latency)
+        latencies = self._latencies.get(key)
+        if latencies is None:
+            lookup = {L1_HIT: l1_latency, L2_HIT: l2_latency, LLC_LEVEL: -1}
+            latencies = [lookup[level] for level in self.levels]
+            self._latencies[key] = latencies
+        return latencies
 
     @property
     def name(self) -> str:

@@ -34,7 +34,7 @@ from repro.replacement.lru import LRUPolicy
 from repro.sim.cpu import CoreModel
 from repro.sim.hierarchy import FilteredTrace, HierarchyFilter, MachineConfig
 from repro.sim.metrics import weighted_speedup
-from repro.sim.system import build_llc_accesses
+from repro.sim.replay import replay
 from repro.sim.trace import Trace
 
 __all__ = ["MulticoreResult", "MulticoreSystem", "PreparedMix"]
@@ -119,9 +119,9 @@ class MulticoreSystem:
     def _solo_ipc(self, filtered: FilteredTrace) -> float:
         """IPC of one program alone with the full shared LLC under LRU."""
         geometry = self.shared_geometry
-        accesses = build_llc_accesses(filtered)
+        stream = filtered.llc_stream(geometry)
         cache = Cache(geometry, LRUPolicy(), name="LLC-solo")
-        hits = [cache.access(access) for access in accesses]
+        hits = replay(cache, stream.accesses, stream.set_indices, stream.tags)
         return self._core.run(filtered, hits).ipc
 
     def _merge(
@@ -173,7 +173,7 @@ class MulticoreSystem:
         geometry = self.shared_geometry
         policy = policy_factory(geometry, prepared.merged, self.num_cores)
         cache = Cache(geometry, policy, name="sharedLLC")
-        hits = [cache.access(access) for access in prepared.merged]
+        hits = replay(cache, prepared.merged)
         ipcs = []
         for core, ft in enumerate(prepared.filtered):
             core_hits = [hits[position] for position in prepared.per_core_positions[core]]

@@ -1,0 +1,215 @@
+"""The fast LLC replay kernel.
+
+The paper's evaluation replays one L1/L2-filtered LLC stream once per
+technique (Section VI-B); in a pure-Python model the replay loop is the
+hot path of every figure.  :func:`replay` drives a
+:class:`~repro.cache.cache.Cache` over a stream whose ``(set_index, tag)``
+decomposition was precomputed once per workload
+(:meth:`~repro.sim.hierarchy.FilteredTrace.llc_stream`), with the access
+path inlined into one loop: per-set dict lookup for the tag probe, policy
+callbacks bound to locals, statistics accumulated in local counters and
+committed once at the end.
+
+Correctness contract: ``replay(cache, accesses, ...)`` produces the same
+hit vector and leaves the cache in the same state -- bit-identical
+:class:`~repro.cache.stats.CacheStats`, block contents, and policy state --
+as the reference loop ``[cache.access(a) for a in accesses]``.  The
+golden-equivalence tests (``tests/test_replay_equivalence.py``) pin this
+for every replacement policy.
+
+The kernel only takes the inlined fast path when it can prove it is
+semantically equivalent to the reference loop:
+
+* the cache is exactly :class:`~repro.cache.cache.Cache` (subclasses such
+  as the victim-relocation cache override ``access`` and must keep their
+  virtual dispatch), and
+* no observer is attached (Figures 4-8 replay with zero observers; the
+  efficiency/accuracy analyses attach observers and take the reference
+  path).
+
+If a policy raises mid-replay, the locally accumulated counters for the
+partial replay are not committed to ``cache.stats``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cache.cache import Cache, CacheAccess
+from repro.replacement.base import ReplacementPolicy
+
+__all__ = ["replay"]
+
+
+def replay(
+    cache: Cache,
+    accesses: Sequence[CacheAccess],
+    set_indices: Optional[Sequence[int]] = None,
+    tags: Optional[Sequence[int]] = None,
+) -> List[bool]:
+    """Replay an LLC access stream; returns the per-access hit vector.
+
+    Args:
+        cache: the LLC under test (policy already bound).
+        accesses: the stream, in order; ``seq`` must be the stream
+            position when the policy is position-indexed (optimal).
+        set_indices / tags: precomputed address decomposition for
+            ``cache.geometry`` (both or neither).  When omitted they are
+            derived inline -- still faster than per-access method calls,
+            but sharing one precomputed decomposition across techniques is
+            the point of :class:`~repro.sim.hierarchy.PreparedStream`.
+    """
+    if (set_indices is None) != (tags is None):
+        raise ValueError("set_indices and tags must be provided together")
+    if set_indices is not None and (
+        len(set_indices) != len(accesses) or len(tags) != len(accesses)
+    ):
+        raise ValueError(
+            f"decomposition arrays ({len(set_indices)}/{len(tags)}) do not "
+            f"match the stream length ({len(accesses)})"
+        )
+
+    if type(cache) is not Cache or cache.has_observers:
+        # Reference path: subclass access overrides and observer
+        # notifications must keep their exact semantics.
+        cache_access = cache.access
+        return [cache_access(access) for access in accesses]
+
+    geometry = cache.geometry
+    offset_bits = geometry.offset_bits
+    index_bits = geometry.index_bits
+    index_mask = geometry.num_sets - 1
+    associativity = geometry.associativity
+
+    sets = cache.sets
+    tag_index = cache._tag_index
+    policy = cache.policy
+    policy_type = type(policy)
+    choose_victim = policy.choose_victim
+    # Callbacks a policy left as the base-class no-op are skipped outright;
+    # the base ``should_bypass`` always answers False, so skipping it is
+    # equivalent to never bypassing.
+    on_hit = (
+        policy.on_hit
+        if policy_type.on_hit is not ReplacementPolicy.on_hit
+        else None
+    )
+    on_fill = (
+        policy.on_fill
+        if policy_type.on_fill is not ReplacementPolicy.on_fill
+        else None
+    )
+    on_miss = (
+        policy.on_miss
+        if policy_type.on_miss is not ReplacementPolicy.on_miss
+        else None
+    )
+    should_bypass = (
+        policy.should_bypass
+        if policy_type.should_bypass is not ReplacementPolicy.should_bypass
+        else None
+    )
+    on_evict = (
+        policy.on_evict
+        if policy_type.on_evict is not ReplacementPolicy.on_evict
+        else None
+    )
+
+    hits: List[bool] = []
+    hits_append = hits.append
+    hit_count = 0
+    miss_count = 0
+    bypass_count = 0
+    fill_count = 0
+    evict_count = 0
+    writeback_count = 0
+    dead_victim_count = 0
+
+    derive_inline = set_indices is None
+    for position, access in enumerate(accesses):
+        if derive_inline:
+            block_address = access.address >> offset_bits
+            set_index = block_address & index_mask
+            tag = block_address >> index_bits
+        else:
+            set_index = set_indices[position]
+            tag = tags[position]
+
+        index = tag_index[set_index]
+        way = index.get(tag)
+        if way is not None:
+            hit_count += 1
+            # Inlined CacheBlock.touch.
+            block = sets[set_index][way]
+            block.last_access_seq = access.seq
+            block.access_count += 1
+            if access.is_write:
+                block.dirty = True
+            if on_hit is not None:
+                on_hit(set_index, way, access)
+            hits_append(True)
+            continue
+
+        miss_count += 1
+        if on_miss is not None:
+            on_miss(set_index, access)
+        if should_bypass is not None and should_bypass(set_index, access):
+            bypass_count += 1
+            hits_append(False)
+            continue
+
+        blocks = sets[set_index]
+        way = -1
+        if len(index) < associativity:
+            for candidate, block in enumerate(blocks):
+                if not block.valid:
+                    way = candidate
+                    break
+        if way < 0:
+            way = choose_victim(set_index, access)
+            if not 0 <= way < associativity:
+                raise ValueError(
+                    f"policy {policy!r} chose invalid victim way {way}"
+                )
+        block = blocks[way]
+        if block.valid:
+            # Inlined Cache._evict; the fill below overwrites every field
+            # CacheBlock.invalidate would reset, so the victim frame is
+            # never explicitly invalidated.
+            evict_count += 1
+            if block.dirty:
+                writeback_count += 1
+            if block.predicted_dead:
+                dead_victim_count += 1
+            if on_evict is not None:
+                on_evict(set_index, way, access)
+            old_tag = block.tag
+            if index.get(old_tag) == way:
+                del index[old_tag]
+        # Inlined CacheBlock.fill.
+        seq = access.seq
+        block.valid = True
+        block.tag = tag
+        block.dirty = access.is_write
+        block.predicted_dead = False
+        block.fill_seq = seq
+        block.last_access_seq = seq
+        block.access_count = 1
+        if block.meta:
+            block.meta.clear()
+        index[tag] = way
+        fill_count += 1
+        if on_fill is not None:
+            on_fill(set_index, way, access)
+        hits_append(False)
+
+    stats = cache.stats
+    stats.accesses += len(accesses)
+    stats.hits += hit_count
+    stats.misses += miss_count
+    stats.bypasses += bypass_count
+    stats.fills += fill_count
+    stats.evictions += evict_count
+    stats.writebacks += writeback_count
+    stats.dead_block_victims += dead_victim_count
+    return hits

@@ -24,6 +24,7 @@ from repro.cache.stats import CacheStats
 from repro.replacement.base import ReplacementPolicy
 from repro.sim.cpu import CoreModel, CoreTiming
 from repro.sim.hierarchy import FilteredTrace, HierarchyFilter, MachineConfig
+from repro.sim.replay import replay
 from repro.sim.trace import Trace
 
 __all__ = ["PolicyFactory", "RunResult", "SingleCoreSystem"]
@@ -72,21 +73,23 @@ def build_llc_accesses(
     filtered: FilteredTrace, core: int = 0, address_offset: int = 0
 ) -> List[CacheAccess]:
     """Materialize the LLC access stream with stream-position sequence
-    numbers (the contract :class:`~repro.replacement.OptimalPolicy` needs)."""
-    accesses = []
-    records = filtered.trace.records
-    for seq, index in enumerate(filtered.llc_indices):
-        record = records[index]
-        accesses.append(
-            CacheAccess(
-                address=record.address + address_offset,
-                pc=record.pc,
-                is_write=record.is_write,
-                seq=seq,
-                core=core,
-            )
+    numbers (the contract :class:`~repro.replacement.OptimalPolicy` needs).
+
+    Returns a fresh list of fresh objects; callers that can share one
+    prepared stream across techniques should prefer
+    :meth:`~repro.sim.hierarchy.FilteredTrace.llc_stream`.
+    """
+    pcs, addresses, writes = filtered.llc_arrays()
+    return [
+        CacheAccess(
+            address=addresses[seq] + address_offset,
+            pc=pcs[seq],
+            is_write=writes[seq],
+            seq=seq,
+            core=core,
         )
-    return accesses
+        for seq in range(len(addresses))
+    ]
 
 
 class SingleCoreSystem:
@@ -126,13 +129,13 @@ class SingleCoreSystem:
             llc_geometry: override the LLC geometry (multicore sizing).
         """
         geometry = llc_geometry or self.config.llc
-        accesses = build_llc_accesses(filtered)
-        policy = policy_factory(geometry, accesses)
+        stream = filtered.llc_stream(geometry)
+        policy = policy_factory(geometry, stream.accesses)
         cache = Cache(geometry, policy, name="LLC")
         observers = [factory(cache) for factory in observer_factories]
         for observer in observers:
             cache.add_observer(observer)
-        llc_hits = [cache.access(access) for access in accesses]
+        llc_hits = replay(cache, stream.accesses, stream.set_indices, stream.tags)
         timing = self._core.run(filtered, llc_hits) if compute_timing else None
         return RunResult(
             workload=filtered.name,

@@ -9,7 +9,7 @@ timing model uses to serialize miss latencies.
 
 from __future__ import annotations
 
-from typing import Iterable, List, NamedTuple
+from typing import Iterable, List, NamedTuple, Optional
 
 __all__ = ["Trace", "TraceRecord"]
 
@@ -47,10 +47,20 @@ class Trace:
 
     __slots__ = ("instructions", "name", "records")
 
-    def __init__(self, name: str, records: List[TraceRecord]) -> None:
+    def __init__(
+        self,
+        name: str,
+        records: List[TraceRecord],
+        instructions: Optional[int] = None,
+    ) -> None:
+        """``instructions`` may be passed when the caller already knows the
+        total (e.g. :meth:`concatenate`, trace deserialization), skipping
+        the O(n) summation over ``records``."""
         self.name = name
         self.records = records
-        self.instructions = sum(record.gap for record in records) + len(records)
+        if instructions is None:
+            instructions = sum(record.gap for record in records) + len(records)
+        self.instructions = instructions
 
     def __len__(self) -> int:
         return len(self.records)
@@ -67,11 +77,17 @@ class Trace:
 
     @staticmethod
     def concatenate(name: str, traces: Iterable["Trace"]) -> "Trace":
-        """Join several traces into one (used by phase-based workloads)."""
+        """Join several traces into one (used by phase-based workloads).
+
+        Each piece already carries its own total, so the joined count is a
+        sum over pieces rather than a second walk over every record.
+        """
         records: List[TraceRecord] = []
+        instructions = 0
         for trace in traces:
             records.extend(trace.records)
-        return Trace(name, records)
+            instructions += trace.instructions
+        return Trace(name, records, instructions=instructions)
 
     def __repr__(self) -> str:
         return (

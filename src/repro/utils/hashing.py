@@ -56,10 +56,11 @@ def fold_xor(value: int, width: int) -> int:
     """
     if width <= 0:
         raise ValueError(f"width must be positive, got {width}")
+    chunk_mask = (1 << width) - 1
     folded = 0
     value &= _MASK64
     while value:
-        folded ^= value & mask(width)
+        folded ^= value & chunk_mask
         value >>= width
     return folded
 

@@ -92,13 +92,14 @@ class VictimRelocationCache(Cache):
                 # Remove the relocated copy silently: the data moves, it
                 # does not leave the cache, so neither eviction stats nor
                 # the predictor's "dead" training fire.
-                block.invalidate()
+                self._clear_frame(partner, way)
                 # Reinstall at home through the normal fill machinery.
                 home_way = self._frame_for_fill(home_set, access)
-                home_block = self.sets[home_set][home_way]
-                if home_block.valid:
+                if self.sets[home_set][home_way].valid:
                     self._evict(home_set, home_way, access)
-                home_block.fill(tag, access.seq, access.is_write)
+                home_block = self._install_frame(
+                    home_set, home_way, tag, access.seq, access.is_write
+                )
                 home_block.dirty = home_block.dirty or was_dirty
                 self.policy.on_fill(home_set, home_way, access)
                 self.vvc_stats.promotions += 1
@@ -131,17 +132,19 @@ class VictimRelocationCache(Cache):
         if target_way is None:
             return False
         victim = self.sets[set_index][way]
-        target = self.sets[partner][target_way]
-        if target.valid:
+        if self.sets[partner][target_way].valid:
             super()._evict(partner, target_way, access)
         home_tag = victim.tag
-        target.fill(_RELOCATED_TAG, access.seq, is_write=False)
-        target.dirty = victim.dirty
+        was_dirty = victim.dirty
+        target = self._install_frame(
+            partner, target_way, _RELOCATED_TAG, access.seq, is_write=False
+        )
+        target.dirty = was_dirty
         target.meta[_HOME_KEY] = set_index
         target.meta[_TAG_KEY] = home_tag
         self.policy.on_fill(partner, target_way, access)
         # The victim frame empties without a true eviction: the block is
         # still cached (in the partner set), so no "dead" training fires.
-        victim.invalidate()
+        self._clear_frame(set_index, way)
         self.vvc_stats.relocations += 1
         return True

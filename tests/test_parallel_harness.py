@@ -1,0 +1,107 @@
+"""The process-parallel sweep runner and its environment knobs.
+
+The load-bearing promise of :mod:`repro.harness.parallel` is that a
+parallel sweep is *bit-identical* to the serial one; the tests here pin
+that on a small budget, along with job-count resolution and the
+``REPRO_CORES`` / ``REPRO_JOBS`` environment overrides.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.parallel import (
+    parallel_single_thread_comparison,
+    resolve_jobs,
+)
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.harness.experiments import single_thread_comparison
+
+BENCHMARKS = ("perlbench", "mcf")
+TECHNIQUE_KEYS = ("rrip",)
+SMALL = ExperimentConfig(instructions=30_000)
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(5) == 5
+
+    @pytest.mark.parametrize("raw", ["0", "-2", "two"])
+    def test_invalid_settings_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        with pytest.raises(ValueError):
+            resolve_jobs()
+
+    def test_invalid_argument_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestExperimentConfigEnv:
+    def test_repro_cores_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORES", "2")
+        assert ExperimentConfig.from_env().num_cores == 2
+
+    def test_repro_cores_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CORES", raising=False)
+        assert ExperimentConfig.from_env().num_cores == 4
+
+    def test_repro_cores_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CORES", "0")
+        with pytest.raises(ValueError):
+            ExperimentConfig.from_env()
+
+
+class TestParallelComparison:
+    def test_serial_path_reuses_workload_cache(self):
+        cache = WorkloadCache(SMALL)
+        comparison = parallel_single_thread_comparison(
+            cache, TECHNIQUE_KEYS, BENCHMARKS, jobs=1
+        )
+        assert comparison.benchmarks == BENCHMARKS
+        # jobs=1 runs in-process: the passed cache now holds the workloads.
+        assert cache._filtered
+
+    def test_parallel_matches_serial_bit_identically(self):
+        serial = single_thread_comparison(
+            WorkloadCache(SMALL), TECHNIQUE_KEYS, BENCHMARKS
+        )
+        parallel = parallel_single_thread_comparison(
+            SMALL, TECHNIQUE_KEYS, BENCHMARKS, jobs=2
+        )
+        for benchmark in BENCHMARKS:
+            serial_base = serial.baseline[benchmark]
+            parallel_base = parallel.baseline[benchmark]
+            assert (
+                serial_base.llc_stats.snapshot()
+                == parallel_base.llc_stats.snapshot()
+            )
+            assert serial_base.ipc == parallel_base.ipc
+            for key in TECHNIQUE_KEYS:
+                mine = serial.results[benchmark][key]
+                theirs = parallel.results[benchmark][key]
+                assert mine.llc_stats.snapshot() == theirs.llc_stats.snapshot()
+                assert mine.llc_hits == theirs.llc_hits
+                assert mine.ipc == theirs.ipc
+                assert mine.instructions == theirs.instructions
+
+    def test_env_jobs_drives_fanout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        comparison = parallel_single_thread_comparison(
+            SMALL, TECHNIQUE_KEYS, BENCHMARKS
+        )
+        assert set(comparison.results) == set(BENCHMARKS)
+        for benchmark in BENCHMARKS:
+            result = comparison.results[benchmark][TECHNIQUE_KEYS[0]]
+            # Results crossed the process boundary stripped of the cache.
+            assert result.cache is None
+            assert result.llc_stats.accesses > 0

@@ -42,6 +42,16 @@ class TestTrace:
         assert len(joined) == 3
         assert joined.instructions == a.instructions + b.instructions
 
+    def test_precomputed_instruction_count(self):
+        records = [rec(1, 0, gap=3), rec(1, 64, gap=5)]
+        # A caller-supplied total is trusted verbatim (no O(n) re-walk)...
+        assert Trace("t", records, instructions=123).instructions == 123
+        # ...and the summed default stays consistent with concatenate's
+        # piecewise accumulation.
+        pieces = [Trace("p", records[:1]), Trace("q", records[1:])]
+        joined = Trace.concatenate("pq", pieces)
+        assert joined.instructions == Trace("t", records).instructions
+
     def test_iteration_yields_records(self):
         records = [rec(1, 0), rec(2, 64)]
         assert list(Trace("t", records)) == records
