@@ -5,12 +5,13 @@ PYTHON ?= python
 # Let every target run from a fresh clone, installed or not.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test check bench bench-smoke figures figures-fast results clean help
+.PHONY: install test test-faults check bench bench-smoke figures figures-fast results clean help
 
 help:
 	@echo "install      editable install (falls back to setup.py develop)"
 	@echo "test         run the unit/property test suite"
-	@echo "check        test suite + bench-smoke (the default pre-commit gate)"
+	@echo "test-faults  fault-injection / supervision tests only (hard per-test deadlines)"
+	@echo "check        test suite + fault tests + bench-smoke (the default pre-commit gate)"
 	@echo "bench        measure replay-engine throughput -> BENCH_PR1.json"
 	@echo "bench-smoke  tiny-budget bench harness validation -> BENCH_SMOKE.json"
 	@echo "figures      regenerate every paper table and figure"
@@ -24,7 +25,13 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-check: test bench-smoke
+# The fault-injection tests kill, stall, and time out sweep workers on
+# purpose; each runs under a hard SIGALRM deadline (see tests/conftest.py)
+# so a hang regression fails fast instead of wedging the suite.
+test-faults:
+	$(PYTHON) -m pytest tests/ -m faults
+
+check: test test-faults bench-smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_throughput.py

@@ -13,6 +13,14 @@ All commands respect the ``REPRO_SCALE`` / ``REPRO_INSTRUCTIONS`` /
 ``suite`` additionally honor ``REPRO_JOBS`` (or ``--jobs N``) to fan the
 (benchmark, technique) cells over worker processes; results are
 bit-identical to a serial run (see docs/performance.md).
+
+Long sweeps are fault-tolerant (see docs/robustness.md):
+``--checkpoint-dir DIR`` (or ``REPRO_CHECKPOINT_DIR``) persists each
+completed cell, ``--resume`` restarts an interrupted sweep from its last
+completed cell, and ``--allow-partial`` renders whatever completed plus
+a failure report instead of aborting when cells fail unrecoverably.
+Per-cell timeouts and retries come from ``REPRO_CELL_TIMEOUT`` /
+``REPRO_CELL_RETRIES`` / ``REPRO_RETRY_BACKOFF``.
 """
 
 from __future__ import annotations
@@ -51,11 +59,23 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _comparison(config, technique_keys, benchmarks, jobs=None):
+def _comparison(config, technique_keys, benchmarks, jobs=None,
+                checkpoint_dir=None, resume=False, allow_partial=False):
     cache = WorkloadCache(config)
     comparison = parallel_single_thread_comparison(
-        cache, technique_keys, benchmarks, jobs=jobs
+        cache, technique_keys, benchmarks, jobs=jobs,
+        checkpoint=checkpoint_dir, resume=resume,
+        allow_partial=allow_partial or None,
     )
+    if comparison.is_partial:
+        print(comparison.failure_report())
+        print()
+        done = [b for b in comparison.benchmarks if b in comparison.baseline
+                and set(technique_keys) <= set(comparison.results[b])]
+        comparison = _restrict(comparison, done)
+        if not comparison.benchmarks:
+            print("no benchmark completed every technique; nothing to render")
+            return 1
     labels = [TECHNIQUES[key].label for key in technique_keys]
     print(format_table(
         ["benchmark"] + labels,
@@ -71,6 +91,20 @@ def _comparison(config, technique_keys, benchmarks, jobs=None):
             title="Speedup over LRU",
         ))
     return 0
+
+
+def _restrict(comparison, benchmarks):
+    """A comparison narrowed to fully-completed benchmarks (partial
+    sweeps render the cells they have rather than crashing)."""
+    from repro.harness import SingleThreadComparison
+
+    return SingleThreadComparison(
+        benchmarks=tuple(benchmarks),
+        technique_keys=comparison.technique_keys,
+        baseline={b: comparison.baseline[b] for b in benchmarks},
+        results={b: comparison.results[b] for b in benchmarks},
+        failures=comparison.failures,
+    )
 
 
 def _parse_techniques(names) -> list:
@@ -95,6 +129,9 @@ def _cmd_run(args) -> int:
         _parse_techniques(args.techniques),
         (args.benchmark,),
         jobs=args.jobs,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        allow_partial=args.allow_partial,
     )
 
 
@@ -103,7 +140,10 @@ def _cmd_suite(args) -> int:
     print(f"running the {len(SINGLE_THREAD_SUBSET)}-benchmark subset on "
           f"{config.describe()}; expect a few minutes...\n")
     return _comparison(config, _parse_techniques(args.techniques),
-                       SINGLE_THREAD_SUBSET, jobs=args.jobs)
+                       SINGLE_THREAD_SUBSET, jobs=args.jobs,
+                       checkpoint_dir=args.checkpoint_dir,
+                       resume=args.resume,
+                       allow_partial=args.allow_partial)
 
 
 def _cmd_profile(args) -> int:
@@ -170,16 +210,28 @@ def main(argv=None) -> int:
     run_parser = subparsers.add_parser("run", help="compare techniques on one benchmark")
     run_parser.add_argument("benchmark")
     run_parser.add_argument("techniques", nargs="*")
-    run_parser.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes (default: REPRO_JOBS or 1)",
-    )
     suite_parser = subparsers.add_parser("suite", help="the full Figure 4/5 run")
     suite_parser.add_argument("techniques", nargs="*")
-    suite_parser.add_argument(
-        "--jobs", type=int, default=None,
-        help="worker processes (default: REPRO_JOBS or 1)",
-    )
+    for sweep_parser in (run_parser, suite_parser):
+        sweep_parser.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker processes (default: REPRO_JOBS or 1)",
+        )
+        sweep_parser.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="persist each completed cell here "
+                 "(default: REPRO_CHECKPOINT_DIR or off)",
+        )
+        sweep_parser.add_argument(
+            "--resume", action="store_true",
+            help="reload completed cells from the checkpoint dir "
+                 "instead of re-running them",
+        )
+        sweep_parser.add_argument(
+            "--allow-partial", action="store_true",
+            help="on unrecoverable cell failures, render completed "
+                 "cells plus a failure report instead of aborting",
+        )
     profile_parser = subparsers.add_parser(
         "profile", help="reuse-distance profile of one benchmark"
     )

@@ -29,6 +29,7 @@ rather than calling ``block.fill`` / ``block.invalidate`` themselves.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.cache.block import CacheBlock
@@ -38,7 +39,20 @@ from repro.cache.stats import CacheStats
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.replacement.base import ReplacementPolicy
 
-__all__ = ["Cache", "CacheAccess", "CacheObserver"]
+__all__ = ["Cache", "CacheAccess", "CacheObserver", "ParanoidViolation"]
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+class ParanoidViolation(AssertionError):
+    """A paranoid-mode invariant check failed: the cache's fast-path
+    bookkeeping (tag index, policy metadata, statistics) disagrees with
+    the ground-truth frame array.  Always a simulator bug, never a
+    property of the workload."""
 
 
 class CacheAccess:
@@ -110,6 +124,10 @@ class Cache:
         policy: decision-maker implementing the
             :class:`repro.replacement.base.ReplacementPolicy` interface.
         name: label used in reports ("L1D", "LLC", ...).
+        paranoid: validate the tag->way index against the frame array,
+            the policy's internal integrity, and statistics monotonicity
+            after every access (slow; for debugging and fault tests).
+            ``None`` defers to the ``REPRO_PARANOID`` environment flag.
     """
 
     def __init__(
@@ -117,10 +135,15 @@ class Cache:
         geometry: CacheGeometry,
         policy: "ReplacementPolicy",
         name: str = "cache",
+        paranoid: Optional[bool] = None,
     ) -> None:
         self.geometry = geometry
         self.policy = policy
         self.name = name
+        self.paranoid = (
+            _env_flag("REPRO_PARANOID") if paranoid is None else bool(paranoid)
+        )
+        self._stats_floor = CacheStats()
         self.stats = CacheStats()
         self.sets: List[List[CacheBlock]] = [
             [CacheBlock() for _ in range(geometry.associativity)]
@@ -177,6 +200,87 @@ class Cache:
                     yield set_index, way, block
 
     # ------------------------------------------------------------------
+    # paranoid invariant checking
+    # ------------------------------------------------------------------
+    def _violation(self, message: str) -> None:
+        raise ParanoidViolation(f"{self.name}: {message}")
+
+    def _check_set(self, set_index: int) -> None:
+        """Validate one set's tag index against its frames, plus the
+        policy's own integrity for that set."""
+        blocks = self.sets[set_index]
+        index = self._tag_index[set_index]
+        associativity = self.geometry.associativity
+        for tag, way in index.items():
+            if not 0 <= way < associativity:
+                self._violation(
+                    f"set {set_index}: index maps tag {tag:#x} to "
+                    f"out-of-range way {way}"
+                )
+            block = blocks[way]
+            if not block.valid:
+                self._violation(
+                    f"set {set_index}: index maps tag {tag:#x} to invalid "
+                    f"frame (way {way})"
+                )
+            if block.tag != tag:
+                self._violation(
+                    f"set {set_index} way {way}: index says tag {tag:#x}, "
+                    f"frame holds {block.tag:#x}"
+                )
+        for way, block in enumerate(blocks):
+            # Sentinel tags (negative; never produced by address
+            # decomposition, e.g. the VVC relocation marker) may collide
+            # within a set, and the index then keeps only the most recent
+            # mapping -- so only real tags demand an exact entry.
+            if block.valid and block.tag >= 0 and index.get(block.tag) != way:
+                self._violation(
+                    f"set {set_index} way {way}: valid frame tag "
+                    f"{block.tag:#x} not indexed to its way "
+                    f"(index says {index.get(block.tag)!r})"
+                )
+        self.policy.check_integrity(set_index)
+
+    def _check_stats(self) -> None:
+        """Statistics identity and monotonicity since the last check."""
+        stats, floor = self.stats, self._stats_floor
+        if stats.hits + stats.misses != stats.accesses:
+            self._violation(
+                f"stats identity broken: hits {stats.hits} + misses "
+                f"{stats.misses} != accesses {stats.accesses}"
+            )
+        for field in (
+            "accesses", "hits", "misses", "fills",
+            "evictions", "writebacks", "bypasses", "dead_block_victims",
+        ):
+            now, before = getattr(stats, field), getattr(floor, field)
+            if now < before:
+                self._violation(
+                    f"stats counter {field} went backwards: "
+                    f"{before} -> {now}"
+                )
+        self._stats_floor = stats.snapshot()
+
+    def check_invariants(self, set_index: Optional[int] = None) -> None:
+        """Machine-check the cache's coherence invariants.
+
+        With ``set_index`` given, validates that set's structures only
+        (the per-access fast-path check); with ``None``, validates every
+        set plus the statistics counters.  Raises
+        :class:`ParanoidViolation` on the first inconsistency.
+        """
+        if set_index is not None:
+            self._check_set(set_index)
+            return
+        for index in range(self.geometry.num_sets):
+            self._check_set(index)
+        self._check_stats()
+
+    def _paranoid_check(self, set_index: int) -> None:
+        self._check_set(set_index)
+        self._check_stats()
+
+    # ------------------------------------------------------------------
     # frame bookkeeping (the only writers of the tag index)
     # ------------------------------------------------------------------
     def _install_frame(
@@ -219,6 +323,8 @@ class Cache:
             if self._observers:
                 for observer in self._observers:
                     observer.on_hit(set_index, way, block, access)
+            if self.paranoid:
+                self._paranoid_check(set_index)
             return True
 
         stats.misses += 1
@@ -229,6 +335,8 @@ class Cache:
             if self._observers:
                 for observer in self._observers:
                     observer.on_bypass(set_index, access)
+            if self.paranoid:
+                self._paranoid_check(set_index)
             return False
 
         way = self._frame_for_fill(set_index, access)
@@ -240,6 +348,8 @@ class Cache:
         if self._observers:
             for observer in self._observers:
                 observer.on_fill(set_index, way, block, access)
+        if self.paranoid:
+            self._paranoid_check(set_index)
         return False
 
     def _frame_for_fill(self, set_index: int, access: CacheAccess) -> int:
@@ -301,6 +411,8 @@ class Cache:
         if self._observers:
             for observer in self._observers:
                 observer.on_fill(set_index, way, block, access)
+        if self.paranoid:
+            self._check_set(set_index)
 
     # ------------------------------------------------------------------
     # maintenance

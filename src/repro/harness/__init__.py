@@ -10,10 +10,17 @@
   (Figures 1, 4-10; Tables I-IV), returning structured results.
 * :mod:`repro.harness.parallel` -- process-parallel fan-out of the
   single-thread sweeps (``REPRO_JOBS``), bit-identical to serial runs.
+* :mod:`repro.harness.checkpoint` -- content-addressed on-disk store of
+  completed sweep cells (``REPRO_CHECKPOINT_DIR``), enabling
+  resume-after-interruption.
+* :mod:`repro.harness.faults` -- per-cell timeout/retry supervision,
+  graceful serial degradation, the failure taxonomy, and the
+  fault-injection test hook (see docs/robustness.md).
 * :mod:`repro.harness.tables` -- plain-text rendering used by the
   benchmark scripts to print paper-style tables.
 """
 
+from repro.harness.checkpoint import CheckpointStore, resolve_checkpoint_dir
 from repro.harness.experiments import (
     AccuracyResult,
     EfficiencyResult,
@@ -25,6 +32,13 @@ from repro.harness.experiments import (
     efficiency_experiment,
     multicore_comparison,
     single_thread_comparison,
+)
+from repro.harness.faults import (
+    CellCrashed,
+    CellError,
+    CellTimeout,
+    FaultPolicy,
+    SweepAborted,
 )
 from repro.harness.parallel import (
     parallel_single_thread_comparison,
@@ -43,14 +57,20 @@ from repro.harness.techniques import (
 
 __all__ = [
     "AccuracyResult",
+    "CellCrashed",
+    "CellError",
+    "CellTimeout",
+    "CheckpointStore",
     "EfficiencyResult",
     "ExperimentConfig",
+    "FaultPolicy",
     "MULTICORE_LRU_TECHNIQUES",
     "MULTICORE_RANDOM_TECHNIQUES",
     "MulticoreComparison",
     "RANDOM_DEFAULT_TECHNIQUES",
     "SINGLE_THREAD_TECHNIQUES",
     "SingleThreadComparison",
+    "SweepAborted",
     "TECHNIQUES",
     "Technique",
     "WorkloadCache",
@@ -61,6 +81,7 @@ __all__ = [
     "format_table",
     "multicore_comparison",
     "parallel_single_thread_comparison",
+    "resolve_checkpoint_dir",
     "resolve_jobs",
     "single_thread_comparison",
 ]

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.accuracy import AccuracyObserver
 from repro.analysis.efficiency import EfficiencyObserver
 from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.harness.faults import CellError
 from repro.harness.runner import WorkloadCache
 from repro.harness.techniques import TECHNIQUES
 from repro.predictors import CountingPredictor, RefTracePredictor
@@ -55,12 +56,35 @@ __all__ = [
 # ----------------------------------------------------------------------
 @dataclass
 class SingleThreadComparison:
-    """Baseline-LRU-normalized results for a set of techniques."""
+    """Baseline-LRU-normalized results for a set of techniques.
+
+    ``failures`` is empty for a complete sweep; a *partial* sweep (see
+    ``allow_partial`` on the fault-tolerant runner in
+    :mod:`repro.harness.parallel`) lists the unrecovered cells there,
+    and the per-cell accessors raise ``KeyError`` for those cells.
+    """
 
     benchmarks: Tuple[str, ...]
     technique_keys: Tuple[str, ...]
     baseline: Dict[str, RunResult]
     results: Dict[str, Dict[str, RunResult]]
+    failures: Tuple[CellError, ...] = ()
+
+    @property
+    def is_partial(self) -> bool:
+        """True when at least one cell failed unrecoverably."""
+        return bool(self.failures)
+
+    def failure_report(self) -> str:
+        """Human-readable summary of the failed cells ("" when complete)."""
+        if not self.failures:
+            return ""
+        total = len(self.benchmarks) * (len(self.technique_keys) + 1)
+        lines = [
+            f"partial sweep: {len(self.failures)} of {total} cells failed"
+        ]
+        lines.extend(f"  - {failure}" for failure in self.failures)
+        return "\n".join(lines)
 
     def normalized_mpki(self, benchmark: str, technique: str) -> float:
         """Misses normalized to the LRU baseline (Figure 4/7 y-axis)."""

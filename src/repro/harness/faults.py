@@ -1,0 +1,449 @@
+"""Fault tolerance for experiment sweeps.
+
+A long sweep is a grid of independent (benchmark, technique) cells, and
+the failure of any one cell -- a crashed worker, an OOM kill, a policy
+bug that wedges a replay -- must not destroy the hours of completed work
+around it.  This module supplies the pieces
+:mod:`repro.harness.parallel` composes into a fault-tolerant runner:
+
+* a structured error taxonomy (:class:`CellTimeout`, :class:`CellCrashed`,
+  :class:`SweepAborted`) whose members carry the failing cell's identity,
+  so a failure report can say *which* cell died and why;
+* :class:`FaultPolicy` -- the timeout / retry / degradation knobs, each
+  overridable from the environment (``REPRO_CELL_TIMEOUT``,
+  ``REPRO_CELL_RETRIES``, ``REPRO_RETRY_BACKOFF``);
+* :func:`run_cells_supervised` -- the supervision loop: rounds of
+  ``imap_unordered`` over the not-yet-completed cells with a parent-side
+  watchdog (catches workers that die without reporting), bounded retry
+  with exponential backoff between rounds, then graceful degradation to
+  serial in-process execution of whatever still fails, and only then a
+  partial result or :class:`SweepAborted`;
+* a deterministic fault-injection hook (``REPRO_FAULT_INJECT``) used by
+  the tests to kill, stall, or fault workers on demand.
+
+Per-cell timeouts are enforced *inside* the worker with ``SIGALRM``
+(each worker is a separate process, so its main thread can take the
+alarm); a worker that dies outright never reports, which the parent's
+watchdog converts into :class:`CellCrashed` for every cell that was
+still outstanding.  Retried and resumed sweeps stay bit-identical to an
+uninterrupted serial run because cells are pure functions of
+``(config, seed, benchmark, technique)`` -- supervision decides only
+*whether* a cell's result was obtained, never *what* it is.
+
+Fault injection syntax: ``REPRO_FAULT_INJECT=crash:0.1,hang:0.05``.
+Modes: ``crash`` (the worker calls ``os._exit``), ``hang`` (the worker
+sleeps until its deadline), ``raise`` (the worker raises a transient
+exception).  Whether a given (cell, attempt) pair faults is a pure hash
+of the mode, cell identity, and attempt number, so injected failure
+patterns are reproducible and retries can deterministically succeed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CellCrashed",
+    "CellError",
+    "CellTimeout",
+    "FaultPolicy",
+    "SweepAborted",
+    "cell_label",
+    "maybe_inject_fault",
+    "parse_fault_spec",
+    "run_cells_supervised",
+]
+
+#: A cell identity: (benchmark, technique key or None for the baseline).
+Cell = Tuple[str, Optional[str]]
+
+
+def cell_label(cell: Cell) -> str:
+    """Human-readable ``benchmark/technique`` label for a cell."""
+    benchmark, technique_key = cell
+    return f"{benchmark}/{technique_key if technique_key is not None else 'lru(baseline)'}"
+
+
+# ----------------------------------------------------------------------
+# error taxonomy
+# ----------------------------------------------------------------------
+class CellError(Exception):
+    """A single (benchmark, technique) cell failed.
+
+    Attributes:
+        benchmark / technique_key: the failing cell's identity
+            (``technique_key=None`` is the LRU baseline cell).
+        attempts: how many executions were tried before giving up.
+        detail: free-form diagnostic (exception text, timeout value...).
+    """
+
+    def __init__(
+        self,
+        benchmark: str,
+        technique_key: Optional[str],
+        attempts: int = 1,
+        detail: str = "",
+    ) -> None:
+        self.benchmark = benchmark
+        self.technique_key = technique_key
+        self.attempts = attempts
+        self.detail = detail
+        super().__init__(str(self))
+
+    @property
+    def cell(self) -> Cell:
+        return (self.benchmark, self.technique_key)
+
+    def __str__(self) -> str:
+        text = f"{cell_label(self.cell)}: {type(self).__name__}"
+        if self.detail:
+            text += f" ({self.detail})"
+        if self.attempts > 1:
+            text += f" after {self.attempts} attempts"
+        return text
+
+
+class CellTimeout(CellError):
+    """The cell exceeded its wall-clock budget (``REPRO_CELL_TIMEOUT``)."""
+
+
+class CellCrashed(CellError):
+    """The cell's worker raised, died, or never reported a result."""
+
+
+class SweepAborted(Exception):
+    """The sweep could not complete and partial results were not allowed.
+
+    Carries the unrecovered :class:`CellError` list and the count of
+    cells that *did* complete (and were checkpointed, when a checkpoint
+    store is attached) so callers know a resume is worthwhile.
+    """
+
+    def __init__(self, failures: Sequence[CellError], completed: int = 0) -> None:
+        self.failures = tuple(failures)
+        self.completed = completed
+        lines = "; ".join(str(f) for f in self.failures)
+        super().__init__(
+            f"sweep aborted with {len(self.failures)} failed cell(s) "
+            f"({completed} completed): {lines}"
+        )
+
+
+# ----------------------------------------------------------------------
+# policy knobs
+# ----------------------------------------------------------------------
+def _env_float(name: str, allow_zero: bool = False) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    if value < 0 or (value == 0 and not allow_zero):
+        kind = "non-negative" if allow_zero else "positive"
+        raise ValueError(f"{name} must be {kind}, got {value}")
+    return value
+
+
+def _env_int_nonneg(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Supervision knobs for one sweep.
+
+    Attributes:
+        cell_timeout: per-cell wall-clock budget in seconds, enforced in
+            the worker via ``SIGALRM``; ``None`` disables the alarm.
+        max_retries: parallel re-execution rounds after the first
+            (``0`` = a cell gets exactly one parallel attempt).
+        backoff: base of the exponential backoff slept between retry
+            rounds (``backoff * 2**(round-1)`` seconds); ``0`` disables.
+        degrade_serially: after the retry rounds, re-run still-failed
+            cells serially in the parent process (no pool, no injection)
+            before giving up.
+        allow_partial: if cells remain failed after degradation, return
+            a partial result carrying the failure report instead of
+            raising :class:`SweepAborted`.
+        watchdog: parent-side no-progress window in seconds.  When no
+            result arrives for this long the round's outstanding cells
+            are declared lost (:class:`CellCrashed`).  ``None`` derives
+            a generous default from ``cell_timeout``.
+    """
+
+    cell_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff: float = 0.1
+    degrade_serially: bool = True
+    allow_partial: bool = False
+    watchdog: Optional[float] = None
+
+    @classmethod
+    def from_env(cls) -> "FaultPolicy":
+        """Build from ``REPRO_CELL_TIMEOUT`` / ``REPRO_CELL_RETRIES`` /
+        ``REPRO_RETRY_BACKOFF`` (defaults where unset)."""
+        policy = cls(
+            cell_timeout=_env_float("REPRO_CELL_TIMEOUT"),
+            max_retries=_env_int_nonneg("REPRO_CELL_RETRIES", 2),
+        )
+        backoff = _env_float("REPRO_RETRY_BACKOFF", allow_zero=True)
+        if backoff is not None:
+            policy = replace(policy, backoff=backoff)
+        return policy
+
+    def effective_watchdog(self) -> float:
+        """The parent's no-progress window (always finite: a sweep must
+        never wedge just because a worker died silently)."""
+        if self.watchdog is not None:
+            return self.watchdog
+        if self.cell_timeout is not None:
+            return self.cell_timeout * 2 + 30.0
+        return 900.0
+
+
+# ----------------------------------------------------------------------
+# deterministic fault injection (test hook)
+# ----------------------------------------------------------------------
+_FAULT_MODES = ("crash", "hang", "raise")
+
+
+def parse_fault_spec(text: Optional[str]) -> Dict[str, float]:
+    """Parse ``"crash:0.1,hang:0.05"`` into ``{mode: probability}``.
+
+    Raises ValueError on unknown modes or probabilities outside [0, 1].
+    """
+    spec: Dict[str, float] = {}
+    if not text or not text.strip():
+        return spec
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        mode, _, prob_text = part.partition(":")
+        mode = mode.strip()
+        if mode not in _FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {mode!r} "
+                f"(valid: {', '.join(_FAULT_MODES)})"
+            )
+        try:
+            probability = float(prob_text) if prob_text.strip() else 1.0
+        except ValueError:
+            raise ValueError(
+                f"bad fault probability {prob_text!r} for mode {mode!r}"
+            ) from None
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got {probability}"
+            )
+        spec[mode] = probability
+    return spec
+
+
+def _fault_roll(mode: str, benchmark: str, technique_key: Optional[str], attempt: int) -> float:
+    """Deterministic pseudo-uniform draw in [0, 1) for one (cell, attempt)."""
+    text = f"{mode}|{benchmark}|{technique_key}|{attempt}"
+    digest = hashlib.sha256(text.encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+def maybe_inject_fault(
+    benchmark: str,
+    technique_key: Optional[str],
+    attempt: int,
+    spec: Optional[Dict[str, float]] = None,
+) -> None:
+    """Test hook: fault this worker according to ``REPRO_FAULT_INJECT``.
+
+    Called only from the *parallel worker* wrapper, never from serial or
+    degraded in-process execution, so ``crash`` cannot take down the
+    parent.  Whether a fault fires is a pure function of (mode, cell,
+    attempt): re-running the same attempt reproduces the fault, while a
+    retry (higher attempt number) redraws.
+    """
+    if spec is None:
+        spec = parse_fault_spec(os.environ.get("REPRO_FAULT_INJECT"))
+    if not spec:
+        return
+    if _fault_roll("crash", benchmark, technique_key, attempt) < spec.get("crash", 0.0):
+        os._exit(66)  # simulate an OOM kill: no exception, no cleanup
+    if _fault_roll("hang", benchmark, technique_key, attempt) < spec.get("hang", 0.0):
+        time.sleep(3600.0)  # wedge until the cell deadline / watchdog fires
+    if _fault_roll("raise", benchmark, technique_key, attempt) < spec.get("raise", 0.0):
+        raise RuntimeError(
+            f"injected transient fault ({cell_label((benchmark, technique_key))}, "
+            f"attempt {attempt})"
+        )
+
+
+# ----------------------------------------------------------------------
+# in-worker deadline
+# ----------------------------------------------------------------------
+class DeadlineExceeded(Exception):
+    """Raised inside a worker when its cell overruns ``cell_timeout``."""
+
+
+class cell_deadline:
+    """Context manager arming a ``SIGALRM`` wall-clock deadline.
+
+    A no-op when ``seconds`` is None or the platform lacks ``SIGALRM``
+    (the parent watchdog still bounds the sweep in that case).
+    """
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self.seconds = seconds
+        self._armed = False
+        self._previous = None
+
+    def __enter__(self) -> "cell_deadline":
+        if self.seconds is not None and hasattr(signal, "SIGALRM"):
+            def _on_alarm(signum, frame):
+                raise DeadlineExceeded(f"cell exceeded {self.seconds}s")
+
+            self._previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self._armed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+
+
+# ----------------------------------------------------------------------
+# the supervision loop
+# ----------------------------------------------------------------------
+#: Wire format a supervised worker returns:
+#: (benchmark, technique_key, status, payload) with status "ok" carrying
+#: the cell result, "timeout"/"error" carrying a diagnostic string.
+WireResult = Tuple[str, Optional[str], str, object]
+
+
+def run_cells_supervised(
+    make_pool: Callable[[], multiprocessing.pool.Pool],
+    worker: Callable[..., WireResult],
+    cells: Sequence[Cell],
+    policy: FaultPolicy,
+    on_success: Callable[[Cell, object], None],
+    serial_fallback: Optional[Callable[[Cell], object]] = None,
+) -> List[CellError]:
+    """Drive ``cells`` through supervised parallel rounds.
+
+    Args:
+        make_pool: builds a fresh worker pool for each round (a round
+            whose pool was poisoned by dead workers is terminated, never
+            reused).
+        worker: picklable task function taking
+            ``(benchmark, technique_key, attempt, cell_timeout)`` and
+            returning a :data:`WireResult`.  It must convert its own
+            exceptions and deadline overruns into non-"ok" statuses;
+            only a hard worker death leaves a cell unreported.
+        cells: the work list, in deterministic order.
+        policy: timeout / retry / degradation knobs.
+        on_success: called once per completed cell, in completion order
+            (checkpoint persistence hooks in here).
+        serial_fallback: in-process executor for graceful degradation;
+            ``None`` disables degradation regardless of the policy.
+
+    Returns the list of unrecovered failures, in work-list order; empty
+    on full success.  Raises :class:`SweepAborted` when failures remain
+    and ``policy.allow_partial`` is false.
+    """
+    pending: List[Cell] = list(cells)
+    completed = 0
+    failures: Dict[Cell, CellError] = {}
+    watchdog = policy.effective_watchdog()
+
+    for attempt in range(policy.max_retries + 1):
+        if not pending:
+            break
+        if attempt and policy.backoff > 0:
+            time.sleep(policy.backoff * 2.0 ** (attempt - 1))
+        tasks = [
+            (benchmark, key, attempt, policy.cell_timeout)
+            for benchmark, key in pending
+        ]
+        pool = make_pool()
+        try:
+            results = pool.imap_unordered(worker, tasks)
+            received = 0
+            while received < len(tasks):
+                try:
+                    benchmark, key, status, payload = results.next(timeout=watchdog)
+                except StopIteration:  # pragma: no cover - defensive
+                    break
+                except multiprocessing.TimeoutError:
+                    # No result for a full watchdog window: the round is
+                    # wedged (lost workers).  Abandon it; outstanding
+                    # cells are recorded as crashed below.
+                    break
+                received += 1
+                cell = (benchmark, key)
+                if status == "ok":
+                    pending.remove(cell)
+                    failures.pop(cell, None)
+                    completed += 1
+                    on_success(cell, payload)
+                elif status == "timeout":
+                    failures[cell] = CellTimeout(
+                        benchmark, key, attempts=attempt + 1, detail=str(payload)
+                    )
+                else:
+                    failures[cell] = CellCrashed(
+                        benchmark, key, attempts=attempt + 1, detail=str(payload)
+                    )
+        finally:
+            # terminate(), not close(): a wedged round must not block the
+            # parent on workers that will never finish.
+            pool.terminate()
+            pool.join()
+        # Cells that never reported (worker died) get a crash record;
+        # a cell that reported a failure this round keeps that record.
+        for cell in pending:
+            existing = failures.get(cell)
+            if existing is None or existing.attempts <= attempt:
+                failures[cell] = CellCrashed(
+                    cell[0], cell[1], attempts=attempt + 1,
+                    detail="worker died without reporting",
+                )
+
+    # Graceful degradation: whatever still fails runs serially in the
+    # parent, with no pool and no fault injection in the way.
+    if pending and policy.degrade_serially and serial_fallback is not None:
+        for cell in list(pending):
+            try:
+                payload = serial_fallback(cell)
+            except Exception as exc:
+                failures[cell] = CellCrashed(
+                    cell[0], cell[1],
+                    attempts=policy.max_retries + 2,
+                    detail=f"serial fallback failed: {type(exc).__name__}: {exc}",
+                )
+            else:
+                pending.remove(cell)
+                failures.pop(cell, None)
+                completed += 1
+                on_success(cell, payload)
+
+    unrecovered = [failures[cell] for cell in cells if cell in failures]
+    if unrecovered and not policy.allow_partial:
+        raise SweepAborted(unrecovered, completed=completed)
+    return unrecovered

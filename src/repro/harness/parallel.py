@@ -1,28 +1,52 @@
-"""Process-parallel experiment sweeps.
+"""Process-parallel, fault-tolerant experiment sweeps.
 
 The single-thread comparisons behind Figures 4/5 and 7/8 are
 embarrassingly parallel: every (benchmark, technique) cell replays its
 own LLC stream on its own cache, and cells only meet again at reporting
-time.  This module fans those cells over a :mod:`multiprocessing` pool.
+time.  This module fans those cells over a :mod:`multiprocessing` pool
+and supervises them:
+
+* each completed cell is persisted to an optional
+  :class:`~repro.harness.checkpoint.CheckpointStore` the moment it
+  finishes, and ``resume=True`` reloads completed cells instead of
+  re-running them (``REPRO_CHECKPOINT_DIR`` / ``--checkpoint-dir``);
+* cells run under per-cell wall-clock deadlines, bounded retry with
+  exponential backoff, a parent-side watchdog for workers that die
+  without reporting, and graceful degradation to serial in-process
+  execution -- see :mod:`repro.harness.faults` for the machinery and the
+  :class:`~repro.harness.faults.CellTimeout` /
+  :class:`~repro.harness.faults.CellCrashed` /
+  :class:`~repro.harness.faults.SweepAborted` taxonomy;
+* with ``allow_partial=True`` an unrecoverable sweep still returns a
+  :class:`~repro.harness.experiments.SingleThreadComparison` for the
+  cells that completed, carrying the failure report.
 
 Determinism contract: a parallel sweep is bit-identical to the serial
-one, whatever the job count or OS scheduling.  That holds because every
-source of randomness is seeded per *task*, not per process:
+one, whatever the job count, OS scheduling, retries, or resumes.  That
+holds because every source of randomness is seeded per *task*, not per
+process:
 
 * workload generation draws from ``ExperimentConfig.seed`` and the
   benchmark name only (``build_trace(benchmark, ..., seed=config.seed)``),
   so each worker regenerates exactly the trace the serial run would use;
 * policy RNGs (e.g. the random-replacement XorShift) use fixed
-  per-policy seeds and are constructed fresh inside each cell.
+  per-policy seeds and are constructed fresh inside each cell;
+* supervision (retry, resume, degradation) decides only *whether* a
+  cell's result was obtained, never *what* it is, and checkpoint keys
+  cover everything that determines a cell's result.
 
-``tests/test_parallel_harness.py`` pins serial == parallel equality.
+``tests/test_parallel_harness.py`` pins serial == parallel equality and
+``tests/test_faults.py`` pins it across injected crashes, hangs,
+retries, and checkpoint resumes.
 
-Worker processes each hold a private :class:`WorkloadCache`, so a
-workload's generation + L1/L2 filtering pass is repeated once per worker
-that draws a cell of that benchmark (cells are handed out benchmark-major
-so a pool chunk usually keeps one benchmark in one worker).  That
-duplicated filtering is the price of process isolation; it is amortized
-across the techniques of the sweep.
+Workers are spawned with the explicit ``"spawn"`` start method: ``fork``
+is unsafe in threaded parents and deprecated-by-default on newer
+Pythons, and spawn additionally guarantees workers import the package
+fresh (no inherited interpreter state can leak into a cell).  Worker
+processes each hold a private :class:`WorkloadCache`, so a workload's
+generation + L1/L2 filtering pass is repeated once per worker that draws
+a cell of that benchmark; that duplicated filtering is the price of
+process isolation, amortized across the techniques of the sweep.
 
 The job count comes from, in priority order: the ``jobs`` argument, the
 ``REPRO_JOBS`` environment variable, default 1 (serial, in-process).
@@ -34,9 +58,15 @@ import multiprocessing
 import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.harness.experiments import (
-    SingleThreadComparison,
-    single_thread_comparison,
+from repro.harness.checkpoint import CheckpointStore
+from repro.harness.experiments import SingleThreadComparison
+from repro.harness.faults import (
+    Cell,
+    FaultPolicy,
+    cell_deadline,
+    DeadlineExceeded,
+    maybe_inject_fault,
+    run_cells_supervised,
 )
 from repro.harness.runner import ExperimentConfig, WorkloadCache
 from repro.harness.techniques import TECHNIQUES
@@ -78,18 +108,15 @@ def _init_worker(config: ExperimentConfig) -> None:
     _WORKER_CACHE = WorkloadCache(config)
 
 
-def _run_cell(
-    task: Tuple[str, Optional[str]]
-) -> Tuple[str, Optional[str], RunResult]:
-    """Run one (benchmark, technique) cell in a worker process.
+def _run_cell_on(cache: WorkloadCache, cell: Cell) -> RunResult:
+    """Run one (benchmark, technique) cell on the given workload cache.
 
-    ``technique_key=None`` is the LRU baseline cell.  The result is
-    stripped of its cache and observers before crossing the process
-    boundary (policies hold unpicklable state; sweeps only read stats,
-    timing, and hit vectors).
+    ``technique_key=None`` is the LRU baseline cell.  This is the single
+    execution path every mode shares -- worker processes, the serial
+    in-process sweep, and the graceful-degradation fallback -- which is
+    what keeps them bit-identical.
     """
-    benchmark, technique_key = task
-    cache = _WORKER_CACHE
+    benchmark, technique_key = cell
     filtered = cache.filtered(benchmark)
     if technique_key is _BASELINE:
         technique = TECHNIQUES["lru"]
@@ -99,15 +126,48 @@ def _run_cell(
         technique = TECHNIQUES[technique_key]
         name = technique_key
         compute_timing = technique.timing_meaningful
-    result = cache.system.run(
+    return cache.system.run(
         filtered,
         lambda g, a: technique.build(g, a),
         technique_name=name,
         compute_timing=compute_timing,
     )
+
+
+def _run_cell(
+    task: Tuple[str, Optional[str]]
+) -> Tuple[str, Optional[str], RunResult]:
+    """Run one cell in a worker process (unsupervised; kept as the plain
+    building block).  The result is stripped of its cache and observers
+    before crossing the process boundary (policies hold unpicklable
+    state; sweeps only read stats, timing, and hit vectors).
+    """
+    benchmark, technique_key = task
+    result = _run_cell_on(_WORKER_CACHE, (benchmark, technique_key))
     result.cache = None
     result.observers = ()
     return benchmark, technique_key, result
+
+
+def _run_cell_supervised(
+    task: Tuple[str, Optional[str], int, Optional[float]]
+) -> Tuple[str, Optional[str], str, object]:
+    """Supervised worker entry: deadline, fault injection, and exception
+    capture around :func:`_run_cell`.
+
+    Returns the :data:`~repro.harness.faults.WireResult` wire format;
+    exceptions travel back as strings so any failure pickles cleanly.
+    """
+    benchmark, technique_key, attempt, timeout = task
+    try:
+        with cell_deadline(timeout):
+            maybe_inject_fault(benchmark, technique_key, attempt)
+            _, _, result = _run_cell((benchmark, technique_key))
+        return benchmark, technique_key, "ok", result
+    except DeadlineExceeded:
+        return benchmark, technique_key, "timeout", f"exceeded {timeout}s"
+    except Exception as exc:
+        return benchmark, technique_key, "error", f"{type(exc).__name__}: {exc}"
 
 
 def parallel_single_thread_comparison(
@@ -115,8 +175,12 @@ def parallel_single_thread_comparison(
     technique_keys: Sequence[str],
     benchmarks: Sequence[str] = SINGLE_THREAD_SUBSET,
     jobs: Optional[int] = None,
+    checkpoint: Union[CheckpointStore, str, os.PathLike, None] = None,
+    resume: bool = False,
+    fault_policy: Optional[FaultPolicy] = None,
+    allow_partial: Optional[bool] = None,
 ) -> SingleThreadComparison:
-    """Figure 4/5/7/8 sweep, fanned over worker processes.
+    """Figure 4/5/7/8 sweep, fanned over supervised worker processes.
 
     Args:
         cache: a :class:`WorkloadCache` to use (and to run serially in
@@ -125,43 +189,129 @@ def parallel_single_thread_comparison(
         technique_keys: techniques to sweep (baseline LRU always runs).
         benchmarks: workloads to sweep.
         jobs: worker processes; ``None`` defers to ``REPRO_JOBS``.
+        checkpoint: a :class:`CheckpointStore`, a directory path for
+            one, or ``None`` to defer to ``REPRO_CHECKPOINT_DIR`` (no
+            checkpointing when that is unset too).  Completed cells are
+            persisted as they finish.
+        resume: load already-checkpointed cells instead of re-running
+            them (requires a checkpoint store).
+        fault_policy: timeout/retry/degradation knobs; ``None`` defers
+            to the ``REPRO_CELL_TIMEOUT`` / ``REPRO_CELL_RETRIES`` /
+            ``REPRO_RETRY_BACKOFF`` environment.
+        allow_partial: override the policy's ``allow_partial``; a
+            partial sweep returns the completed cells with
+            ``comparison.failures`` describing the rest instead of
+            raising :class:`~repro.harness.faults.SweepAborted`.
 
     Returns the same :class:`SingleThreadComparison` a serial
-    :func:`single_thread_comparison` call would, bit-identically.
+    :func:`~repro.harness.experiments.single_thread_comparison` call
+    would, bit-identically -- including after resumes and retries.
+
+    Raises:
+        ValueError: for unknown technique keys (checked up front, before
+            any work runs or any pool spawns).
+        SweepAborted: when cells fail unrecoverably and partial results
+            are not allowed.
     """
+    unknown = [key for key in technique_keys if key not in TECHNIQUES]
+    if unknown:
+        raise ValueError(
+            f"unknown techniques: {', '.join(map(repr, unknown))} "
+            f"(valid: {', '.join(TECHNIQUES)})"
+        )
+
     if isinstance(cache, ExperimentConfig):
         config, workload_cache = cache, None
     else:
         config, workload_cache = cache.config, cache
 
-    cells: List[Tuple[str, Optional[str]]] = []
+    if isinstance(checkpoint, CheckpointStore):
+        store: Optional[CheckpointStore] = checkpoint
+    else:
+        store = CheckpointStore.from_env(checkpoint)
+    if resume and store is None:
+        raise ValueError(
+            "resume=True needs a checkpoint store; pass checkpoint=... or "
+            "set REPRO_CHECKPOINT_DIR"
+        )
+    policy = fault_policy if fault_policy is not None else FaultPolicy.from_env()
+    if allow_partial is not None:
+        from dataclasses import replace
+        policy = replace(policy, allow_partial=bool(allow_partial))
+
+    cells: List[Cell] = []
     for benchmark in benchmarks:
         cells.append((benchmark, _BASELINE))
         cells.extend((benchmark, key) for key in technique_keys)
-
-    jobs = min(resolve_jobs(jobs), len(cells))
-    if jobs <= 1:
-        if workload_cache is None:
-            workload_cache = WorkloadCache(config)
-        return single_thread_comparison(workload_cache, technique_keys, benchmarks)
-
-    with multiprocessing.Pool(
-        processes=jobs, initializer=_init_worker, initargs=(config,)
-    ) as pool:
-        cell_results = pool.map(_run_cell, cells)
 
     baseline: Dict[str, RunResult] = {}
     results: Dict[str, Dict[str, RunResult]] = {
         benchmark: {} for benchmark in benchmarks
     }
-    for benchmark, technique_key, result in cell_results:
+
+    def record(cell: Cell, result: RunResult) -> None:
+        benchmark, technique_key = cell
         if technique_key is _BASELINE:
             baseline[benchmark] = result
         else:
             results[benchmark][technique_key] = result
+        if store is not None:
+            store.store(config, benchmark, technique_key, result)
+
+    # Resume: completed cells come off disk, not off the machine.
+    to_run: List[Cell] = []
+    for cell in cells:
+        loaded = store.load(config, *cell) if (resume and store) else None
+        if loaded is not None:
+            benchmark, technique_key = cell
+            if technique_key is _BASELINE:
+                baseline[benchmark] = loaded
+            else:
+                results[benchmark][technique_key] = loaded
+        else:
+            to_run.append(cell)
+
+    failures = ()
+    if to_run:
+        jobs = min(resolve_jobs(jobs), len(to_run))
+        if jobs <= 1:
+            if workload_cache is None:
+                workload_cache = WorkloadCache(config)
+            for cell in to_run:
+                record(cell, _run_cell_on(workload_cache, cell))
+        else:
+            context = multiprocessing.get_context("spawn")
+
+            def make_pool():
+                return context.Pool(
+                    processes=min(jobs, len(to_run)),
+                    initializer=_init_worker,
+                    initargs=(config,),
+                )
+
+            fallback_cache = workload_cache
+
+            def serial_fallback(cell: Cell) -> RunResult:
+                nonlocal fallback_cache
+                if fallback_cache is None:
+                    fallback_cache = WorkloadCache(config)
+                return _run_cell_on(fallback_cache, cell)
+
+            failures = tuple(
+                run_cells_supervised(
+                    make_pool,
+                    _run_cell_supervised,
+                    to_run,
+                    policy,
+                    on_success=record,
+                    serial_fallback=serial_fallback if policy.degrade_serially else None,
+                )
+            )
+
     return SingleThreadComparison(
         benchmarks=tuple(benchmarks),
         technique_keys=tuple(technique_keys),
         baseline=baseline,
         results=results,
+        failures=failures,
     )

@@ -10,19 +10,29 @@ workload.
 
 Environment overrides:
 
-=====================  =======================================  ========
-Variable               Meaning                                  Default
-=====================  =======================================  ========
-``REPRO_SCALE``        divide every cache capacity by this      8
-``REPRO_INSTRUCTIONS`` instruction budget per benchmark         400000
-``REPRO_SEED``         workload generation seed                 1
-``REPRO_CORES``        cores in the multicore experiments       4
-``REPRO_JOBS``         worker processes for experiment sweeps   1
-=====================  =======================================  ========
+=========================  =======================================  ========
+Variable                   Meaning                                  Default
+=========================  =======================================  ========
+``REPRO_SCALE``            divide every cache capacity by this      8
+``REPRO_INSTRUCTIONS``     instruction budget per benchmark         400000
+``REPRO_SEED``             workload generation seed                 1
+``REPRO_CORES``            cores in the multicore experiments       4
+``REPRO_JOBS``             worker processes for experiment sweeps   1
+``REPRO_CHECKPOINT_DIR``   persist completed sweep cells here       (off)
+``REPRO_CELL_TIMEOUT``     per-cell wall-clock budget, seconds      (off)
+``REPRO_CELL_RETRIES``     parallel retry rounds per failed cell    2
+``REPRO_RETRY_BACKOFF``    base backoff between retry rounds, s     0.1
+``REPRO_PARANOID``         per-access cache invariant checking      0
+=========================  =======================================  ========
 
 ``REPRO_JOBS`` is read by :mod:`repro.harness.parallel`, not here: it
 controls how many (benchmark, technique) cells run concurrently and has
-no effect on simulated results (see docs/performance.md).
+no effect on simulated results (see docs/performance.md).  The
+checkpoint/timeout/retry knobs belong to the fault-tolerance layer
+(:mod:`repro.harness.checkpoint`, :mod:`repro.harness.faults`; see
+docs/robustness.md) and likewise never change simulated results;
+``REPRO_PARANOID`` is read by :class:`repro.cache.Cache` and only makes
+runs slower and invariant violations loud.
 
 ``REPRO_SCALE=1 REPRO_INSTRUCTIONS=1000000000`` reproduces the paper's
 exact machine and budget (at Python speed: bring a cluster and patience).

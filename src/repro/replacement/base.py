@@ -70,5 +70,17 @@ class ReplacementPolicy:
     def on_evict(self, set_index: int, way: int, access: "CacheAccess") -> None:
         """The occupant of ``(set_index, way)`` is about to be invalidated."""
 
+    # ------------------------------------------------------------------
+    # paranoid-mode self-checking
+    # ------------------------------------------------------------------
+    def check_integrity(self, set_index: int) -> None:
+        """Validate this policy's internal metadata for one set.
+
+        Called by the cache's paranoid mode (``REPRO_PARANOID``) after
+        every access; raise on any inconsistency (e.g. a recency stack
+        that is no longer a permutation of the ways).  The base class has
+        no per-set state, so the default is a no-op.
+        """
+
     def __repr__(self) -> str:
         return type(self).__name__

@@ -57,6 +57,19 @@ class LRUPolicy(ReplacementPolicy):
         """Recency position of ``way`` (0 = MRU, assoc-1 = LRU)."""
         return self._stacks[set_index].index(way)
 
+    def check_integrity(self, set_index: int) -> None:
+        """Paranoid-mode hook: the recency stack must remain a
+        permutation of the ways (no way lost, duplicated, or invented)."""
+        stack = self._stacks[set_index]
+        associativity = self.cache.geometry.associativity
+        if sorted(stack) != list(range(associativity)):
+            from repro.cache.cache import ParanoidViolation
+
+            raise ParanoidViolation(
+                f"{type(self).__name__}: set {set_index} recency stack "
+                f"{stack} is not a permutation of 0..{associativity - 1}"
+            )
+
     # ------------------------------------------------------------------
     # insertion points, overridable by DIP-family subclasses
     # ------------------------------------------------------------------

@@ -115,6 +115,12 @@ def replay(
         else None
     )
 
+    # Paranoid mode keeps the fast path (that is the code under test)
+    # but machine-checks the touched set's invariants after every access
+    # and the statistics identity after the final commit.
+    paranoid = cache.paranoid
+    check_set = cache.check_invariants
+
     hits: List[bool] = []
     hits_append = hits.append
     hit_count = 0
@@ -147,6 +153,8 @@ def replay(
                 block.dirty = True
             if on_hit is not None:
                 on_hit(set_index, way, access)
+            if paranoid:
+                check_set(set_index)
             hits_append(True)
             continue
 
@@ -155,6 +163,8 @@ def replay(
             on_miss(set_index, access)
         if should_bypass is not None and should_bypass(set_index, access):
             bypass_count += 1
+            if paranoid:
+                check_set(set_index)
             hits_append(False)
             continue
 
@@ -201,6 +211,8 @@ def replay(
         fill_count += 1
         if on_fill is not None:
             on_fill(set_index, way, access)
+        if paranoid:
+            check_set(set_index)
         hits_append(False)
 
     stats = cache.stats
@@ -212,4 +224,6 @@ def replay(
     stats.evictions += evict_count
     stats.writebacks += writeback_count
     stats.dead_block_victims += dead_victim_count
+    if paranoid:
+        cache.check_invariants()
     return hits

@@ -25,6 +25,10 @@ __all__ = ["load_trace", "save_trace"]
 
 _MAGIC = "# repro-trace v1"
 
+#: PCs and addresses are 64-bit; anything outside [0, 2^64) is a
+#: corrupted or hand-mangled file, not a usable reference.
+_FIELD_LIMIT = 1 << 64
+
 
 def _open(path: Path, mode: str):
     if path.suffix == ".gz":
@@ -48,44 +52,73 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
 def load_trace(path: Union[str, Path]) -> Trace:
     """Read a trace written by :func:`save_trace`.
 
+    Every malformed record -- wrong field count, unparsable or
+    out-of-range numbers, negative gaps, bad flags -- is rejected with
+    the offending line number, and a final line cut off mid-record
+    (e.g. a copy interrupted before the last newline) is reported as
+    truncation rather than as a generic parse failure.
+
     Raises:
-        ValueError: on a missing/garbled header or malformed record line
-            (with the offending line number).
+        ValueError: on a missing/garbled header, malformed or
+            out-of-range record line (with the offending line number),
+            a truncated final record, or a truncated gzip stream.
     """
     path = Path(path)
     records: List[TraceRecord] = []
     name = path.stem
     with _open(path, "r") as stream:
-        header = stream.readline().rstrip("\n")
-        if not header.startswith(_MAGIC):
-            raise ValueError(f"{path}: not a repro trace file (bad header)")
-        if "name=" in header:
-            name = header.split("name=", 1)[1].strip()
-        for line_number, line in enumerate(stream, start=2):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            parts = line.split()
-            if len(parts) != 5:
-                raise ValueError(
-                    f"{path}:{line_number}: expected 5 fields, got {len(parts)}"
+        try:
+            header = stream.readline().rstrip("\n")
+            if not header.startswith(_MAGIC):
+                raise ValueError(f"{path}: not a repro trace file (bad header)")
+            if "name=" in header:
+                name = header.split("name=", 1)[1].strip()
+            for line_number, raw_line in enumerate(stream, start=2):
+                # A data line without its newline is the file's last line;
+                # if it then fails to parse, say "truncated", not "garbage".
+                truncated = "" if raw_line.endswith("\n") else " (truncated final record?)"
+                line = raw_line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 5:
+                    raise ValueError(
+                        f"{path}:{line_number}: expected 5 fields, "
+                        f"got {len(parts)}{truncated}"
+                    )
+                pc_text, address_text, kind, gap_text, depends_text = parts
+                try:
+                    pc = int(pc_text, 16)
+                    address = int(address_text, 16)
+                    gap = int(gap_text)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: malformed numeric field{truncated}"
+                    ) from None
+                if not 0 <= pc < _FIELD_LIMIT:
+                    raise ValueError(
+                        f"{path}:{line_number}: pc {pc_text} out of 64-bit range"
+                    )
+                if not 0 <= address < _FIELD_LIMIT:
+                    raise ValueError(
+                        f"{path}:{line_number}: address {address_text} "
+                        f"out of 64-bit range"
+                    )
+                if gap < 0:
+                    raise ValueError(
+                        f"{path}:{line_number}: negative instruction gap {gap}"
+                    )
+                if kind not in ("R", "W"):
+                    raise ValueError(f"{path}:{line_number}: bad access kind {kind!r}")
+                if depends_text not in ("D", "-"):
+                    raise ValueError(
+                        f"{path}:{line_number}: bad dependence flag {depends_text!r}"
+                    )
+                records.append(
+                    TraceRecord(pc, address, kind == "W", gap, depends_text == "D")
                 )
-            pc_text, address_text, kind, gap_text, depends_text = parts
-            try:
-                pc = int(pc_text, 16)
-                address = int(address_text, 16)
-                gap = int(gap_text)
-            except ValueError:
-                raise ValueError(
-                    f"{path}:{line_number}: malformed numeric field"
-                ) from None
-            if kind not in ("R", "W"):
-                raise ValueError(f"{path}:{line_number}: bad access kind {kind!r}")
-            if depends_text not in ("D", "-"):
-                raise ValueError(
-                    f"{path}:{line_number}: bad dependence flag {depends_text!r}"
-                )
-            records.append(
-                TraceRecord(pc, address, kind == "W", gap, depends_text == "D")
-            )
+        except EOFError:
+            # gzip raises EOFError when the stream ends before the
+            # end-of-stream marker (an interrupted write or copy).
+            raise ValueError(f"{path}: truncated gzip stream") from None
     return Trace(name, records)

@@ -2,15 +2,47 @@
 
 The helpers here build tiny caches and replay short access strings so the
 unit tests can state expectations exactly.  Everything is deterministic.
+
+Fault-injection tests (``@pytest.mark.faults``, run via ``make
+test-faults``) exercise worker crashes, hangs, and timeouts; a
+regression there can *wedge* rather than fail, so every marked test runs
+under a hard SIGALRM deadline (default 120s, override with
+``@pytest.mark.faults(timeout=N)``) that turns a hang into a loud
+failure instead of a stuck suite.
 """
 
 from __future__ import annotations
 
+import signal
 from typing import Iterable, List, Tuple
 
 import pytest
 
 from repro.cache import Cache, CacheAccess, CacheGeometry
+
+_FAULTS_TEST_TIMEOUT = 120.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    marker = item.get_closest_marker("faults")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    limit = float(marker.kwargs.get("timeout", _FAULTS_TEST_TIMEOUT))
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"faults test {item.nodeid} exceeded its {limit}s hard deadline"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def tiny_geometry(sets: int = 4, assoc: int = 2, block: int = 64) -> CacheGeometry:

@@ -1,0 +1,148 @@
+"""The content-addressed checkpoint store.
+
+Pins the properties docs/robustness.md promises: round-trip fidelity,
+configuration isolation (different seed/scale/budget never alias), and
+the "bad checkpoint reads as missing" contract that makes resume safe
+against torn or tampered files.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.harness.checkpoint import CheckpointStore, resolve_checkpoint_dir
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.sim.system import RunResult
+
+CONFIG = ExperimentConfig(instructions=20_000)
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One real completed cell (module-scoped: replay once, test many)."""
+    from repro.harness.parallel import _run_cell_on
+
+    return _run_cell_on(WorkloadCache(CONFIG), ("perlbench", None))
+
+
+class TestResolveCheckpointDir:
+    def test_explicit_wins_over_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "env"))
+        assert resolve_checkpoint_dir(tmp_path / "arg") == tmp_path / "arg"
+
+    def test_env_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path / "env"))
+        assert resolve_checkpoint_dir() == tmp_path / "env"
+
+    def test_unset_and_blank_disable(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+        assert resolve_checkpoint_dir() is None
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", "   ")
+        assert resolve_checkpoint_dir() is None
+        assert CheckpointStore.from_env() is None
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path, result):
+        store = CheckpointStore(tmp_path)
+        store.store(CONFIG, "perlbench", "sampler", result)
+        loaded = store.load(CONFIG, "perlbench", "sampler")
+        assert isinstance(loaded, RunResult)
+        assert loaded.llc_stats.snapshot() == result.llc_stats.snapshot()
+        assert loaded.llc_hits == result.llc_hits
+        assert loaded.ipc == result.ipc
+        # Stored stripped, like a worker-boundary crossing.
+        assert loaded.cache is None and loaded.observers == ()
+
+    def test_store_does_not_mutate_the_live_result(self, tmp_path, result):
+        store = CheckpointStore(tmp_path)
+        store.store(CONFIG, "perlbench", "sampler", result)
+        assert result.cache is not None
+
+    def test_baseline_and_technique_cells_are_distinct(self, tmp_path, result):
+        store = CheckpointStore(tmp_path)
+        store.store(CONFIG, "perlbench", None, result)
+        assert store.load(CONFIG, "perlbench", "sampler") is None
+        assert store.load(CONFIG, "perlbench", None) is not None
+
+    def test_len_and_clear(self, tmp_path, result):
+        store = CheckpointStore(tmp_path)
+        assert len(store) == 0
+        store.store(CONFIG, "perlbench", None, result)
+        store.store(CONFIG, "mcf", None, result)
+        assert len(store) == 2
+        store.clear()
+        assert len(store) == 0
+        assert store.load(CONFIG, "perlbench", None) is None
+        # The store stays usable after clear().
+        store.store(CONFIG, "mcf", "rrip", result)
+        assert len(store) == 1
+
+
+class TestConfigurationIsolation:
+    @pytest.mark.parametrize(
+        "other",
+        [
+            ExperimentConfig(instructions=20_000, seed=2),
+            ExperimentConfig(instructions=30_000),
+            ExperimentConfig(instructions=20_000, scale=16),
+            ExperimentConfig(instructions=20_000, num_cores=2),
+        ],
+    )
+    def test_different_config_never_aliases(self, tmp_path, result, other):
+        store = CheckpointStore(tmp_path)
+        store.store(CONFIG, "perlbench", "rrip", result)
+        assert store.cell_path(CONFIG, "perlbench", "rrip") != store.cell_path(
+            other, "perlbench", "rrip"
+        )
+        assert store.load(other, "perlbench", "rrip") is None
+
+    def test_key_names_every_determinant(self):
+        key = CheckpointStore.cell_key(CONFIG, "mcf", "sampler")
+        for fragment in (
+            "scale=8", "instructions=20000", "seed=1", "cores=4",
+            "benchmark=mcf", "technique=sampler",
+        ):
+            assert fragment in key
+        assert "technique=<baseline>" in CheckpointStore.cell_key(CONFIG, "mcf", None)
+
+
+class TestCorruptionTolerance:
+    def test_torn_file_reads_as_missing(self, tmp_path, result):
+        store = CheckpointStore(tmp_path)
+        path = store.store(CONFIG, "perlbench", "rrip", result)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert store.load(CONFIG, "perlbench", "rrip") is None
+
+    def test_garbage_file_reads_as_missing(self, tmp_path, result):
+        store = CheckpointStore(tmp_path)
+        path = store.store(CONFIG, "perlbench", "rrip", result)
+        path.write_bytes(b"not a pickle at all")
+        assert store.load(CONFIG, "perlbench", "rrip") is None
+
+    def test_misplaced_checkpoint_reads_as_missing(self, tmp_path, result):
+        # A valid pickle whose embedded key belongs to a different cell
+        # (e.g. a hand-copied file) must not satisfy a lookup.
+        store = CheckpointStore(tmp_path)
+        source = store.store(CONFIG, "perlbench", "rrip", result)
+        target = store.cell_path(CONFIG, "mcf", "rrip")
+        target.write_bytes(source.read_bytes())
+        assert store.load(CONFIG, "mcf", "rrip") is None
+
+    def test_wrong_payload_shape_reads_as_missing(self, tmp_path, result):
+        store = CheckpointStore(tmp_path)
+        path = store.cell_path(CONFIG, "perlbench", "rrip")
+        key = store.cell_key(CONFIG, "perlbench", "rrip")
+        path.write_bytes(pickle.dumps({"key": key, "result": "not a RunResult"}))
+        assert store.load(CONFIG, "perlbench", "rrip") is None
+
+    def test_rewrite_after_corruption_recovers(self, tmp_path, result):
+        store = CheckpointStore(tmp_path)
+        path = store.store(CONFIG, "perlbench", "rrip", result)
+        path.write_bytes(b"torn")
+        store.store(CONFIG, "perlbench", "rrip", result)
+        loaded = store.load(CONFIG, "perlbench", "rrip")
+        assert loaded is not None
+        assert loaded.llc_stats.snapshot() == result.llc_stats.snapshot()

@@ -35,11 +35,22 @@ class TestResolveJobs:
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert resolve_jobs(5) == 5
 
-    @pytest.mark.parametrize("raw", ["0", "-2", "two"])
+    @pytest.mark.parametrize("raw", ["0", "-2", "two", "", "2.5", "0x4"])
     def test_invalid_settings_rejected(self, monkeypatch, raw):
         monkeypatch.setenv("REPRO_JOBS", raw)
         with pytest.raises(ValueError):
             resolve_jobs()
+
+    def test_error_names_the_variable_and_value(self, monkeypatch):
+        # An empty or garbled setting (e.g. REPRO_JOBS= in a CI file)
+        # must say what was wrong, not surface a bare int() failure.
+        monkeypatch.setenv("REPRO_JOBS", "")
+        with pytest.raises(ValueError, match=r"REPRO_JOBS.*''"):
+            resolve_jobs()
+
+    def test_surrounding_whitespace_tolerated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "  4 ")
+        assert resolve_jobs() == 4
 
     def test_invalid_argument_rejected(self):
         with pytest.raises(ValueError):
@@ -105,3 +116,42 @@ class TestParallelComparison:
             # Results crossed the process boundary stripped of the cache.
             assert result.cache is None
             assert result.llc_stats.accesses > 0
+
+    def test_unknown_technique_rejected_up_front(self):
+        # Typos must fail before any replay begins, naming both the bad
+        # keys and the valid vocabulary -- not as a KeyError from inside
+        # a worker process minutes into the sweep.
+        with pytest.raises(ValueError, match=r"unknown techniques: 'sampelr'.*valid:.*sampler"):
+            parallel_single_thread_comparison(
+                SMALL, ("rrip", "sampelr"), BENCHMARKS, jobs=1
+            )
+
+    def test_complete_sweep_reports_no_failures(self):
+        comparison = parallel_single_thread_comparison(
+            SMALL, TECHNIQUE_KEYS, BENCHMARKS, jobs=1
+        )
+        assert not comparison.is_partial
+        assert comparison.failures == ()
+        assert comparison.failure_report() == ""
+
+
+class TestWorkloadCacheClear:
+    def test_reuse_after_clear(self):
+        cache = WorkloadCache(SMALL)
+        first = cache.filtered(BENCHMARKS[0])
+        assert cache.filtered(BENCHMARKS[0]) is first  # memoized
+        cache.clear()
+        assert not cache._filtered and not cache._mixes
+        # The cache must stay fully usable: same workload, fresh object,
+        # identical content (generation is deterministic).
+        again = cache.filtered(BENCHMARKS[0])
+        assert again is not first
+        assert again.llc_indices == first.llc_indices
+        assert again.levels == first.levels
+        assert again.trace.records == first.trace.records
+
+    def test_clear_empty_cache_is_harmless(self):
+        cache = WorkloadCache(SMALL)
+        cache.clear()
+        cache.clear()
+        assert cache.filtered(BENCHMARKS[0]).llc_indices
