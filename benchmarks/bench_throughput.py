@@ -57,6 +57,7 @@ from repro.harness.techniques import (  # noqa: E402
 )
 from repro.replacement.lru import LRUPolicy  # noqa: E402
 from repro.sim.replay import replay  # noqa: E402
+from repro.telemetry import IntervalRecorder  # noqa: E402
 from repro.utils.bits import mask  # noqa: E402
 from repro.utils.hashing import _MASK64, _SKEW_SALTS, mix64  # noqa: E402
 from repro.workloads import SINGLE_THREAD_SUBSET  # noqa: E402
@@ -258,9 +259,8 @@ def _pre_pr_substrate():
             setattr(owner, name, original)
 
 
-def _measure_substrate(config, technique_keys, benchmarks) -> Dict:
+def _measure_substrate(workload_cache, technique_keys, benchmarks) -> Dict:
     """Time every cell through the legacy loop and the replay kernel."""
-    workload_cache = WorkloadCache(config)
     geometry = workload_cache.machine.llc
     per_technique: Dict[str, Dict] = {
         key: {"accesses": 0, "before_seconds": 0.0, "after_seconds": 0.0}
@@ -319,6 +319,51 @@ def _measure_substrate(config, technique_keys, benchmarks) -> Dict:
     }
 
 
+def _measure_telemetry_overhead(workload_cache, benchmarks) -> Dict:
+    """Time the sampler cell probes-off vs with an IntervalRecorder.
+
+    Probes-off runs the unmodified inlined kernel -- its cost relative
+    to the frozen legacy substrate is guarded by ``--min-speedup``.  The
+    probe-on column is informational (telemetry is opt-in); both runs
+    must still produce identical stats (docs/observability.md).
+    """
+    geometry = workload_cache.machine.llc
+    technique = TECHNIQUES["sampler"]
+    totals = {"accesses": 0, "off_seconds": 0.0, "on_seconds": 0.0}
+    for benchmark in benchmarks:
+        filtered = workload_cache.filtered(benchmark)
+        stream = filtered.llc_stream(geometry)
+        accesses = stream.accesses
+
+        off_cache = Cache(geometry, technique.build(geometry, accesses))
+        start = time.perf_counter()
+        replay(off_cache, accesses, stream.set_indices, stream.tags)
+        totals["off_seconds"] += time.perf_counter() - start
+
+        recorder = IntervalRecorder(epochs=32)
+        on_cache = Cache(
+            geometry, technique.build(geometry, accesses), probe=recorder
+        )
+        start = time.perf_counter()
+        replay(on_cache, accesses, stream.set_indices, stream.tags)
+        totals["on_seconds"] += time.perf_counter() - start
+
+        if off_cache.stats.snapshot() != on_cache.stats.snapshot():
+            raise SystemExit(
+                f"TELEMETRY TRANSPARENCY FAILURE on ({benchmark}, sampler): "
+                f"probe-off {off_cache.stats.snapshot()} != "
+                f"probe-on {on_cache.stats.snapshot()}"
+            )
+        totals["accesses"] += len(accesses)
+
+    totals["off_acc_per_sec"] = totals["accesses"] / totals["off_seconds"]
+    totals["on_acc_per_sec"] = totals["accesses"] / totals["on_seconds"]
+    totals["on_overhead"] = (
+        totals["on_seconds"] / totals["off_seconds"] - 1.0
+    )
+    return totals
+
+
 def _measure_end_to_end(config, technique_keys, benchmarks, jobs) -> Dict:
     """Wall time of the Figure 4/5 sweep, serial and (optionally) parallel."""
     start = time.perf_counter()
@@ -365,6 +410,13 @@ def _print_report(report: Dict) -> None:
     print(
         f"  {'TOTAL':14s} {total['before_acc_per_sec']:>14,.0f} "
         f"{total['after_acc_per_sec']:>14,.0f} {total['speedup']:>7.2f}x"
+    )
+    telemetry = report["telemetry"]
+    print(
+        f"\ntelemetry (sampler cell): probes-off "
+        f"{telemetry['off_acc_per_sec']:,.0f} acc/s, probe-on "
+        f"{telemetry['on_acc_per_sec']:,.0f} acc/s "
+        f"({telemetry['on_overhead']:+.1%} recorder overhead)"
     )
     end_to_end = report["end_to_end"]
     line = (
@@ -414,6 +466,11 @@ def main(argv=None) -> int:
         "--tolerance", type=float, default=0.7,
         help="fraction of baseline throughput still accepted by --check",
     )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.3,
+        help="probes-off guard: minimum aggregate speedup of the replay "
+        "kernel over the frozen legacy substrate (exit 1 below it)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -433,6 +490,7 @@ def main(argv=None) -> int:
     print(f"substrate cells: {len(benchmarks)} benchmarks x "
           f"{len(technique_keys)} techniques, both access paths")
 
+    workload_cache = WorkloadCache(config)
     report = {
         "schema": "repro-bench/1",
         "unix_time": time.time(),
@@ -442,7 +500,8 @@ def main(argv=None) -> int:
             "instructions": config.instructions,
             "seed": config.seed,
         },
-        "substrate": _measure_substrate(config, technique_keys, benchmarks),
+        "substrate": _measure_substrate(workload_cache, technique_keys, benchmarks),
+        "telemetry": _measure_telemetry_overhead(workload_cache, benchmarks),
         "end_to_end": _measure_end_to_end(
             config,
             [k for k in technique_keys if k != "lru"],
@@ -457,6 +516,18 @@ def main(argv=None) -> int:
         output = REPO_ROOT / ("BENCH_SMOKE.json" if args.smoke else "BENCH_PR1.json")
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nreport written to {output}")
+
+    # Probes-off guard: with telemetry disabled (the default), the replay
+    # kernel must still beat the frozen in-file legacy substrate by the
+    # configured margin -- a slow fast path means the probe hooks leaked
+    # cost into the default configuration.
+    speedup = report["substrate"]["total"]["speedup"]
+    if speedup < args.min_speedup:
+        print(
+            f"\nPROBES-OFF OVERHEAD: aggregate speedup {speedup:.2f}x fell "
+            f"below the floor {args.min_speedup:.2f}x"
+        )
+        return 1
 
     if args.check is not None:
         return _check_regression(report, args.check, args.tolerance)

@@ -14,7 +14,6 @@ the paper-vs-measured comparison for the checked-in configuration.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

@@ -5,6 +5,11 @@ Commands:
 * ``info`` -- package, machine, suite, and technique summary.
 * ``run BENCHMARK [TECHNIQUE ...]`` -- quick single-benchmark comparison.
 * ``suite [TECHNIQUE ...]`` -- the full 19-benchmark Figure 4/5 run.
+* ``telemetry BENCHMARK [TECHNIQUE]`` -- per-epoch time series of one
+  run, dumped as NDJSON/CSV (``--ndjson`` / ``--csv``) or rendered as a
+  sparkline table.
+* ``report --timeseries [BENCHMARK ...]`` -- sparkline phase report
+  across benchmarks (docs/observability.md).
 * ``profile BENCHMARK`` -- reuse-distance profile of a workload.
 * ``storage`` / ``power`` -- print Tables I and II.
 
@@ -21,6 +26,12 @@ completed cell, and ``--allow-partial`` renders whatever completed plus
 a failure report instead of aborting when cells fail unrecoverably.
 Per-cell timeouts and retries come from ``REPRO_CELL_TIMEOUT`` /
 ``REPRO_CELL_RETRIES`` / ``REPRO_RETRY_BACKOFF``.
+
+Sweep observability (docs/observability.md): ``--events-file FILE`` (or
+``REPRO_EVENTS_FILE``) streams NDJSON progress events, ``--progress``
+(or ``REPRO_PROGRESS``) renders them live on stderr, and ``--manifest
+FILE`` (or ``REPRO_MANIFEST``; defaults next to the checkpoint store)
+records the run's config/seed/git/env provenance with per-cell timings.
 """
 
 from __future__ import annotations
@@ -60,12 +71,16 @@ def _cmd_info(args) -> int:
 
 
 def _comparison(config, technique_keys, benchmarks, jobs=None,
-                checkpoint_dir=None, resume=False, allow_partial=False):
+                checkpoint_dir=None, resume=False, allow_partial=False,
+                events_file=None, progress=None, manifest=None,
+                command="run"):
     cache = WorkloadCache(config)
     comparison = parallel_single_thread_comparison(
         cache, technique_keys, benchmarks, jobs=jobs,
         checkpoint=checkpoint_dir, resume=resume,
         allow_partial=allow_partial or None,
+        events_file=events_file, progress=progress,
+        manifest_path=manifest, command=command,
     )
     if comparison.is_partial:
         print(comparison.failure_report())
@@ -132,6 +147,10 @@ def _cmd_run(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         allow_partial=args.allow_partial,
+        events_file=args.events_file,
+        progress=args.progress or None,
+        manifest=args.manifest,
+        command="run",
     )
 
 
@@ -143,7 +162,66 @@ def _cmd_suite(args) -> int:
                        SINGLE_THREAD_SUBSET, jobs=args.jobs,
                        checkpoint_dir=args.checkpoint_dir,
                        resume=args.resume,
-                       allow_partial=args.allow_partial)
+                       allow_partial=args.allow_partial,
+                       events_file=args.events_file,
+                       progress=args.progress or None,
+                       manifest=args.manifest,
+                       command="suite")
+
+
+def _timeseries(config, benchmark, technique_key, epochs, accuracy=True):
+    from repro.harness import timeseries_experiment
+
+    if benchmark not in ALL_BENCHMARKS:
+        raise SystemExit(
+            f"unknown benchmark {benchmark!r} "
+            f"(known: {', '.join(ALL_BENCHMARKS)})"
+        )
+    if technique_key not in TECHNIQUES:
+        raise SystemExit(
+            f"unknown technique {technique_key!r} "
+            f"(known: {', '.join(TECHNIQUES)})"
+        )
+    cache = WorkloadCache(config)
+    return timeseries_experiment(
+        cache, benchmark, technique_key, epochs=epochs, accuracy=accuracy
+    )
+
+
+def _cmd_telemetry(args) -> int:
+    from repro.telemetry import render_report, write_csv, write_ndjson
+
+    result = _timeseries(
+        ExperimentConfig.from_env(), args.benchmark, args.technique,
+        args.epochs, accuracy=not args.no_accuracy,
+    )
+    recorder = result.recorder
+    if args.ndjson:
+        write_ndjson(recorder, args.ndjson)
+        print(f"wrote {len(recorder.samples)} epochs to {args.ndjson} (NDJSON)")
+    if args.csv:
+        write_csv(recorder, args.csv)
+        print(f"wrote {len(recorder.samples)} epochs to {args.csv} (CSV)")
+    if not args.ndjson and not args.csv:
+        print(render_report(recorder))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.telemetry import render_report
+
+    if not args.timeseries:
+        raise SystemExit("report: pass --timeseries (the only report so far)")
+    config = ExperimentConfig.from_env()
+    benchmarks = args.benchmarks or list(SINGLE_THREAD_SUBSET[:3])
+    first = True
+    for benchmark in benchmarks:
+        result = _timeseries(config, benchmark, args.technique, args.epochs)
+        if not first:
+            print()
+        first = False
+        print(render_report(result.recorder))
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -232,6 +310,61 @@ def main(argv=None) -> int:
             help="on unrecoverable cell failures, render completed "
                  "cells plus a failure report instead of aborting",
         )
+        sweep_parser.add_argument(
+            "--events-file", default=None, metavar="FILE",
+            help="append NDJSON progress events here "
+                 "(default: REPRO_EVENTS_FILE or off)",
+        )
+        sweep_parser.add_argument(
+            "--progress", action="store_true",
+            help="render live progress lines on stderr "
+                 "(default: REPRO_PROGRESS or off)",
+        )
+        sweep_parser.add_argument(
+            "--manifest", default=None, metavar="FILE",
+            help="write the run manifest here (default: REPRO_MANIFEST, "
+                 "else next to the checkpoint store)",
+        )
+    telemetry_parser = subparsers.add_parser(
+        "telemetry",
+        help="per-epoch time series of one (benchmark, technique) run",
+    )
+    telemetry_parser.add_argument("benchmark")
+    telemetry_parser.add_argument("technique", nargs="?", default="sampler")
+    telemetry_parser.add_argument(
+        "--epochs", type=int, default=32,
+        help="target epochs across the LLC stream (default: 32)",
+    )
+    telemetry_parser.add_argument(
+        "--ndjson", default=None, metavar="FILE",
+        help="dump the series as NDJSON (context header + one row/epoch)",
+    )
+    telemetry_parser.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="dump the series as CSV",
+    )
+    telemetry_parser.add_argument(
+        "--no-accuracy", action="store_true",
+        help="skip the accuracy observer (faster; drops the coverage / "
+             "false-positive columns)",
+    )
+    report_parser = subparsers.add_parser(
+        "report", help="rendered telemetry reports (sparkline tables)"
+    )
+    report_parser.add_argument("benchmarks", nargs="*")
+    report_parser.add_argument(
+        "--timeseries", action="store_true",
+        help="per-benchmark phase plot: miss rate, coverage, false "
+             "positives, bypass, sampler/table gauges over epochs",
+    )
+    report_parser.add_argument(
+        "--technique", default="sampler",
+        help="technique to replay (default: sampler)",
+    )
+    report_parser.add_argument(
+        "--epochs", type=int, default=32,
+        help="target epochs across the LLC stream (default: 32)",
+    )
     profile_parser = subparsers.add_parser(
         "profile", help="reuse-distance profile of one benchmark"
     )
@@ -244,6 +377,8 @@ def main(argv=None) -> int:
         "info": _cmd_info,
         "run": _cmd_run,
         "suite": _cmd_suite,
+        "telemetry": _cmd_telemetry,
+        "report": _cmd_report,
         "profile": _cmd_profile,
         "storage": _cmd_storage,
         "power": _cmd_power,

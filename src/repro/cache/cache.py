@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from repro.cache.block import CacheBlock
 from repro.cache.geometry import CacheGeometry
 from repro.cache.stats import CacheStats
+from repro.telemetry.probe import NULL_PROBE, TelemetryProbe
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.replacement.base import ReplacementPolicy
@@ -128,6 +129,10 @@ class Cache:
             the policy's internal integrity, and statistics monotonicity
             after every access (slow; for debugging and fault tests).
             ``None`` defers to the ``REPRO_PARANOID`` environment flag.
+        probe: telemetry probe the replay engine drives at epoch
+            boundaries (see :mod:`repro.telemetry.probe`).  Defaults to
+            the shared inert :data:`~repro.telemetry.probe.NULL_PROBE`;
+            probes are strictly observational and never change results.
     """
 
     def __init__(
@@ -136,10 +141,12 @@ class Cache:
         policy: "ReplacementPolicy",
         name: str = "cache",
         paranoid: Optional[bool] = None,
+        probe: Optional[TelemetryProbe] = None,
     ) -> None:
         self.geometry = geometry
         self.policy = policy
         self.name = name
+        self.probe = probe if probe is not None else NULL_PROBE
         self.paranoid = (
             _env_flag("REPRO_PARANOID") if paranoid is None else bool(paranoid)
         )

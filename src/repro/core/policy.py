@@ -19,7 +19,7 @@ is used.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Dict, TYPE_CHECKING
 
 from repro.predictors.base import DeadBlockPredictor
 from repro.replacement.base import ReplacementPolicy
@@ -108,6 +108,15 @@ class DBRBPolicy(ReplacementPolicy):
     def on_evict(self, set_index: int, way: int, access: "CacheAccess") -> None:
         self.default.on_evict(set_index, way, access)
         self.predictor.evicted(set_index, way, access)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Merge the default policy's and the predictor's metrics."""
+        snapshot = dict(self.default.telemetry_snapshot())
+        snapshot.update(self.predictor.telemetry_snapshot())
+        return snapshot
 
     def __repr__(self) -> str:
         return f"DBRBPolicy(default={self.default!r}, predictor={self.predictor!r})"

@@ -176,6 +176,17 @@ class SamplingDeadBlockPredictor(DeadBlockPredictor):
             self.tables.train(signature, dead=True)
 
     # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Sampler occupancy/event counters plus table-population gauges."""
+        snapshot: Dict[str, float] = {}
+        if self.sampler is not None:
+            snapshot.update(self.sampler.telemetry_snapshot())
+        snapshot.update(self.tables.telemetry_snapshot())
+        return snapshot
+
+    # ------------------------------------------------------------------
     def __repr__(self) -> str:
         parts = []
         if self.use_sampler and self.sampler is not None:

@@ -183,6 +183,26 @@ class Sampler:
         return self._stacks[sampler_set][-1]
 
     # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Occupancy gauge plus cumulative event counters.
+
+        ``*_count`` keys follow the interval-recorder convention
+        (cumulative, differenced into per-epoch rates); occupancy is the
+        fraction of sampler frames currently valid.
+        """
+        valid = sum(
+            1 for entries in self.sets for entry in entries if entry.valid
+        )
+        return {
+            "sampler_occupancy": valid / (self.num_sets * self.associativity),
+            "sampler_access_count": self.accesses,
+            "sampler_hit_count": self.hits,
+            "sampler_eviction_count": self.evictions,
+        }
+
+    # ------------------------------------------------------------------
     # storage accounting (Table I: 6.75KB for the paper's configuration)
     # ------------------------------------------------------------------
     @property

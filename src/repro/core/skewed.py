@@ -107,6 +107,28 @@ class SkewedCounterTable:
                 table[index] = value - 1
 
     # ------------------------------------------------------------------
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Counter-population gauges for the interval recorder.
+
+        ``table_saturation`` is the fraction of counters pinned at their
+        maximum (a saturated table stops learning "dead" -- the paper's
+        2-bit choice banks on decay via live training); the mean counter
+        tracks overall confidence drift.
+        """
+        counters = sum(len(table) for table in self.tables)
+        saturated = 0
+        total = 0
+        for table in self.tables:
+            for value in table:
+                total += value
+                if value == self.counter_max:
+                    saturated += 1
+        return {
+            "table_saturation": saturated / counters,
+            "table_mean_counter": total / counters,
+        }
+
+    # ------------------------------------------------------------------
     @property
     def storage_bits(self) -> int:
         """Total predictor-table storage in bits (for Table I accounting)."""

@@ -18,6 +18,11 @@
   fault-injection test hook (see docs/robustness.md).
 * :mod:`repro.harness.tables` -- plain-text rendering used by the
   benchmark scripts to print paper-style tables.
+
+Observability (progress events, run manifests, interval time series)
+lives in :mod:`repro.telemetry` and plugs into the parallel runner via
+``events_file`` / ``progress`` / ``manifest_path`` (see
+docs/observability.md).
 """
 
 from repro.harness.checkpoint import CheckpointStore, resolve_checkpoint_dir
@@ -26,12 +31,14 @@ from repro.harness.experiments import (
     EfficiencyResult,
     MulticoreComparison,
     SingleThreadComparison,
+    TimeseriesResult,
     ablation_experiment,
     accuracy_experiment,
     characterization_table,
     efficiency_experiment,
     multicore_comparison,
     single_thread_comparison,
+    timeseries_experiment,
 )
 from repro.harness.faults import (
     CellCrashed,
@@ -73,6 +80,7 @@ __all__ = [
     "SweepAborted",
     "TECHNIQUES",
     "Technique",
+    "TimeseriesResult",
     "WorkloadCache",
     "ablation_experiment",
     "accuracy_experiment",
@@ -84,4 +92,5 @@ __all__ = [
     "resolve_checkpoint_dir",
     "resolve_jobs",
     "single_thread_comparison",
+    "timeseries_experiment",
 ]

@@ -34,6 +34,7 @@ from repro.replacement import LRUPolicy
 from repro.sim.metrics import geometric_mean
 from repro.sim.multicore import MulticoreResult
 from repro.sim.system import RunResult
+from repro.telemetry.probe import IntervalRecorder
 from repro.workloads import MIX_NAMES, SINGLE_THREAD_SUBSET
 from repro.workloads.suite import ALL_BENCHMARKS, SINGLE_THREAD_SUBSET as _SUBSET
 
@@ -42,12 +43,14 @@ __all__ = [
     "EfficiencyResult",
     "MulticoreComparison",
     "SingleThreadComparison",
+    "TimeseriesResult",
     "ablation_experiment",
     "accuracy_experiment",
     "characterization_table",
     "efficiency_experiment",
     "multicore_comparison",
     "single_thread_comparison",
+    "timeseries_experiment",
 ]
 
 
@@ -413,6 +416,78 @@ def multicore_comparison(
         technique_keys=tuple(technique_keys),
         baseline=baseline,
         results=results,
+    )
+
+
+# ----------------------------------------------------------------------
+# Telemetry: per-epoch phase behaviour of one (benchmark, technique) run
+# ----------------------------------------------------------------------
+@dataclass
+class TimeseriesResult:
+    """One run's per-epoch time series (the ``repro telemetry`` payload).
+
+    ``recorder`` holds the :class:`~repro.telemetry.probe.IntervalSample`
+    rows and run context; ``run`` is the ordinary
+    :class:`~repro.sim.system.RunResult` the same replay produced --
+    telemetry is observational, so the aggregate numbers here match a
+    probe-less run of the same cell exactly.
+    """
+
+    benchmark: str
+    technique_key: str
+    recorder: IntervalRecorder
+    run: RunResult
+
+    @property
+    def samples(self):
+        return self.recorder.samples
+
+
+def timeseries_experiment(
+    cache: WorkloadCache,
+    benchmark: str,
+    technique_key: str = "sampler",
+    epochs: int = 32,
+    accuracy: bool = True,
+) -> TimeseriesResult:
+    """Replay one (benchmark, technique) cell with an interval recorder.
+
+    Args:
+        cache: workload cache carrying the machine configuration.
+        benchmark: workload to replay.
+        technique_key: technique registry key (default: the paper's
+            sampler-driven DBRB).
+        epochs: target number of epochs across the LLC stream.
+        accuracy: attach an
+            :class:`~repro.analysis.accuracy.AccuracyObserver` so the
+            series includes per-epoch prediction coverage and
+            false-positive rate (forces the reference replay path --
+            slower, but the ground truth needs per-event observation).
+
+    The miss-rate/MPKI/bypass and component-gauge series need no
+    observer and are recorded on the fast replay path when ``accuracy``
+    is off.
+    """
+    if technique_key not in TECHNIQUES:
+        raise ValueError(
+            f"unknown technique {technique_key!r} (valid: {', '.join(TECHNIQUES)})"
+        )
+    technique = TECHNIQUES[technique_key]
+    recorder = IntervalRecorder(epochs=epochs)
+    filtered = cache.filtered(benchmark)
+    run = cache.system.run(
+        filtered,
+        lambda g, a: technique.build(g, a),
+        technique_name=technique_key,
+        observer_factories=[AccuracyObserver] if accuracy else (),
+        compute_timing=False,
+        probe=recorder,
+    )
+    return TimeseriesResult(
+        benchmark=benchmark,
+        technique_key=technique_key,
+        recorder=recorder,
+        run=run,
     )
 
 

@@ -29,6 +29,16 @@ def to_dict(result) -> dict:
             "kind": "single_thread_comparison",
             "benchmarks": list(result.benchmarks),
             "techniques": list(result.technique_keys),
+            "failures": [
+                {
+                    "benchmark": failure.benchmark,
+                    "technique": failure.technique_key,
+                    "kind": type(failure).__name__,
+                    "attempts": failure.attempts,
+                    "detail": failure.detail,
+                }
+                for failure in result.failures
+            ],
             "normalized_mpki": {
                 benchmark: {
                     key: result.normalized_mpki(benchmark, key)

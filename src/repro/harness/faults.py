@@ -332,9 +332,12 @@ class cell_deadline:
 # the supervision loop
 # ----------------------------------------------------------------------
 #: Wire format a supervised worker returns:
-#: (benchmark, technique_key, status, payload) with status "ok" carrying
-#: the cell result, "timeout"/"error" carrying a diagnostic string.
-WireResult = Tuple[str, Optional[str], str, object]
+#: (benchmark, technique_key, status, payload, timing) with status "ok"
+#: carrying the cell result, "timeout"/"error" carrying a diagnostic
+#: string.  ``timing`` is ``{"wall_seconds": ..., "cpu_seconds": ...}``
+#: measured inside the worker (None when the cell never ran to a
+#: measurable end); it feeds the sweep's events and run manifest.
+WireResult = Tuple[str, Optional[str], str, object, Optional[Dict[str, float]]]
 
 
 def run_cells_supervised(
@@ -344,6 +347,7 @@ def run_cells_supervised(
     policy: FaultPolicy,
     on_success: Callable[[Cell, object], None],
     serial_fallback: Optional[Callable[[Cell], object]] = None,
+    on_event: Optional[Callable[..., None]] = None,
 ) -> List[CellError]:
     """Drive ``cells`` through supervised parallel rounds.
 
@@ -362,6 +366,11 @@ def run_cells_supervised(
             (checkpoint persistence hooks in here).
         serial_fallback: in-process executor for graceful degradation;
             ``None`` disables degradation regardless of the policy.
+        on_event: optional progress callback ``(kind, cell_label,
+            **payload)`` -- see
+            :meth:`repro.telemetry.events.SweepTelemetry.on_event` for
+            the kinds.  Purely observational: a raising callback is a
+            caller bug, not a supervised fault.
 
     Returns the list of unrecovered failures, in work-list order; empty
     on full success.  Raises :class:`SweepAborted` when failures remain
@@ -372,11 +381,23 @@ def run_cells_supervised(
     failures: Dict[Cell, CellError] = {}
     watchdog = policy.effective_watchdog()
 
+    def emit(kind: str, cell: Optional[Cell], **payload) -> None:
+        if on_event is not None:
+            on_event(kind, cell_label(cell) if cell is not None else "", **payload)
+
     for attempt in range(policy.max_retries + 1):
         if not pending:
             break
-        if attempt and policy.backoff > 0:
-            time.sleep(policy.backoff * 2.0 ** (attempt - 1))
+        if attempt:
+            for cell in pending:
+                prior = failures.get(cell)
+                emit(
+                    "retried", cell,
+                    reason=prior.detail if prior is not None else "",
+                    attempt=attempt + 1,
+                )
+            if policy.backoff > 0:
+                time.sleep(policy.backoff * 2.0 ** (attempt - 1))
         tasks = [
             (benchmark, key, attempt, policy.cell_timeout)
             for benchmark, key in pending
@@ -387,7 +408,9 @@ def run_cells_supervised(
             received = 0
             while received < len(tasks):
                 try:
-                    benchmark, key, status, payload = results.next(timeout=watchdog)
+                    benchmark, key, status, payload, timing = results.next(
+                        timeout=watchdog
+                    )
                 except StopIteration:  # pragma: no cover - defensive
                     break
                 except multiprocessing.TimeoutError:
@@ -402,9 +425,14 @@ def run_cells_supervised(
                     failures.pop(cell, None)
                     completed += 1
                     on_success(cell, payload)
+                    emit("finished", cell, status="ok", timing=timing)
                 elif status == "timeout":
                     failures[cell] = CellTimeout(
                         benchmark, key, attempts=attempt + 1, detail=str(payload)
+                    )
+                    emit(
+                        "timed_out", cell,
+                        timeout_seconds=policy.cell_timeout,
                     )
                 else:
                     failures[cell] = CellCrashed(
@@ -428,7 +456,15 @@ def run_cells_supervised(
     # Graceful degradation: whatever still fails runs serially in the
     # parent, with no pool and no fault injection in the way.
     if pending and policy.degrade_serially and serial_fallback is not None:
+        emit(
+            "degraded", None,
+            reason=f"{len(pending)} cell(s) failed in parallel; "
+            "re-running serially in the parent",
+        )
         for cell in list(pending):
+            emit("started", cell)
+            wall_start = time.perf_counter()
+            cpu_start = time.process_time()
             try:
                 payload = serial_fallback(cell)
             except Exception as exc:
@@ -442,8 +478,17 @@ def run_cells_supervised(
                 failures.pop(cell, None)
                 completed += 1
                 on_success(cell, payload)
+                emit(
+                    "finished", cell, status="ok",
+                    timing={
+                        "wall_seconds": time.perf_counter() - wall_start,
+                        "cpu_seconds": time.process_time() - cpu_start,
+                    },
+                )
 
     unrecovered = [failures[cell] for cell in cells if cell in failures]
+    for failure in unrecovered:
+        emit("finished", failure.cell, status="failed", timing=None)
     if unrecovered and not policy.allow_partial:
         raise SweepAborted(unrecovered, completed=completed)
     return unrecovered

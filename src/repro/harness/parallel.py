@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.checkpoint import CheckpointStore
@@ -64,6 +65,7 @@ from repro.harness.faults import (
     Cell,
     FaultPolicy,
     cell_deadline,
+    cell_label,
     DeadlineExceeded,
     maybe_inject_fault,
     run_cells_supervised,
@@ -71,6 +73,8 @@ from repro.harness.faults import (
 from repro.harness.runner import ExperimentConfig, WorkloadCache
 from repro.harness.techniques import TECHNIQUES
 from repro.sim.system import RunResult
+from repro.telemetry.events import EventLog, ProgressRenderer, SweepTelemetry
+from repro.telemetry.manifest import RunManifest
 from repro.workloads import SINGLE_THREAD_SUBSET
 
 __all__ = ["parallel_single_thread_comparison", "resolve_jobs"]
@@ -151,23 +155,98 @@ def _run_cell(
 
 def _run_cell_supervised(
     task: Tuple[str, Optional[str], int, Optional[float]]
-) -> Tuple[str, Optional[str], str, object]:
+) -> Tuple[str, Optional[str], str, object, Optional[Dict[str, float]]]:
     """Supervised worker entry: deadline, fault injection, and exception
     capture around :func:`_run_cell`.
 
     Returns the :data:`~repro.harness.faults.WireResult` wire format;
     exceptions travel back as strings so any failure pickles cleanly.
+    Wall/CPU time is measured here, inside the worker, so the parent's
+    events and manifest carry real per-cell costs rather than
+    queue-inclusive latencies.
     """
     benchmark, technique_key, attempt, timeout = task
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
     try:
         with cell_deadline(timeout):
             maybe_inject_fault(benchmark, technique_key, attempt)
             _, _, result = _run_cell((benchmark, technique_key))
-        return benchmark, technique_key, "ok", result
+        timing = {
+            "wall_seconds": time.perf_counter() - wall_start,
+            "cpu_seconds": time.process_time() - cpu_start,
+        }
+        return benchmark, technique_key, "ok", result, timing
     except DeadlineExceeded:
-        return benchmark, technique_key, "timeout", f"exceeded {timeout}s"
+        return benchmark, technique_key, "timeout", f"exceeded {timeout}s", None
     except Exception as exc:
-        return benchmark, technique_key, "error", f"{type(exc).__name__}: {exc}"
+        return (
+            benchmark,
+            technique_key,
+            "error",
+            f"{type(exc).__name__}: {exc}",
+            None,
+        )
+
+
+def _sweep_telemetry(
+    events_file,
+    progress: Optional[bool],
+    manifest_path,
+    store: Optional[CheckpointStore],
+    command: str,
+    config: ExperimentConfig,
+    technique_keys: Sequence[str],
+    benchmarks: Sequence[str],
+    jobs: int,
+) -> Tuple[Optional[SweepTelemetry], Optional[RunManifest], Optional[str]]:
+    """Resolve the observability knobs into a :class:`SweepTelemetry`.
+
+    Argument ``None`` defers to the environment: ``REPRO_EVENTS_FILE``
+    (NDJSON sink path), ``REPRO_PROGRESS`` (truthy enables the stderr
+    renderer), ``REPRO_MANIFEST`` (manifest path).  The manifest default
+    places it next to the checkpoint store (``<store>/manifest.json``)
+    when one is attached, or next to the events file otherwise; with no
+    anchor at all, no manifest is written.  Returns ``(None, None,
+    None)`` when nothing is enabled, so sweeps without observability pay
+    nothing.
+    """
+    if events_file is None:
+        events_file = os.environ.get("REPRO_EVENTS_FILE") or None
+    if progress is None:
+        progress = os.environ.get(
+            "REPRO_PROGRESS", ""
+        ).strip().lower() in ("1", "true", "yes", "on")
+    if manifest_path is None:
+        manifest_path = os.environ.get("REPRO_MANIFEST") or None
+    if manifest_path is None:
+        if store is not None:
+            manifest_path = os.path.join(os.fspath(store.root), "manifest.json")
+        elif events_file is not None and not hasattr(events_file, "write"):
+            manifest_path = f"{os.fspath(events_file)}.manifest.json"
+
+    if events_file is None and not progress and manifest_path is None:
+        return None, None, None
+
+    manifest = None
+    if manifest_path is not None:
+        from dataclasses import asdict
+
+        manifest = RunManifest(
+            command=command,
+            config=asdict(config),
+            technique_keys=list(technique_keys),
+            benchmarks=list(benchmarks),
+            started_at=time.time(),
+            jobs=jobs,
+            checkpoint_root=os.fspath(store.root) if store is not None else None,
+        )
+    sinks = []
+    if events_file is not None:
+        sinks.append(EventLog(events_file))
+    if progress:
+        sinks.append(ProgressRenderer())
+    return SweepTelemetry(sinks=sinks, manifest=manifest), manifest, manifest_path
 
 
 def parallel_single_thread_comparison(
@@ -179,6 +258,10 @@ def parallel_single_thread_comparison(
     resume: bool = False,
     fault_policy: Optional[FaultPolicy] = None,
     allow_partial: Optional[bool] = None,
+    events_file=None,
+    progress: Optional[bool] = None,
+    manifest_path: Union[str, os.PathLike, None] = None,
+    command: str = "run",
 ) -> SingleThreadComparison:
     """Figure 4/5/7/8 sweep, fanned over supervised worker processes.
 
@@ -202,6 +285,19 @@ def parallel_single_thread_comparison(
             partial sweep returns the completed cells with
             ``comparison.failures`` describing the rest instead of
             raising :class:`~repro.harness.faults.SweepAborted`.
+        events_file: NDJSON progress-event sink -- a path or an open
+            file object (``None`` defers to ``REPRO_EVENTS_FILE``); see
+            :mod:`repro.telemetry.events` for the schema.
+        progress: render one human-readable progress line per event on
+            stderr (``None`` defers to ``REPRO_PROGRESS``).
+        manifest_path: where to write the run manifest (``None`` defers
+            to ``REPRO_MANIFEST``, then to ``<checkpoint>/manifest.json``
+            when a store is attached, then to
+            ``<events_file>.manifest.json``).  The manifest is written
+            atomically at sweep start and again at the end -- including
+            on an aborted sweep, so a crashed run still leaves its
+            provenance on disk.
+        command: label recorded in the manifest ("run", "suite", ...).
 
     Returns the same :class:`SingleThreadComparison` a serial
     :func:`~repro.harness.experiments.single_thread_comparison` call
@@ -260,6 +356,7 @@ def parallel_single_thread_comparison(
 
     # Resume: completed cells come off disk, not off the machine.
     to_run: List[Cell] = []
+    resumed: List[Cell] = []
     for cell in cells:
         loaded = store.load(config, *cell) if (resume and store) else None
         if loaded is not None:
@@ -268,45 +365,87 @@ def parallel_single_thread_comparison(
                 baseline[benchmark] = loaded
             else:
                 results[benchmark][technique_key] = loaded
+            resumed.append(cell)
         else:
             to_run.append(cell)
 
+    effective_jobs = min(resolve_jobs(jobs), len(to_run)) if to_run else 1
+    telemetry, manifest, manifest_file = _sweep_telemetry(
+        events_file, progress, manifest_path, store, command, config,
+        technique_keys, benchmarks, effective_jobs,
+    )
+    if telemetry is not None:
+        telemetry.sweep_started(
+            len(cells), list(benchmarks), list(technique_keys), effective_jobs
+        )
+        for cell in resumed:
+            telemetry.cell_resumed(cell_label(cell))
+        if manifest is not None:
+            manifest.write(manifest_file)
+
     failures = ()
-    if to_run:
-        jobs = min(resolve_jobs(jobs), len(to_run))
-        if jobs <= 1:
-            if workload_cache is None:
-                workload_cache = WorkloadCache(config)
-            for cell in to_run:
-                record(cell, _run_cell_on(workload_cache, cell))
-        else:
-            context = multiprocessing.get_context("spawn")
+    sweep_status = "ok"
+    try:
+        if to_run:
+            if effective_jobs <= 1:
+                if workload_cache is None:
+                    workload_cache = WorkloadCache(config)
+                for cell in to_run:
+                    if telemetry is not None:
+                        telemetry.cell_started(cell_label(cell))
+                    wall_start = time.perf_counter()
+                    cpu_start = time.process_time()
+                    result = _run_cell_on(workload_cache, cell)
+                    record(cell, result)
+                    if telemetry is not None:
+                        telemetry.cell_finished(
+                            cell_label(cell), "ok",
+                            timing={
+                                "wall_seconds": time.perf_counter() - wall_start,
+                                "cpu_seconds": time.process_time() - cpu_start,
+                            },
+                        )
+            else:
+                context = multiprocessing.get_context("spawn")
 
-            def make_pool():
-                return context.Pool(
-                    processes=min(jobs, len(to_run)),
-                    initializer=_init_worker,
-                    initargs=(config,),
+                def make_pool():
+                    return context.Pool(
+                        processes=min(effective_jobs, len(to_run)),
+                        initializer=_init_worker,
+                        initargs=(config,),
+                    )
+
+                fallback_cache = workload_cache
+
+                def serial_fallback(cell: Cell) -> RunResult:
+                    nonlocal fallback_cache
+                    if fallback_cache is None:
+                        fallback_cache = WorkloadCache(config)
+                    return _run_cell_on(fallback_cache, cell)
+
+                failures = tuple(
+                    run_cells_supervised(
+                        make_pool,
+                        _run_cell_supervised,
+                        to_run,
+                        policy,
+                        on_success=record,
+                        serial_fallback=serial_fallback if policy.degrade_serially else None,
+                        on_event=telemetry.on_event if telemetry is not None else None,
+                    )
                 )
-
-            fallback_cache = workload_cache
-
-            def serial_fallback(cell: Cell) -> RunResult:
-                nonlocal fallback_cache
-                if fallback_cache is None:
-                    fallback_cache = WorkloadCache(config)
-                return _run_cell_on(fallback_cache, cell)
-
-            failures = tuple(
-                run_cells_supervised(
-                    make_pool,
-                    _run_cell_supervised,
-                    to_run,
-                    policy,
-                    on_success=record,
-                    serial_fallback=serial_fallback if policy.degrade_serially else None,
-                )
-            )
+                if failures:
+                    sweep_status = "partial"
+    except BaseException:
+        sweep_status = "aborted"
+        raise
+    finally:
+        if telemetry is not None:
+            telemetry.sweep_finished(sweep_status)
+            if manifest is not None:
+                manifest.finalize(sweep_status, finished_at=time.time())
+                manifest.write(manifest_file)
+            telemetry.close()
 
     return SingleThreadComparison(
         benchmarks=tuple(benchmarks),

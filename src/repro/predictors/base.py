@@ -21,7 +21,7 @@ Event mapping:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Dict, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache.cache import Cache, CacheAccess
@@ -70,6 +70,15 @@ class DeadBlockPredictor:
     def evicted(self, set_index: int, way: int, access: "CacheAccess") -> None:
         """The block at (set, way) is being evicted; its last access really
         was its last touch, so train toward "dead" for that context."""
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Flat metric dict for the interval recorder (``_count`` suffix =
+        cumulative counter, reported as per-epoch deltas).  Must not
+        mutate predictor state.  The base class has nothing to report."""
+        return {}
 
     # ------------------------------------------------------------------
     # optional dynamic deadness (time-based predictors)

@@ -18,7 +18,7 @@ Event order for a bypassed miss:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import Dict, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache.cache import Cache, CacheAccess
@@ -69,6 +69,19 @@ class ReplacementPolicy:
 
     def on_evict(self, set_index: int, way: int, access: "CacheAccess") -> None:
         """The occupant of ``(set_index, way)`` is about to be invalidated."""
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def telemetry_snapshot(self) -> Dict[str, float]:
+        """Flat metric dict read by the interval recorder at epoch ends.
+
+        Keys ending in ``_count`` are cumulative counters (reported as
+        per-epoch deltas); everything else is a point-in-time gauge.
+        Strictly observational -- must not mutate any policy state.  The
+        base class has nothing to report.
+        """
+        return {}
 
     # ------------------------------------------------------------------
     # paranoid-mode self-checking

@@ -29,6 +29,16 @@ semantically equivalent to the reference loop:
 
 If a policy raises mid-replay, the locally accumulated counters for the
 partial replay are not committed to ``cache.stats``.
+
+Telemetry: when the cache carries an enabled probe
+(:mod:`repro.telemetry.probe`), the stream is replayed in epoch-sized
+slices through the *same* inlined kernel, with the probe notified at
+every slice boundary.  Statistics commits are additive, so committing
+per slice is arithmetically identical to one final commit, and the cache
+state simply carries across slices -- the transparency tests pin
+bit-identical results probe-on vs probe-off.  With the default
+:data:`~repro.telemetry.probe.NULL_PROBE` the only cost over the
+original kernel is one attribute check per replayed stream.
 """
 
 from __future__ import annotations
@@ -69,12 +79,64 @@ def replay(
             f"match the stream length ({len(accesses)})"
         )
 
+    probe = cache.probe
     if type(cache) is not Cache or cache.has_observers:
         # Reference path: subclass access overrides and observer
         # notifications must keep their exact semantics.
         cache_access = cache.access
-        return [cache_access(access) for access in accesses]
+        if not probe.enabled:
+            return [cache_access(access) for access in accesses]
+        total = len(accesses)
+        epoch = probe.resolve_epoch(total)
+        probe.begin_run(cache, total)
+        hits: List[bool] = []
+        hits_append = hits.append
+        for position, access in enumerate(accesses, start=1):
+            hits_append(cache_access(access))
+            if position % epoch == 0:
+                probe.on_epoch(cache, position)
+        probe.end_run(cache, total)
+        return hits
 
+    if not probe.enabled:
+        return _replay_fast(cache, accesses, set_indices, tags)
+
+    # Probe path over the fast kernel: replay epoch-sized slices through
+    # the unchanged inlined loop.  Stats commits are additive, so the
+    # per-slice commits sum to exactly the single-commit totals.
+    total = len(accesses)
+    epoch = probe.resolve_epoch(total)
+    probe.begin_run(cache, total)
+    hits = []
+    start = 0
+    while start < total:
+        stop = min(start + epoch, total)
+        hits.extend(
+            _replay_fast(
+                cache,
+                accesses[start:stop],
+                None if set_indices is None else set_indices[start:stop],
+                None if tags is None else tags[start:stop],
+            )
+        )
+        probe.on_epoch(cache, stop)
+        start = stop
+    probe.end_run(cache, total)
+    return hits
+
+
+def _replay_fast(
+    cache: Cache,
+    accesses: Sequence[CacheAccess],
+    set_indices: Optional[Sequence[int]],
+    tags: Optional[Sequence[int]],
+) -> List[bool]:
+    """The inlined replay kernel: exactly :class:`Cache`, zero observers.
+
+    Commits its local counters to ``cache.stats`` on return, so calling
+    it over consecutive slices of a stream accumulates the same totals
+    as one call over the whole stream.
+    """
     geometry = cache.geometry
     offset_bits = geometry.offset_bits
     index_bits = geometry.index_bits

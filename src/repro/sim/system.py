@@ -114,6 +114,7 @@ class SingleCoreSystem:
         observer_factories: Sequence[Callable[[Cache], CacheObserver]] = (),
         compute_timing: bool = True,
         llc_geometry: Optional[CacheGeometry] = None,
+        probe=None,
     ) -> RunResult:
         """Phases 2 and 3: replay the LLC stream and time the trace.
 
@@ -127,14 +128,23 @@ class SingleCoreSystem:
             compute_timing: set False to skip the core model (the paper
                 reports the optimal policy for misses only).
             llc_geometry: override the LLC geometry (multicore sizing).
+            probe: optional telemetry probe attached to the LLC (see
+                :mod:`repro.telemetry.probe`); strictly observational.
         """
         geometry = llc_geometry or self.config.llc
         stream = filtered.llc_stream(geometry)
         policy = policy_factory(geometry, stream.accesses)
-        cache = Cache(geometry, policy, name="LLC")
+        cache = Cache(geometry, policy, name="LLC", probe=probe)
         observers = [factory(cache) for factory in observer_factories]
         for observer in observers:
             cache.add_observer(observer)
+        if probe is not None and probe.enabled:
+            probe.set_context(
+                workload=filtered.name,
+                technique=technique_name,
+                instructions=filtered.instructions,
+                llc_accesses=len(stream.accesses),
+            )
         llc_hits = replay(cache, stream.accesses, stream.set_indices, stream.tags)
         timing = self._core.run(filtered, llc_hits) if compute_timing else None
         return RunResult(

@@ -1,0 +1,55 @@
+"""Observability for the reproduction: probes, manifests, events, exports.
+
+Four layers, each usable on its own:
+
+* :mod:`repro.telemetry.probe` -- near-zero-overhead interval probes
+  that turn one replay into a per-epoch time series;
+* :mod:`repro.telemetry.manifest` -- atomic run manifests recording
+  config, seeds, git SHA, ``REPRO_*`` knobs, and per-cell timings;
+* :mod:`repro.telemetry.events` -- structured NDJSON sweep progress
+  events with a live stderr renderer and ETA;
+* :mod:`repro.telemetry.export` -- NDJSON/CSV series dumps and
+  sparkline text reports.
+
+See ``docs/observability.md`` for the end-to-end tour.
+"""
+
+from repro.telemetry.events import (
+    EventLog,
+    ProgressRenderer,
+    SweepTelemetry,
+    read_events,
+)
+from repro.telemetry.export import (
+    render_report,
+    sparkline,
+    write_csv,
+    write_ndjson,
+)
+from repro.telemetry.manifest import RunManifest, collect_environment, git_revision
+from repro.telemetry.probe import (
+    NULL_PROBE,
+    IntervalRecorder,
+    IntervalSample,
+    NullProbe,
+    TelemetryProbe,
+)
+
+__all__ = [
+    "EventLog",
+    "IntervalRecorder",
+    "IntervalSample",
+    "NULL_PROBE",
+    "NullProbe",
+    "ProgressRenderer",
+    "RunManifest",
+    "SweepTelemetry",
+    "TelemetryProbe",
+    "collect_environment",
+    "git_revision",
+    "read_events",
+    "render_report",
+    "sparkline",
+    "write_csv",
+    "write_ndjson",
+]

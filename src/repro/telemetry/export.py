@@ -1,0 +1,173 @@
+"""Time-series exporters and the text report renderer.
+
+Takes the per-epoch samples an
+:class:`~repro.telemetry.probe.IntervalRecorder` collected and turns
+them into:
+
+* **NDJSON** (:func:`write_ndjson`): one JSON object per epoch, with a
+  leading ``{"kind": "context", ...}`` header row carrying run metadata;
+* **CSV** (:func:`write_csv`): one row per epoch over the union of
+  columns (epochs missing a column leave it blank);
+* **sparkline tables** (:func:`render_report`): a terminal-friendly
+  phase plot -- one row per metric, the epoch series compressed into a
+  Unicode block-character strip with min/mean/max, which is how the
+  ``repro report --timeseries`` CLI shows phase behaviour at a glance.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "render_report",
+    "sparkline",
+    "write_csv",
+    "write_ndjson",
+]
+
+#: Eight-level block ramp; NaN/None render as a space.
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Metrics shown by the default report, in display order.  Only the
+#: columns actually present in the samples are rendered, so the same
+#: list works for runs with and without an accuracy observer.
+DEFAULT_REPORT_METRICS = (
+    "miss_rate",
+    "mpki",
+    "coverage",
+    "false_positive_rate",
+    "bypass_rate",
+    "sampler_occupancy",
+    "sampler_eviction_per_epoch",
+    "table_saturation",
+)
+
+
+def _rows(recorder) -> List[Dict[str, Any]]:
+    return [sample.to_dict() for sample in recorder.samples]
+
+
+def write_ndjson(recorder, path_or_file) -> None:
+    """Dump the recorder's series as NDJSON (context header + epoch rows)."""
+    rows = _rows(recorder)
+    header = {"kind": "context"}
+    header.update(recorder.context)
+    header["epochs"] = len(rows)
+
+    def _write(handle) -> None:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+    if hasattr(path_or_file, "write"):
+        _write(path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as handle:
+            _write(handle)
+
+
+def write_csv(recorder, path_or_file) -> None:
+    """Dump the recorder's series as CSV over the union of columns."""
+    rows = _rows(recorder)
+    fields = recorder.fields()
+
+    def _write(handle) -> None:
+        writer = csv.DictWriter(handle, fieldnames=fields, restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+    if hasattr(path_or_file, "write"):
+        _write(path_or_file)
+    else:
+        # newline="" per the csv module contract.
+        with open(path_or_file, "w", encoding="utf-8", newline="") as handle:
+            _write(handle)
+
+
+def sparkline(values: Sequence[Optional[float]], width: Optional[int] = None) -> str:
+    """Compress a numeric series into a block-character strip.
+
+    ``None`` values render as spaces.  With ``width`` set, the series is
+    bucketed by averaging so long runs still fit a terminal row.  A flat
+    (or single-point) series renders at mid-height rather than dividing
+    by a zero range.
+    """
+    series: List[Optional[float]] = list(values)
+    if width is not None and width > 0 and len(series) > width:
+        bucketed: List[Optional[float]] = []
+        for bucket in range(width):
+            start = bucket * len(series) // width
+            stop = (bucket + 1) * len(series) // width
+            chunk = [value for value in series[start:stop] if value is not None]
+            bucketed.append(sum(chunk) / len(chunk) if chunk else None)
+        series = bucketed
+    present = [value for value in series if value is not None]
+    if not present:
+        return " " * len(series)
+    low, high = min(present), max(present)
+    span = high - low
+    out = []
+    for value in series:
+        if value is None:
+            out.append(" ")
+        elif span == 0:
+            out.append(_BLOCKS[len(_BLOCKS) // 2])
+        else:
+            index = int((value - low) / span * (len(_BLOCKS) - 1))
+            out.append(_BLOCKS[index])
+    return "".join(out)
+
+
+def _stats(values: Sequence[Optional[float]]):
+    present = [value for value in values if value is not None]
+    if not present:
+        return None
+    return min(present), sum(present) / len(present), max(present)
+
+
+def render_report(
+    recorder,
+    metrics: Sequence[str] = DEFAULT_REPORT_METRICS,
+    width: int = 48,
+) -> str:
+    """Render one run's time series as a sparkline table.
+
+    One row per metric that exists in the samples: name, sparkline over
+    epochs, and min/mean/max.  Returns the table as a string (caller
+    prints); an empty recorder yields an explanatory one-liner.
+    """
+    if not recorder.samples:
+        return "(no samples recorded)"
+    context = recorder.context
+    title_bits = [
+        str(context.get("workload", "?")),
+        str(context.get("technique", "?")),
+        f"{len(recorder.samples)} epochs",
+    ]
+    accesses = recorder.total_accesses
+    if accesses:
+        title_bits.append(f"{accesses} LLC accesses")
+    lines = ["  ".join(title_bits)]
+
+    available = set(recorder.fields())
+    name_width = max(
+        (len(metric) for metric in metrics if metric in available), default=6
+    )
+    for metric in metrics:
+        if metric not in available:
+            continue
+        series = recorder.series(metric)
+        summary = _stats(series)
+        if summary is None:
+            continue
+        low, mean, high = summary
+        lines.append(
+            f"  {metric:<{name_width}}  {sparkline(series, width)}  "
+            f"min {low:.4g}  mean {mean:.4g}  max {high:.4g}"
+        )
+    if len(lines) == 1:
+        lines.append("  (none of the requested metrics were recorded)")
+    return "\n".join(lines)

@@ -14,8 +14,6 @@ every simulation is exactly reproducible.
 
 from __future__ import annotations
 
-from repro.utils.bits import mask
-
 __all__ = ["fold_xor", "hash_combine", "mix64", "skewed_hash"]
 
 _MASK64 = (1 << 64) - 1

@@ -14,7 +14,7 @@ failure instead of a stuck suite.
 from __future__ import annotations
 
 import signal
-from typing import Iterable, List, Tuple
+from typing import Iterable, List
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.reuse import COLD, ReuseProfile, profile_trace, reuse_histogram
+from repro.analysis.reuse import COLD, profile_trace, reuse_histogram
 from repro.sim.trace import Trace, TraceRecord
 from repro.workloads import build_trace
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cache import Cache, CacheAccess, CacheBlock, CacheObserver, CacheStats
+from repro.cache import Cache, CacheBlock, CacheObserver, CacheStats
 from repro.replacement import LRUPolicy
 
 from tests.conftest import make_access, replay, tiny_geometry

@@ -1,7 +1,5 @@
 """Focused tests for SamplingDeadBlockPredictor internals."""
 
-import pytest
-
 from repro.cache import Cache, CacheAccess, CacheGeometry
 from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
 from repro.replacement import LRUPolicy

@@ -5,7 +5,7 @@ import pytest
 from repro.cache import Cache, CacheAccess
 from repro.replacement import BIPPolicy, DIPPolicy, LRUPolicy, TADIPPolicy
 
-from tests.conftest import make_access, replay, tiny_geometry
+from tests.conftest import replay, tiny_geometry
 
 
 def thrash_pattern(working_set: int, rounds: int):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cache import Cache, CacheAccess, CacheGeometry
+from repro.cache import Cache, CacheAccess
 from repro.replacement import LRUPolicy, SHiPPolicy, SRRIPPolicy
 
 from tests.conftest import replay, tiny_geometry

@@ -4,7 +4,6 @@ import pytest
 
 from repro.workloads import (
     ALL_BENCHMARKS,
-    MIX_NAMES,
     MIXES,
     SINGLE_THREAD_SUBSET,
     build_mix_traces,
