@@ -5,7 +5,12 @@ PYTHON ?= python
 # Let every target run from a fresh clone, installed or not.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-faults lint check bench bench-smoke figures figures-fast results clean help
+.PHONY: install test test-faults lint check bench bench-smoke figures figures-fast results clean clean-cache help
+
+# The compiled workload store (see docs/performance.md).  `make clean`
+# leaves it alone -- warm starts are the point; `make clean-cache`
+# removes it explicitly.
+REPRO_STREAM_CACHE ?= .repro-cache
 
 help:
 	@echo "install      editable install (falls back to setup.py develop)"
@@ -18,7 +23,8 @@ help:
 	@echo "figures      regenerate every paper table and figure"
 	@echo "figures-fast quick figure pass (scale 1/32, short traces)"
 	@echo "results      show the rendered experiment tables"
-	@echo "clean        remove caches and generated results"
+	@echo "clean        remove caches and generated results (keeps the workload store)"
+	@echo "clean-cache  remove the compiled workload store ($(REPRO_STREAM_CACHE))"
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -61,10 +67,14 @@ figures-fast:
 results:
 	@for f in benchmarks/results/*.txt; do echo; cat $$f; done
 
-# BENCH_PR1.json is a committed baseline and must survive a clean;
-# every other BENCH_*.json at the repo root is a dropping from a local
-# bench run.
+# BENCH_PR1.json / BENCH_PR4.json are committed baselines and must
+# survive a clean; every other BENCH_*.json at the repo root is a
+# dropping from a local bench run.  The compiled workload store is
+# deliberately NOT cleaned here -- that is what clean-cache is for.
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results src/repro.egg-info
-	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_PR1.json' -delete
+	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_PR1.json' ! -name 'BENCH_PR4.json' -delete
 	find . -name __pycache__ -type d -exec rm -rf {} +
+
+clean-cache:
+	rm -rf $(REPRO_STREAM_CACHE)

@@ -13,6 +13,12 @@ report (``BENCH_PR1.json`` by default):
 * **end-to-end**: wall time of the Figure 4/5 sweep (workload generation,
   L1/L2 filtering, replay, timing model), serially and -- when more than
   one job is requested -- through the process-parallel runner.
+* **store**: replay-ready workload preparation three ways -- cold
+  compile (build_trace + L1/L2 filter + store write), warm load off the
+  compiled workload store, and shared-memory attach.  All three must
+  yield identical streams; a full run also writes the store section to
+  ``BENCH_PR4.json`` and ``--min-store-speedup`` (default 3.0) gates the
+  warm path in every mode, including ``--smoke`` under ``make check``.
 
 Usage::
 
@@ -32,6 +38,7 @@ import argparse
 import contextlib
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, Optional
@@ -57,6 +64,11 @@ from repro.harness.techniques import (  # noqa: E402
 )
 from repro.replacement.lru import LRUPolicy  # noqa: E402
 from repro.sim.replay import replay  # noqa: E402
+from repro.sim.streamstore import (  # noqa: E402
+    SharedStreamExport,
+    StreamStore,
+    attach_shared_streams,
+)
 from repro.telemetry import IntervalRecorder  # noqa: E402
 from repro.utils.bits import mask  # noqa: E402
 from repro.utils.hashing import _MASK64, _SKEW_SALTS, mix64  # noqa: E402
@@ -364,6 +376,102 @@ def _measure_telemetry_overhead(workload_cache, benchmarks) -> Dict:
     return totals
 
 
+def _replay_ready(filtered, machine):
+    """Drive a workload to the replay-ready state every sweep cell needs.
+
+    Compiled workloads decode lazily, so timing ``filtered()`` alone
+    would flatter the warm paths; forcing the LLC arrays, the prepared
+    stream, and the fixed latencies puts the full materialization cost
+    inside the clock for all three modes.
+    """
+    filtered.llc_arrays()
+    stream = filtered.llc_stream(machine.llc)
+    filtered.fixed_latencies(machine.l1_latency, machine.l2_latency)
+    return stream
+
+
+def _measure_store(config, benchmarks) -> Dict:
+    """Time cold compile vs warm store load vs shared-memory attach.
+
+    Cold runs against an empty store and therefore pays build_trace,
+    the L1/L2 filtering pass, stream preparation, and the store write.
+    Warm re-reads the same store from a fresh cache; shm attaches the
+    compiled blobs exported by the warm cache.  Any divergence in the
+    prepared streams aborts the run.
+    """
+    per_benchmark: Dict[str, Dict] = {}
+    totals = {"cold_seconds": 0.0, "warm_seconds": 0.0, "shm_seconds": 0.0}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = StreamStore(tmp)
+        machine = WorkloadCache(config).machine
+
+        # One workload at a time, through a fresh cache each, exactly as
+        # a pool worker experiences its first cell.  Keeping all N
+        # workloads live across the timed regions would instead measure
+        # full-heap GC traversals growing with N.
+        for benchmark in benchmarks:
+            cache = WorkloadCache(config, stream_store=store)
+            start = time.perf_counter()
+            stream = _replay_ready(cache.filtered(benchmark), machine)
+            cold = time.perf_counter() - start
+            reference = (stream.set_indices, stream.tags)
+            del cache, stream
+
+            cache = WorkloadCache(config, stream_store=store)
+            start = time.perf_counter()
+            stream = _replay_ready(cache.filtered(benchmark), machine)
+            warm = time.perf_counter() - start
+            if (stream.set_indices, stream.tags) != reference:
+                raise SystemExit(f"STORE DIVERGENCE on {benchmark} (warm load)")
+            if cache.stream_misses:
+                raise SystemExit(
+                    f"warm path recompiled {benchmark} -- the store was not hit"
+                )
+            compiled = cache.compiled(benchmark)  # store hit: no rebuild
+            del cache, stream
+
+            export = SharedStreamExport.create({benchmark: compiled})
+            try:
+                manifest = export.manifest()
+                start = time.perf_counter()
+                attached = attach_shared_streams(manifest)
+                stream = _replay_ready(
+                    attached[benchmark].filtered_trace(), machine
+                )
+                shm = time.perf_counter() - start
+                if (stream.set_indices, stream.tags) != reference:
+                    raise SystemExit(
+                        f"STORE DIVERGENCE on {benchmark} (shm attach)"
+                    )
+                del stream
+                for workload in attached.values():
+                    workload.release()
+            finally:
+                export.close()
+
+            per_benchmark[benchmark] = {
+                "cold_seconds": cold,
+                "warm_seconds": warm,
+                "shm_seconds": shm,
+            }
+            totals["cold_seconds"] += cold
+            totals["warm_seconds"] += warm
+            totals["shm_seconds"] += shm
+
+        totals["store_bytes"] = store.footprint()
+
+    for cell in per_benchmark.values():
+        cell["warm_speedup"] = cell["cold_seconds"] / cell["warm_seconds"]
+    totals["warm_speedup"] = totals["cold_seconds"] / totals["warm_seconds"]
+    totals["shm_speedup"] = totals["cold_seconds"] / totals["shm_seconds"]
+    return {
+        "benchmarks": list(benchmarks),
+        "per_benchmark": per_benchmark,
+        "total": totals,
+        "streams_equivalent": True,
+    }
+
+
 def _measure_end_to_end(config, technique_keys, benchmarks, jobs) -> Dict:
     """Wall time of the Figure 4/5 sweep, serial and (optionally) parallel."""
     start = time.perf_counter()
@@ -418,6 +526,14 @@ def _print_report(report: Dict) -> None:
         f"{telemetry['on_acc_per_sec']:,.0f} acc/s "
         f"({telemetry['on_overhead']:+.1%} recorder overhead)"
     )
+    store = report["store"]["total"]
+    print(
+        f"\nworkload store ({len(report['store']['benchmarks'])} workloads, "
+        f"{store['store_bytes'] / 1024.0 / 1024.0:.1f} MiB): cold "
+        f"{store['cold_seconds']:.2f}s, warm {store['warm_seconds']:.2f}s "
+        f"({store['warm_speedup']:.1f}x), shm {store['shm_seconds']:.2f}s "
+        f"({store['shm_speedup']:.1f}x)"
+    )
     end_to_end = report["end_to_end"]
     line = (
         f"\nend-to-end {end_to_end['figure']}: "
@@ -471,6 +587,16 @@ def main(argv=None) -> int:
         help="probes-off guard: minimum aggregate speedup of the replay "
         "kernel over the frozen legacy substrate (exit 1 below it)",
     )
+    parser.add_argument(
+        "--min-store-speedup", type=float, default=3.0,
+        help="workload-store guard: minimum speedup of a warm store load "
+        "over a cold compile (exit 1 below it)",
+    )
+    parser.add_argument(
+        "--store-output", type=Path, default=None,
+        help="where to write the store section on its own "
+        "(default BENCH_PR4.json; not written with --smoke)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -502,6 +628,7 @@ def main(argv=None) -> int:
         },
         "substrate": _measure_substrate(workload_cache, technique_keys, benchmarks),
         "telemetry": _measure_telemetry_overhead(workload_cache, benchmarks),
+        "store": _measure_store(config, benchmarks),
         "end_to_end": _measure_end_to_end(
             config,
             [k for k in technique_keys if k != "lru"],
@@ -517,6 +644,25 @@ def main(argv=None) -> int:
     output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"\nreport written to {output}")
 
+    # The store section also stands alone as the committed PR 4 baseline.
+    # Smoke runs skip it by default so `make check` never clobbers the
+    # full-budget numbers.
+    store_output = args.store_output
+    if store_output is None and not args.smoke:
+        store_output = REPO_ROOT / "BENCH_PR4.json"
+    if store_output is not None:
+        store_report = {
+            "schema": "repro-bench-store/1",
+            "unix_time": report["unix_time"],
+            "smoke": args.smoke,
+            "config": report["config"],
+            "store": report["store"],
+        }
+        store_output.write_text(
+            json.dumps(store_report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"store report written to {store_output}")
+
     # Probes-off guard: with telemetry disabled (the default), the replay
     # kernel must still beat the frozen in-file legacy substrate by the
     # configured margin -- a slow fast path means the probe hooks leaked
@@ -526,6 +672,18 @@ def main(argv=None) -> int:
         print(
             f"\nPROBES-OFF OVERHEAD: aggregate speedup {speedup:.2f}x fell "
             f"below the floor {args.min_speedup:.2f}x"
+        )
+        return 1
+
+    # Warm-start guard: loading a compiled workload off the store must
+    # stay decisively cheaper than recompiling it, or the store is dead
+    # weight.  Runs in every mode, so `make check` (bench-smoke) gates it.
+    store_speedup = report["store"]["total"]["warm_speedup"]
+    if store_speedup < args.min_store_speedup:
+        print(
+            f"\nWORKLOAD STORE REGRESSION: warm-load speedup "
+            f"{store_speedup:.2f}x fell below the floor "
+            f"{args.min_store_speedup:.2f}x"
         )
         return 1
 

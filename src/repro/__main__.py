@@ -11,6 +11,8 @@ Commands:
 * ``report --timeseries [BENCHMARK ...]`` -- sparkline phase report
   across benchmarks (docs/observability.md).
 * ``profile BENCHMARK`` -- reuse-distance profile of a workload.
+* ``cache`` -- inspect or prune the compiled workload store
+  (``--evict`` / ``--clear``).
 * ``storage`` / ``power`` -- print Tables I and II.
 
 All commands respect the ``REPRO_SCALE`` / ``REPRO_INSTRUCTIONS`` /
@@ -32,6 +34,14 @@ Sweep observability (docs/observability.md): ``--events-file FILE`` (or
 (or ``REPRO_PROGRESS``) renders them live on stderr, and ``--manifest
 FILE`` (or ``REPRO_MANIFEST``; defaults next to the checkpoint store)
 records the run's config/seed/git/env provenance with per-cell timings.
+
+Sweep throughput (docs/performance.md): ``--stream-cache DIR`` (or
+``REPRO_STREAM_CACHE``) persists compiled workloads in a
+content-addressed store so repeated runs and worker processes skip
+trace generation and L1/L2 filtering; ``--shm`` (or ``REPRO_SHM``)
+additionally fans the compiled workloads out to workers zero-copy via
+shared memory.  Both are pure performance levers -- results stay
+bit-identical.
 """
 
 from __future__ import annotations
@@ -73,7 +83,7 @@ def _cmd_info(args) -> int:
 def _comparison(config, technique_keys, benchmarks, jobs=None,
                 checkpoint_dir=None, resume=False, allow_partial=False,
                 events_file=None, progress=None, manifest=None,
-                command="run"):
+                command="run", stream_cache=None, shm=None):
     cache = WorkloadCache(config)
     comparison = parallel_single_thread_comparison(
         cache, technique_keys, benchmarks, jobs=jobs,
@@ -81,6 +91,7 @@ def _comparison(config, technique_keys, benchmarks, jobs=None,
         allow_partial=allow_partial or None,
         events_file=events_file, progress=progress,
         manifest_path=manifest, command=command,
+        stream_cache=stream_cache, shared_memory=shm,
     )
     if comparison.is_partial:
         print(comparison.failure_report())
@@ -151,6 +162,8 @@ def _cmd_run(args) -> int:
         progress=args.progress or None,
         manifest=args.manifest,
         command="run",
+        stream_cache=args.stream_cache,
+        shm=args.shm or None,
     )
 
 
@@ -166,7 +179,9 @@ def _cmd_suite(args) -> int:
                        events_file=args.events_file,
                        progress=args.progress or None,
                        manifest=args.manifest,
-                       command="suite")
+                       command="suite",
+                       stream_cache=args.stream_cache,
+                       shm=args.shm or None)
 
 
 def _timeseries(config, benchmark, technique_key, epochs, accuracy=True):
@@ -250,6 +265,45 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.sim.streamstore import StreamStore, resolve_stream_cache_dir
+
+    root = resolve_stream_cache_dir(args.dir)
+    if root is None:
+        raise SystemExit(
+            "cache: no store configured -- pass --dir DIR or set "
+            "REPRO_STREAM_CACHE"
+        )
+    store = StreamStore(root)
+    if args.clear:
+        removed = store.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.root}")
+        return 0
+    if args.evict:
+        removed = store.evict(args.evict)
+        print(f"evicted {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"matching {args.evict!r} from {store.root}")
+        return 0
+    entries = store.entries()
+    if not entries:
+        print(f"store at {store.root} is empty")
+        return 0
+    rows = [
+        [e.name, e.instructions, e.records, e.llc, e.nbytes / 1024.0,
+         e.digest[:12]]
+        for e in entries
+    ]
+    print(format_table(
+        ["workload", "instructions", "records", "LLC refs", "KiB", "key"],
+        rows, precision=1,
+        title=f"Compiled workload store at {store.root}",
+    ))
+    print(f"\n{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
+          f"{store.footprint() / (1024.0 * 1024.0):.2f} MiB total")
+    return 0
+
+
 def _cmd_storage(args) -> int:
     geometry = CacheGeometry(2 * 1024 * 1024, 16, 64)
     rows = [
@@ -325,6 +379,16 @@ def main(argv=None) -> int:
             help="write the run manifest here (default: REPRO_MANIFEST, "
                  "else next to the checkpoint store)",
         )
+        sweep_parser.add_argument(
+            "--stream-cache", default=None, metavar="DIR",
+            help="compiled workload store directory "
+                 "(default: REPRO_STREAM_CACHE or off)",
+        )
+        sweep_parser.add_argument(
+            "--shm", action="store_true",
+            help="fan compiled workloads out to workers via shared "
+                 "memory (default: REPRO_SHM or off)",
+        )
     telemetry_parser = subparsers.add_parser(
         "telemetry",
         help="per-epoch time series of one (benchmark, technique) run",
@@ -369,6 +433,22 @@ def main(argv=None) -> int:
         "profile", help="reuse-distance profile of one benchmark"
     )
     profile_parser.add_argument("benchmark")
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or prune the compiled workload store"
+    )
+    cache_parser.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="store directory (default: REPRO_STREAM_CACHE)",
+    )
+    cache_parser.add_argument(
+        "--evict", default=None, metavar="SELECTOR",
+        help="delete entries whose workload name or key-digest prefix "
+             "matches SELECTOR",
+    )
+    cache_parser.add_argument(
+        "--clear", action="store_true",
+        help="delete every entry (and stray temp files)",
+    )
     subparsers.add_parser("storage", help="print Table I")
     subparsers.add_parser("power", help="print Table II")
 
@@ -380,6 +460,7 @@ def main(argv=None) -> int:
         "telemetry": _cmd_telemetry,
         "report": _cmd_report,
         "profile": _cmd_profile,
+        "cache": _cmd_cache,
         "storage": _cmd_storage,
         "power": _cmd_power,
     }

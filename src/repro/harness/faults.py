@@ -348,6 +348,7 @@ def run_cells_supervised(
     on_success: Callable[[Cell, object], None],
     serial_fallback: Optional[Callable[[Cell], object]] = None,
     on_event: Optional[Callable[..., None]] = None,
+    cleanup: Optional[Callable[[], None]] = None,
 ) -> List[CellError]:
     """Drive ``cells`` through supervised parallel rounds.
 
@@ -371,11 +372,35 @@ def run_cells_supervised(
             :meth:`repro.telemetry.events.SweepTelemetry.on_event` for
             the kinds.  Purely observational: a raising callback is a
             caller bug, not a supervised fault.
+        cleanup: called exactly once when supervision ends, however it
+            ends -- success, partial failure, :class:`SweepAborted`, or
+            an unexpected exception.  Resource owners (the shared-memory
+            workload export, most importantly) hook their teardown here
+            so a crashed or timed-out sweep can never leak segments.
 
     Returns the list of unrecovered failures, in work-list order; empty
     on full success.  Raises :class:`SweepAborted` when failures remain
     and ``policy.allow_partial`` is false.
     """
+    try:
+        return _run_cells_supervised(
+            make_pool, worker, cells, policy, on_success,
+            serial_fallback, on_event,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup()
+
+
+def _run_cells_supervised(
+    make_pool: Callable[[], multiprocessing.pool.Pool],
+    worker: Callable[..., WireResult],
+    cells: Sequence[Cell],
+    policy: FaultPolicy,
+    on_success: Callable[[Cell, object], None],
+    serial_fallback: Optional[Callable[[Cell], object]] = None,
+    on_event: Optional[Callable[..., None]] = None,
+) -> List[CellError]:
     pending: List[Cell] = list(cells)
     completed = 0
     failures: Dict[Cell, CellError] = {}

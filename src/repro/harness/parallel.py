@@ -43,10 +43,17 @@ Workers are spawned with the explicit ``"spawn"`` start method: ``fork``
 is unsafe in threaded parents and deprecated-by-default on newer
 Pythons, and spawn additionally guarantees workers import the package
 fresh (no inherited interpreter state can leak into a cell).  Worker
-processes each hold a private :class:`WorkloadCache`, so a workload's
-generation + L1/L2 filtering pass is repeated once per worker that draws
-a cell of that benchmark; that duplicated filtering is the price of
-process isolation, amortized across the techniques of the sweep.
+processes each hold a private :class:`WorkloadCache`; without the
+compiled workload store, a workload's generation + L1/L2 filtering pass
+is repeated once per worker that draws a cell of that benchmark -- the
+price of process isolation.  With the store enabled
+(``REPRO_STREAM_CACHE`` / ``stream_cache=``) the parent compiles or
+loads each workload exactly once and workers take the warm path: they
+load the compiled blob from disk, or -- with ``REPRO_SHM`` /
+``shared_memory=True`` -- attach zero-copy to shared-memory segments
+the parent exported (see :mod:`repro.sim.streamstore`).  The segments
+are torn down in the supervision loop's cleanup hook, so crashed,
+timed-out, and aborted sweeps cannot leak them.
 
 The job count comes from, in priority order: the ``jobs`` argument, the
 ``REPRO_JOBS`` environment variable, default 1 (serial, in-process).
@@ -72,6 +79,13 @@ from repro.harness.faults import (
 )
 from repro.harness.runner import ExperimentConfig, WorkloadCache
 from repro.harness.techniques import TECHNIQUES
+from repro.sim.streamstore import (
+    SharedStreamExport,
+    StreamManifest,
+    StreamStore,
+    attach_shared_streams,
+    shared_memory_enabled,
+)
 from repro.sim.system import RunResult
 from repro.telemetry.events import EventLog, ProgressRenderer, SweepTelemetry
 from repro.telemetry.manifest import RunManifest
@@ -106,10 +120,24 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
-def _init_worker(config: ExperimentConfig) -> None:
-    """Pool initializer: give this worker its own workload cache."""
+def _init_worker(
+    config: ExperimentConfig,
+    store_root: Optional[str] = None,
+    stream_manifest: Optional[StreamManifest] = None,
+) -> None:
+    """Pool initializer: give this worker its own workload cache.
+
+    ``store_root`` attaches the on-disk compiled workload store;
+    ``stream_manifest`` attaches the parent's shared-memory segments
+    (zero-copy).  Either way the worker serves workloads from the warm
+    path instead of re-running ``build_trace`` + the filtering pass.
+    """
     global _WORKER_CACHE
-    _WORKER_CACHE = WorkloadCache(config)
+    _WORKER_CACHE = WorkloadCache(
+        config,
+        stream_store=StreamStore(store_root) if store_root is not None else None,
+        compiled_streams=attach_shared_streams(stream_manifest),
+    )
 
 
 def _run_cell_on(cache: WorkloadCache, cell: Cell) -> RunResult:
@@ -168,6 +196,8 @@ def _run_cell_supervised(
     benchmark, technique_key, attempt, timeout = task
     wall_start = time.perf_counter()
     cpu_start = time.process_time()
+    hits_start = _WORKER_CACHE.stream_hits
+    misses_start = _WORKER_CACHE.stream_misses
     try:
         with cell_deadline(timeout):
             maybe_inject_fault(benchmark, technique_key, attempt)
@@ -175,6 +205,8 @@ def _run_cell_supervised(
         timing = {
             "wall_seconds": time.perf_counter() - wall_start,
             "cpu_seconds": time.process_time() - cpu_start,
+            "store_hits": _WORKER_CACHE.stream_hits - hits_start,
+            "store_misses": _WORKER_CACHE.stream_misses - misses_start,
         }
         return benchmark, technique_key, "ok", result, timing
     except DeadlineExceeded:
@@ -262,6 +294,8 @@ def parallel_single_thread_comparison(
     progress: Optional[bool] = None,
     manifest_path: Union[str, os.PathLike, None] = None,
     command: str = "run",
+    stream_cache: Union[StreamStore, str, os.PathLike, None] = None,
+    shared_memory: Optional[bool] = None,
 ) -> SingleThreadComparison:
     """Figure 4/5/7/8 sweep, fanned over supervised worker processes.
 
@@ -298,6 +332,17 @@ def parallel_single_thread_comparison(
             on an aborted sweep, so a crashed run still leaves its
             provenance on disk.
         command: label recorded in the manifest ("run", "suite", ...).
+        stream_cache: a :class:`~repro.sim.streamstore.StreamStore`, a
+            directory path for one, or ``None`` to defer to
+            ``REPRO_STREAM_CACHE`` (store disabled when that is unset
+            too).  With a store attached, each workload is compiled or
+            loaded once by the parent and served warm to every worker
+            and retry, and the compiled blob persists for future runs.
+        shared_memory: fan the compiled workloads out to workers through
+            :mod:`multiprocessing.shared_memory` segments instead of
+            per-worker disk loads (``None`` defers to ``REPRO_SHM``).
+            Workers attach zero-copy; the parent tears the segments
+            down when supervision ends, however it ends.
 
     Returns the same :class:`SingleThreadComparison` a serial
     :func:`~repro.harness.experiments.single_thread_comparison` call
@@ -334,6 +379,15 @@ def parallel_single_thread_comparison(
     if allow_partial is not None:
         from dataclasses import replace
         policy = replace(policy, allow_partial=bool(allow_partial))
+
+    if isinstance(stream_cache, StreamStore):
+        streams: Optional[StreamStore] = stream_cache
+    else:
+        streams = StreamStore.from_env(stream_cache)
+    use_shm = shared_memory_enabled(shared_memory)
+    if streams is not None and workload_cache is not None:
+        if workload_cache.stream_store is None:
+            workload_cache.stream_store = streams
 
     cells: List[Cell] = []
     for benchmark in benchmarks:
@@ -385,16 +439,19 @@ def parallel_single_thread_comparison(
 
     failures = ()
     sweep_status = "ok"
+    export: Optional[SharedStreamExport] = None
     try:
         if to_run:
             if effective_jobs <= 1:
                 if workload_cache is None:
-                    workload_cache = WorkloadCache(config)
+                    workload_cache = WorkloadCache(config, stream_store=streams)
                 for cell in to_run:
                     if telemetry is not None:
                         telemetry.cell_started(cell_label(cell))
                     wall_start = time.perf_counter()
                     cpu_start = time.process_time()
+                    hits_start = workload_cache.stream_hits
+                    misses_start = workload_cache.stream_misses
                     result = _run_cell_on(workload_cache, cell)
                     record(cell, result)
                     if telemetry is not None:
@@ -403,16 +460,53 @@ def parallel_single_thread_comparison(
                             timing={
                                 "wall_seconds": time.perf_counter() - wall_start,
                                 "cpu_seconds": time.process_time() - cpu_start,
+                                "store_hits": workload_cache.stream_hits - hits_start,
+                                "store_misses": workload_cache.stream_misses - misses_start,
                             },
                         )
+                if manifest is not None and streams is not None:
+                    manifest.stream_store = {
+                        "root": os.fspath(streams.root),
+                        "shared_memory": False,
+                        "hits": workload_cache.stream_hits,
+                        "misses": workload_cache.stream_misses,
+                    }
             else:
+                # Warm fan-out: the parent compiles or loads every
+                # workload exactly once; workers then load blobs from
+                # the store, or attach zero-copy to shared memory.
+                warm = streams is not None or use_shm
+                store_root = os.fspath(streams.root) if streams is not None else None
+                stream_manifest = None
+                if warm:
+                    if workload_cache is None:
+                        workload_cache = WorkloadCache(config, stream_store=streams)
+                    compile_start = time.perf_counter()
+                    hits_start = workload_cache.stream_hits
+                    misses_start = workload_cache.stream_misses
+                    compiled = {}
+                    for benchmark in dict.fromkeys(b for b, _ in to_run):
+                        compiled[benchmark] = workload_cache.compiled(benchmark)
+                    if use_shm:
+                        export = SharedStreamExport.create(compiled)
+                        stream_manifest = export.manifest()
+                    if manifest is not None:
+                        manifest.stream_store = {
+                            "root": store_root,
+                            "shared_memory": use_shm,
+                            "hits": workload_cache.stream_hits - hits_start,
+                            "misses": workload_cache.stream_misses - misses_start,
+                            "compile_seconds": time.perf_counter() - compile_start,
+                            "workloads": sorted(compiled),
+                        }
+
                 context = multiprocessing.get_context("spawn")
 
                 def make_pool():
                     return context.Pool(
                         processes=min(effective_jobs, len(to_run)),
                         initializer=_init_worker,
-                        initargs=(config,),
+                        initargs=(config, store_root, stream_manifest),
                     )
 
                 fallback_cache = workload_cache
@@ -420,8 +514,12 @@ def parallel_single_thread_comparison(
                 def serial_fallback(cell: Cell) -> RunResult:
                     nonlocal fallback_cache
                     if fallback_cache is None:
-                        fallback_cache = WorkloadCache(config)
+                        fallback_cache = WorkloadCache(config, stream_store=streams)
                     return _run_cell_on(fallback_cache, cell)
+
+                def cleanup() -> None:
+                    if export is not None:
+                        export.close()
 
                 failures = tuple(
                     run_cells_supervised(
@@ -432,6 +530,7 @@ def parallel_single_thread_comparison(
                         on_success=record,
                         serial_fallback=serial_fallback if policy.degrade_serially else None,
                         on_event=telemetry.on_event if telemetry is not None else None,
+                        cleanup=cleanup,
                     )
                 )
                 if failures:
@@ -440,6 +539,8 @@ def parallel_single_thread_comparison(
         sweep_status = "aborted"
         raise
     finally:
+        if export is not None:
+            export.close()  # idempotent; covers failures before supervision
         if telemetry is not None:
             telemetry.sweep_finished(sweep_status)
             if manifest is not None:

@@ -23,6 +23,8 @@ Variable                   Meaning                                  Default
 ``REPRO_CELL_RETRIES``     parallel retry rounds per failed cell    2
 ``REPRO_RETRY_BACKOFF``    base backoff between retry rounds, s     0.1
 ``REPRO_PARANOID``         per-access cache invariant checking      0
+``REPRO_STREAM_CACHE``     compiled workload store directory        (off)
+``REPRO_SHM``              shared-memory workload fan-out           0
 =========================  =======================================  ========
 
 ``REPRO_JOBS`` is read by :mod:`repro.harness.parallel`, not here: it
@@ -32,7 +34,12 @@ checkpoint/timeout/retry knobs belong to the fault-tolerance layer
 (:mod:`repro.harness.checkpoint`, :mod:`repro.harness.faults`; see
 docs/robustness.md) and likewise never change simulated results;
 ``REPRO_PARANOID`` is read by :class:`repro.cache.Cache` and only makes
-runs slower and invariant violations loud.
+runs slower and invariant violations loud.  ``REPRO_STREAM_CACHE`` and
+``REPRO_SHM`` enable the compiled workload store and its shared-memory
+fan-out (:mod:`repro.sim.streamstore`; see docs/performance.md) --
+again purely a performance lever: a workload loaded from the store or
+attached from a shared segment replays bit-identically to one built
+from scratch.
 
 ``REPRO_SCALE=1 REPRO_INSTRUCTIONS=1000000000`` reproduces the paper's
 exact machine and budget (at Python speed: bring a cluster and patience).
@@ -42,10 +49,16 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.sim.hierarchy import FilteredTrace, MachineConfig
 from repro.sim.multicore import MulticoreSystem, PreparedMix
+from repro.sim.streamstore import (
+    CompiledWorkload,
+    StreamStore,
+    compile_filtered,
+    stream_compile_required,
+)
 from repro.sim.system import SingleCoreSystem
 from repro.workloads import build_mix_traces, build_trace
 
@@ -97,26 +110,117 @@ class ExperimentConfig:
 
 
 class WorkloadCache:
-    """Memoizes generated traces, filtering passes, and prepared mixes."""
+    """Memoizes generated traces, filtering passes, and prepared mixes.
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    When a compiled workload store and/or a map of already-compiled
+    workloads is attached, :meth:`filtered` serves workloads from them
+    instead of re-running ``build_trace`` + the L1/L2 filtering pass:
+
+    1. the in-memory memo (free; not counted);
+    2. ``compiled_streams`` -- pre-compiled blobs handed over by the
+       parent process, typically views into shared-memory segments
+       (counted as a ``stream_hits``);
+    3. ``stream_store`` -- the on-disk store (a hit);
+    4. a cold build (a ``stream_misses``), written back to the store
+       when one is attached so the next run starts warm.
+
+    Every path yields bit-identical replay results; the counters exist
+    so sweeps can *prove* the warm paths were taken (they land in the
+    run manifest).
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        stream_store: Optional[StreamStore] = None,
+        compiled_streams: Optional[Mapping[str, CompiledWorkload]] = None,
+    ) -> None:
         self.config = config
         self.machine = config.machine()
         self.system = SingleCoreSystem(self.machine)
         self.multicore = MulticoreSystem(self.machine, num_cores=config.num_cores)
+        self.stream_store = stream_store
+        self.compiled_streams = dict(compiled_streams or {})
+        self.stream_hits = 0
+        self.stream_misses = 0
         self._filtered: Dict[Tuple[str, int], FilteredTrace] = {}
         self._mixes: Dict[Tuple[str, int], PreparedMix] = {}
+
+    def workload_key(self, benchmark: str, budget: int) -> str:
+        """The store key for one of this cache's workloads."""
+        return StreamStore.workload_key(
+            benchmark, budget, self.config.seed, self.machine
+        )
 
     def filtered(self, benchmark: str, instructions: int = 0) -> FilteredTrace:
         """The L1/L2-filtered trace for a benchmark (cached)."""
         budget = instructions or self.config.instructions
         key = (benchmark, budget)
         if key not in self._filtered:
-            trace = build_trace(
-                benchmark, budget, self.machine.llc.size_bytes, seed=self.config.seed
-            )
-            self._filtered[key] = self.system.prepare(trace)
+            self._filtered[key] = self._obtain(benchmark, budget)
         return self._filtered[key]
+
+    def compiled(self, benchmark: str, instructions: int = 0) -> CompiledWorkload:
+        """The compiled (flat-buffer) form of a workload.
+
+        Served from ``compiled_streams`` or the store when possible;
+        compiled fresh (and written back to an attached store)
+        otherwise.  Parents use this to build shared-memory exports.
+        """
+        budget = instructions or self.config.instructions
+        store_key = self.workload_key(benchmark, budget)
+        existing = self.compiled_streams.get(benchmark)
+        if existing is not None and existing.key == store_key:
+            self.stream_hits += 1
+            return existing
+        if self.stream_store is not None:
+            loaded = self.stream_store.load(store_key)
+            if loaded is not None:
+                self.stream_hits += 1
+                self.compiled_streams[benchmark] = loaded
+                return loaded
+        base = self._filtered.get((benchmark, budget))
+        if base is None:
+            base = self._build(benchmark, budget)
+            self.stream_misses += 1
+            self._filtered[(benchmark, budget)] = base
+        compiled = compile_filtered(base, self.machine, store_key)
+        if self.stream_store is not None:
+            self.stream_store.store(compiled)
+        self.compiled_streams[benchmark] = compiled
+        return compiled
+
+    def _obtain(self, benchmark: str, budget: int) -> FilteredTrace:
+        store_key = self.workload_key(benchmark, budget)
+        compiled = self.compiled_streams.get(benchmark)
+        if compiled is not None and compiled.key == store_key:
+            self.stream_hits += 1
+            return compiled.filtered_trace()
+        if self.stream_store is not None:
+            loaded = self.stream_store.load(store_key)
+            if loaded is not None:
+                self.stream_hits += 1
+                return loaded.filtered_trace()
+        filtered = self._build(benchmark, budget)
+        self.stream_misses += 1
+        if self.stream_store is not None:
+            self.stream_store.store(
+                compile_filtered(filtered, self.machine, store_key)
+            )
+        return filtered
+
+    def _build(self, benchmark: str, budget: int) -> FilteredTrace:
+        """Cold path: generate the trace and run the filtering pass."""
+        if stream_compile_required():
+            raise RuntimeError(
+                f"REPRO_STREAM_REQUIRE is set but workload {benchmark!r} "
+                f"(budget {budget}) is not in the compiled store -- a warm "
+                "path was expected and a cold compile was about to happen"
+            )
+        trace = build_trace(
+            benchmark, budget, self.machine.llc.size_bytes, seed=self.config.seed
+        )
+        return self.system.prepare(trace)
 
     def prepared_mix(self, mix_name: str, instructions: int = 0) -> PreparedMix:
         """The prepared quad-core mix (cached), including solo baselines."""

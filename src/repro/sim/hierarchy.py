@@ -18,13 +18,20 @@ sized mid-level cache filters out most of the temporal locality"
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from itertools import repeat
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.cache import CacheAccess
 from repro.cache.geometry import CacheGeometry
 from repro.sim.trace import Trace
 
-__all__ = ["FilteredTrace", "HierarchyFilter", "MachineConfig", "PreparedStream"]
+__all__ = [
+    "FilteredTrace",
+    "HierarchyFilter",
+    "MachineConfig",
+    "PreparedStream",
+    "prepare_stream",
+]
 
 #: Hit-level codes stored per trace record.
 L1_HIT, L2_HIT, LLC_LEVEL = 1, 2, 3
@@ -148,6 +155,44 @@ class PreparedStream:
         return f"PreparedStream({len(self.accesses)} LLC accesses)"
 
 
+def prepare_stream(
+    llc_arrays: Tuple[List[int], List[int], List[bool]],
+    geometry: CacheGeometry,
+    address_offset: int = 0,
+    core: int = 0,
+    set_indices: Optional[List[int]] = None,
+    tags: Optional[List[int]] = None,
+) -> PreparedStream:
+    """Materialize a :class:`PreparedStream` from LLC arrays.
+
+    ``set_indices`` / ``tags`` may be supplied when the decomposition for
+    ``geometry`` was already computed elsewhere (the compiled workload
+    store persists them); otherwise they are derived from the addresses.
+    The :class:`~repro.cache.cache.CacheAccess` objects are always
+    materialized fresh -- they are per-process Python objects and cannot
+    be shared across process boundaries, unlike the flat arrays.
+    """
+    pcs, addresses, writes = llc_arrays
+    count = len(addresses)
+    if address_offset:
+        addresses = [address + address_offset for address in addresses]
+    # map() drives CacheAccess construction at C speed; this loop runs
+    # once per (workload, geometry) over every LLC reference, so the
+    # interpreted-loop overhead is measurable in warm-start preparation.
+    accesses = list(
+        map(CacheAccess, addresses, pcs, writes, range(count), repeat(core, count))
+    )
+    if set_indices is not None:
+        return PreparedStream(accesses, set_indices, tags)
+    offset_bits = geometry.offset_bits
+    index_bits = geometry.index_bits
+    index_mask = geometry.num_sets - 1
+    blocks = [address >> offset_bits for address in addresses]
+    derived_sets = [block & index_mask for block in blocks]
+    derived_tags = [block >> index_bits for block in blocks]
+    return PreparedStream(accesses, derived_sets, derived_tags)
+
+
 class FilteredTrace:
     """A trace plus its L1/L2 filtering results.
 
@@ -212,28 +257,9 @@ class FilteredTrace:
         key = (geometry.offset_bits, geometry.index_bits, address_offset, core)
         stream = self._streams.get(key)
         if stream is None:
-            pcs, addresses, writes = self.llc_arrays()
-            offset_bits = geometry.offset_bits
-            index_bits = geometry.index_bits
-            index_mask = geometry.num_sets - 1
-            accesses: List[CacheAccess] = []
-            set_indices: List[int] = []
-            tags: List[int] = []
-            for seq in range(len(addresses)):
-                address = addresses[seq] + address_offset
-                accesses.append(
-                    CacheAccess(
-                        address=address,
-                        pc=pcs[seq],
-                        is_write=writes[seq],
-                        seq=seq,
-                        core=core,
-                    )
-                )
-                block_address = address >> offset_bits
-                set_indices.append(block_address & index_mask)
-                tags.append(block_address >> index_bits)
-            stream = PreparedStream(accesses, set_indices, tags)
+            stream = prepare_stream(
+                self.llc_arrays(), geometry, address_offset, core
+            )
             self._streams[key] = stream
         return stream
 

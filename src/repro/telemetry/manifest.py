@@ -10,7 +10,11 @@ seed, code revision, and environment produced it.  A
 * every ``REPRO_*`` environment knob that was set;
 * interpreter and relevant library versions;
 * wall-clock duration plus per-cell wall/CPU timings measured inside
-  the workers.
+  the workers;
+* the compiled-workload-store configuration and hit/miss counters
+  (sweep-level summary in ``stream_store``, per-cell ``store_hits`` /
+  ``store_misses``), so a results file can prove whether its workloads
+  came off the warm path (see docs/performance.md).
 
 Manifests are written atomically (temp file + ``os.replace``) next to
 the checkpoint store by default, so a manifest on disk always describes
@@ -113,6 +117,7 @@ class RunManifest:
     environment: Dict[str, Any] = field(default_factory=collect_environment)
     jobs: Optional[int] = None
     checkpoint_root: Optional[str] = None
+    stream_store: Optional[Dict[str, Any]] = None
     status: str = "running"
     cells: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
@@ -132,7 +137,12 @@ class RunManifest:
             entry.update(
                 {
                     key: timing[key]
-                    for key in ("wall_seconds", "cpu_seconds")
+                    for key in (
+                        "wall_seconds",
+                        "cpu_seconds",
+                        "store_hits",
+                        "store_misses",
+                    )
                     if key in timing
                 }
             )
@@ -158,6 +168,7 @@ class RunManifest:
             "benchmarks": list(self.benchmarks),
             "jobs": self.jobs,
             "checkpoint_root": self.checkpoint_root,
+            "stream_store": self.stream_store,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "wall_seconds": wall,

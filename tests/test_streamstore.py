@@ -1,0 +1,306 @@
+"""The compiled workload store (:mod:`repro.sim.streamstore`).
+
+The store's one promise is result transparency: a workload reconstructed
+from a compiled blob -- fresh, off disk, or out of a shared-memory
+segment -- replays bit-identically to one prepared from scratch.  The
+hypothesis property here pins that over arbitrary traces; the unit tests
+pin the storage discipline around it (content addressing, atomic writes,
+corruption read as a miss, eviction) and the shared-memory lifecycle.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.sim.hierarchy import HierarchyFilter, MachineConfig
+from repro.sim.streamstore import (
+    CompiledWorkload,
+    SharedStreamExport,
+    StreamStore,
+    attach_shared_streams,
+    compile_filtered,
+    encode_filtered,
+    resolve_stream_cache_dir,
+    shared_memory_enabled,
+)
+from repro.sim.trace import Trace, TraceRecord
+
+#: A tiny machine so generated traces actually reach the LLC.
+TINY = MachineConfig(
+    l1=CacheGeometry(1024, 2, 64),
+    l2=CacheGeometry(2048, 4, 64),
+    llc=CacheGeometry(4096, 4, 64),
+)
+
+records_strategy = st.lists(
+    st.builds(
+        TraceRecord,
+        pc=st.sampled_from([0x400000, 0x400004, 0x400010, 0x40abc0]),
+        address=st.integers(min_value=0, max_value=1 << 20).map(lambda a: a & ~0x3),
+        is_write=st.booleans(),
+        gap=st.integers(min_value=0, max_value=5),
+        depends=st.booleans(),
+    ),
+    min_size=1,
+    max_size=300,
+)
+
+
+def fresh_filtered(records):
+    return HierarchyFilter(TINY).filter(Trace("synthetic", list(records)))
+
+
+def compile_of(filtered, key="test-key"):
+    return compile_filtered(filtered, TINY, key)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(records=records_strategy)
+    def test_compiled_workload_equals_fresh_preparation(self, records):
+        fresh = fresh_filtered(records)
+        rebuilt = compile_of(fresh).filtered_trace()
+
+        assert list(rebuilt.levels) == list(fresh.levels)
+        assert list(rebuilt.llc_indices) == list(fresh.llc_indices)
+        assert rebuilt.llc_arrays() == fresh.llc_arrays()
+        assert rebuilt.instructions == fresh.instructions
+        assert rebuilt.name == fresh.name
+        assert list(rebuilt.trace.records) == list(records)
+
+        mine = rebuilt.llc_stream(TINY.llc)
+        theirs = fresh.llc_stream(TINY.llc)
+        assert mine.set_indices == theirs.set_indices
+        assert mine.tags == theirs.tags
+        assert [a.address for a in mine.accesses] == [
+            a.address for a in theirs.accesses
+        ]
+        assert [a.seq for a in mine.accesses] == [a.seq for a in theirs.accesses]
+        assert [a.is_write for a in mine.accesses] == [
+            a.is_write for a in theirs.accesses
+        ]
+
+        assert rebuilt.fixed_latencies(
+            TINY.l1_latency, TINY.l2_latency
+        ) == fresh.fixed_latencies(TINY.l1_latency, TINY.l2_latency)
+
+    @settings(max_examples=20, deadline=None)
+    @given(records=records_strategy)
+    def test_encode_decode_is_stable(self, records):
+        # Encoding a decoded blob reproduces the identical bytes: the
+        # format is canonical, so content addressing is meaningful.
+        fresh = fresh_filtered(records)
+        blob = encode_filtered(fresh, TINY, "test-key")
+        again = encode_filtered(
+            CompiledWorkload.from_buffer(blob).filtered_trace(), TINY, "test-key"
+        )
+        assert blob == again
+
+
+class TestBlobValidation:
+    def test_rejects_garbage_and_truncation(self):
+        blob = encode_filtered(fresh_filtered([TraceRecord(1, 64, False, 0, False)]),
+                               TINY, "k")
+        with pytest.raises(ValueError):
+            CompiledWorkload.from_buffer(b"not a stream blob")
+        with pytest.raises(ValueError):
+            CompiledWorkload.from_buffer(blob[: len(blob) // 2])
+        with pytest.raises(ValueError):
+            CompiledWorkload.from_buffer(b"RPSTRM01" + b"\xff" * 32)
+
+    def test_uncompiled_geometry_falls_back_to_derivation(self):
+        # A geometry that was not baked into the blob still works: the
+        # reconstructed trace derives set/tag like a fresh one would.
+        fresh = fresh_filtered(
+            [TraceRecord(1, 64 * i, False, 0, False) for i in range(64)]
+        )
+        rebuilt = compile_of(fresh).filtered_trace()
+        other = CacheGeometry(8192, 2, 64)
+        assert rebuilt.llc_stream(other).set_indices == fresh.llc_stream(
+            other
+        ).set_indices
+
+    def test_foreign_latency_pair_recomputes(self):
+        fresh = fresh_filtered(
+            [TraceRecord(1, 64 * i, False, 0, False) for i in range(64)]
+        )
+        rebuilt = compile_of(fresh).filtered_trace()
+        assert rebuilt.fixed_latencies(7, 70) == fresh.fixed_latencies(7, 70)
+
+
+class TestStreamStore:
+    def make(self, tmp_path, records=None):
+        fresh = fresh_filtered(
+            records
+            or [TraceRecord(1, 64 * i, i % 3 == 0, 1, False) for i in range(128)]
+        )
+        store = StreamStore(tmp_path / "store")
+        return store, compile_of(fresh, key="bench|budget|seed")
+
+    def test_store_load_round_trip(self, tmp_path):
+        store, compiled = self.make(tmp_path)
+        store.store(compiled)
+        loaded = store.load(compiled.key)
+        assert loaded is not None
+        assert loaded.to_bytes() == compiled.to_bytes()
+        assert store.load("some-other-key") is None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store, compiled = self.make(tmp_path)
+        path = store.store(compiled)
+        path.write_bytes(path.read_bytes()[: 40])
+        assert store.load(compiled.key) is None
+        path.write_bytes(b"\x00" * 100)
+        assert store.load(compiled.key) is None
+
+    def test_misfiled_entry_reads_as_miss(self, tmp_path):
+        # A blob copied under another key's file name fails the embedded
+        # key check instead of impersonating that key's workload.
+        store, compiled = self.make(tmp_path)
+        store.store(compiled)
+        wrong = store.path_for_key("a-different-key")
+        wrong.write_bytes(store.path_for_key(compiled.key).read_bytes())
+        assert store.load("a-different-key") is None
+
+    def test_atomic_write_leaves_no_temp_on_failure(self, tmp_path, monkeypatch):
+        store, compiled = self.make(tmp_path)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            store.store(compiled)
+        monkeypatch.undo()
+        assert list((tmp_path / "store" / "streams").iterdir()) == []
+        assert store.load(compiled.key) is None
+
+    def test_entries_footprint_evict_clear(self, tmp_path):
+        store, compiled = self.make(tmp_path)
+        store.store(compiled)
+        entries = store.entries()
+        assert len(entries) == 1 and len(store) == 1
+        entry = entries[0]
+        assert entry.name == "synthetic"
+        assert entry.nbytes == compiled.nbytes
+        assert store.footprint() == entry.nbytes
+        assert store.evict("no-such-workload") == 0
+        assert store.evict(entry.digest[:8]) == 1
+        assert len(store) == 0
+        store.store(compiled)
+        assert store.evict("synthetic") == 1
+        store.store(compiled)
+        assert store.clear() == 1 and len(store) == 0
+
+    def test_workload_key_covers_determinants(self):
+        base = StreamStore.workload_key("mcf", 1000, 1, TINY)
+        assert StreamStore.workload_key("mcf", 1000, 1, TINY) == base
+        assert StreamStore.workload_key("lbm", 1000, 1, TINY) != base
+        assert StreamStore.workload_key("mcf", 2000, 1, TINY) != base
+        assert StreamStore.workload_key("mcf", 1000, 2, TINY) != base
+        other = MachineConfig(l1=TINY.l1, l2=TINY.l2, llc=CacheGeometry(8192, 4, 64))
+        assert StreamStore.workload_key("mcf", 1000, 1, other) != base
+
+
+class TestEnvResolution:
+    def test_stream_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_STREAM_CACHE", raising=False)
+        assert resolve_stream_cache_dir() is None
+        assert StreamStore.from_env() is None
+        monkeypatch.setenv("REPRO_STREAM_CACHE", str(tmp_path / "env"))
+        assert resolve_stream_cache_dir() == tmp_path / "env"
+        assert StreamStore.from_env().root == tmp_path / "env"
+        # An explicit argument wins over the environment.
+        assert resolve_stream_cache_dir(tmp_path / "arg") == tmp_path / "arg"
+
+    def test_shm_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        assert shared_memory_enabled() is False
+        assert shared_memory_enabled(True) is True
+        monkeypatch.setenv("REPRO_SHM", "1")
+        assert shared_memory_enabled() is True
+        assert shared_memory_enabled(False) is False
+
+
+class TestSharedMemory:
+    def test_attach_sees_identical_bytes_and_results(self):
+        fresh = fresh_filtered(
+            [TraceRecord(1, 64 * (i % 96), False, 1, False) for i in range(256)]
+        )
+        compiled = compile_of(fresh)
+        export = SharedStreamExport.create({"synthetic": compiled})
+        try:
+            attached = attach_shared_streams(export.manifest())
+            workload = attached["synthetic"]
+            assert workload.to_bytes() == compiled.to_bytes()
+            rebuilt = workload.filtered_trace()
+            assert rebuilt.llc_arrays() == fresh.llc_arrays()
+            workload.release()
+        finally:
+            export.close()
+
+    def test_close_is_idempotent_and_unlinks(self):
+        from multiprocessing import shared_memory
+
+        fresh = fresh_filtered([TraceRecord(1, 64, False, 0, False)])
+        export = SharedStreamExport.create({"synthetic": compile_of(fresh)})
+        (_, name, _), = export.manifest().segments
+        export.close()
+        export.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_empty_manifest_attaches_nothing(self):
+        assert attach_shared_streams(None) == {}
+
+
+class TestWorkloadCacheIntegration:
+    CONFIG = ExperimentConfig(instructions=20_000)
+
+    def test_cold_then_warm_counters_and_identity(self, tmp_path):
+        store = StreamStore(tmp_path / "store")
+        cold = WorkloadCache(self.CONFIG, stream_store=store)
+        fresh = cold.filtered("mcf")
+        assert (cold.stream_hits, cold.stream_misses) == (0, 1)
+        assert len(store) == 1
+
+        warm = WorkloadCache(self.CONFIG, stream_store=store)
+        loaded = warm.filtered("mcf")
+        assert (warm.stream_hits, warm.stream_misses) == (1, 0)
+        assert loaded.llc_arrays() == fresh.llc_arrays()
+        assert list(loaded.levels) == list(fresh.levels)
+
+    def test_compiled_streams_take_precedence(self, tmp_path):
+        primed = WorkloadCache(self.CONFIG)
+        compiled = primed.compiled("mcf")
+        cache = WorkloadCache(self.CONFIG, compiled_streams={"mcf": compiled})
+        cache.filtered("mcf")
+        assert (cache.stream_hits, cache.stream_misses) == (1, 0)
+
+    def test_stale_compiled_stream_is_ignored(self):
+        # A compiled blob whose key disagrees (different seed here) must
+        # not be served; the cache falls back to a cold build.
+        primed = WorkloadCache(ExperimentConfig(instructions=20_000, seed=7))
+        stale = primed.compiled("mcf")
+        cache = WorkloadCache(self.CONFIG, compiled_streams={"mcf": stale})
+        cache.filtered("mcf")
+        assert (cache.stream_hits, cache.stream_misses) == (0, 1)
+
+    def test_stream_require_guards_cold_compiles(self, tmp_path, monkeypatch):
+        store = StreamStore(tmp_path / "store")
+        monkeypatch.setenv("REPRO_STREAM_REQUIRE", "1")
+        cache = WorkloadCache(self.CONFIG, stream_store=store)
+        with pytest.raises(RuntimeError, match="REPRO_STREAM_REQUIRE"):
+            cache.filtered("mcf")
+        monkeypatch.delenv("REPRO_STREAM_REQUIRE")
+        WorkloadCache(self.CONFIG, stream_store=store).filtered("mcf")
+        monkeypatch.setenv("REPRO_STREAM_REQUIRE", "1")
+        warm = WorkloadCache(self.CONFIG, stream_store=store)
+        warm.filtered("mcf")  # warm path: no compile, no error
+        assert warm.stream_hits == 1
