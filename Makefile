@@ -5,7 +5,7 @@ PYTHON ?= python
 # Let every target run from a fresh clone, installed or not.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-faults lint check bench bench-smoke figures figures-fast results clean clean-cache help
+.PHONY: install test test-faults test-service lint check bench bench-smoke serve-smoke figures figures-fast results clean clean-cache help
 
 # The compiled workload store (see docs/performance.md).  `make clean`
 # leaves it alone -- warm starts are the point; `make clean-cache`
@@ -16,10 +16,12 @@ help:
 	@echo "install      editable install (falls back to setup.py develop)"
 	@echo "test         run the unit/property test suite"
 	@echo "test-faults  fault-injection / supervision tests only (hard per-test deadlines)"
+	@echo "test-service experiment-service tests only (hard per-test deadlines)"
 	@echo "lint         ruff check (skips with a notice when ruff is not installed)"
-	@echo "check        lint + test suite + fault tests + bench-smoke (the default pre-commit gate)"
+	@echo "check        lint + test suite + fault tests + bench-smoke + serve-smoke (the default pre-commit gate)"
 	@echo "bench        measure replay-engine throughput -> BENCH_PR1.json"
 	@echo "bench-smoke  tiny-budget bench harness validation -> BENCH_SMOKE.json"
+	@echo "serve-smoke  boot the job service, run a sweep through the client SDK, assert bit-identity with serial"
 	@echo "figures      regenerate every paper table and figure"
 	@echo "figures-fast quick figure pass (scale 1/32, short traces)"
 	@echo "results      show the rendered experiment tables"
@@ -38,6 +40,12 @@ test:
 test-faults:
 	$(PYTHON) -m pytest tests/ -m faults
 
+# The service tests boot a real asyncio job server (ephemeral ports,
+# spawn pools); they carry the same hard SIGALRM deadlines so a hung
+# server fails fast instead of wedging tier-1.
+test-service:
+	$(PYTHON) -m pytest tests/ -m service
+
 # Lint config lives in pyproject.toml ([tool.ruff]).  Ruff is optional --
 # environments without it (e.g. the hermetic CI container) skip the gate
 # with a notice rather than failing the whole check.
@@ -50,13 +58,20 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff to enable)"; \
 	fi
 
-check: lint test test-faults bench-smoke
+check: lint test test-faults bench-smoke serve-smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_throughput.py
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_throughput.py --smoke
+
+# Boots a real job server on an ephemeral port, runs a tiny sweep
+# through the client SDK (parallel workers + shared-memory streams),
+# and asserts bit-identity with the serial harness path.  Runs under a
+# hard SIGALRM deadline so a wedged server fails the gate loudly.
+serve-smoke:
+	$(PYTHON) -m repro.service.smoke
 
 figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -12,8 +12,12 @@ Commands:
   across benchmarks (docs/observability.md).
 * ``profile BENCHMARK`` -- reuse-distance profile of a workload.
 * ``cache`` -- inspect or prune the compiled workload store
-  (``--evict`` / ``--clear``).
+  (``--footprint`` / ``--evict`` / ``--clear``).
 * ``storage`` / ``power`` -- print Tables I and II.
+* ``serve`` -- run the experiment job service (docs/service.md).
+* ``submit`` -- submit a cell or sweep to a running service and
+  optionally wait for / stream / export its result.
+* ``jobs`` -- list, inspect, or cancel service jobs; show ``/v1/stats``.
 
 All commands respect the ``REPRO_SCALE`` / ``REPRO_INSTRUCTIONS`` /
 ``REPRO_SEED`` / ``REPRO_CORES`` environment variables.  ``run`` and
@@ -265,6 +269,18 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _human_bytes(count: int) -> str:
+    """``16.3 MiB``-style rendering of a byte count."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
 def _cmd_cache(args) -> int:
     from repro.sim.streamstore import StreamStore, resolve_stream_cache_dir
 
@@ -274,18 +290,41 @@ def _cmd_cache(args) -> int:
             "cache: no store configured -- pass --dir DIR or set "
             "REPRO_STREAM_CACHE"
         )
-    store = StreamStore(root)
-    if args.clear:
-        removed = store.clear()
-        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
-              f"from {store.root}")
-        return 0
-    if args.evict:
-        removed = store.evict(args.evict)
-        print(f"evicted {removed} entr{'y' if removed == 1 else 'ies'} "
-              f"matching {args.evict!r} from {store.root}")
-        return 0
-    entries = store.entries()
+    try:
+        store = StreamStore(root)
+        if args.footprint:
+            entries = store.entries()
+            total = store.footprint()
+            print(
+                f"{len(entries)} blob{'' if len(entries) == 1 else 's'}, "
+                f"{_human_bytes(total)} ({total} bytes) at {store.root}"
+            )
+            return 0
+    except OSError as exc:
+        # An unreadable store directory (permissions, dangling mount,
+        # path that is actually a file) is an operator problem worth a
+        # clear one-line diagnosis, not a traceback.
+        raise SystemExit(
+            f"cache: cannot read store at {root}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from None
+    try:
+        if args.clear:
+            removed = store.clear()
+            print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+                  f"from {store.root}")
+            return 0
+        if args.evict:
+            removed = store.evict(args.evict)
+            print(f"evicted {removed} entr{'y' if removed == 1 else 'ies'} "
+                  f"matching {args.evict!r} from {store.root}")
+            return 0
+        entries = store.entries()
+    except OSError as exc:
+        raise SystemExit(
+            f"cache: cannot read store at {root}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from None
     if not entries:
         print(f"store at {store.root} is empty")
         return 0
@@ -301,6 +340,106 @@ def _cmd_cache(args) -> int:
     ))
     print(f"\n{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}, "
           f"{store.footprint() / (1024.0 * 1024.0):.2f} MiB total")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        job_store=args.job_store,
+        checkpoint=args.checkpoint_dir,
+        stream_cache=args.stream_cache,
+        shared_memory=args.shm or None,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+    )
+
+
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    config = {}
+    for name, value in (
+        ("scale", args.scale), ("instructions", args.instructions),
+        ("seed", args.seed), ("cores", args.cores),
+    ):
+        if value is not None:
+            config[name] = value
+    try:
+        job = client.submit(
+            benchmarks=[args.benchmark] if args.benchmark else None,
+            techniques=args.techniques or None,
+            sweep=args.sweep or not args.benchmark,
+            config=config or None,
+            client=args.client,
+            priority=args.priority,
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"submit: {exc}")
+    print(f"submitted {job['id']} ({job['kind']}, {len(job['cells'])} cells, "
+          f"{job['dedup_cells']} dedup hits) state={job['state']}")
+    if args.stream:
+        for event in client.stream_events(job["id"]):
+            print(_json.dumps(event, sort_keys=True))
+    if args.wait or args.stream or args.json:
+        final = client.wait(job["id"], timeout=args.timeout)
+        print(f"job {final['id']} finished: {final['state']}"
+              + (f" ({final['error']})" if final.get("error") else ""))
+        if final["state"] != "done":
+            return 1
+        if args.json:
+            result = client.result(job["id"])
+            with open(args.json, "w", encoding="utf-8") as handle:
+                _json.dump(result, handle, indent=2, sort_keys=True)
+            print(f"wrote result to {args.json}")
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.stats:
+            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.cancel:
+            job = client.cancel(args.cancel)
+            print(f"job {job['id']}: {job['state']}")
+            return 0
+        if args.job_id:
+            print(_json.dumps(client.get(args.job_id), indent=2, sort_keys=True))
+            return 0
+        jobs = client.list_jobs()
+    except ServiceError as exc:
+        raise SystemExit(f"jobs: {exc}")
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = [
+        [job["id"], job["kind"], job["client"], job["state"],
+         f"{job['progress']['done']}/{job['progress']['total']}",
+         job["dedup_cells"]]
+        for job in jobs
+    ]
+    print(format_table(
+        ["job", "kind", "client", "state", "done", "dedup"], rows,
+        title=f"jobs at {args.url}",
+    ))
     return 0
 
 
@@ -441,6 +580,10 @@ def main(argv=None) -> int:
         help="store directory (default: REPRO_STREAM_CACHE)",
     )
     cache_parser.add_argument(
+        "--footprint", action="store_true",
+        help="print blob count and total size (human-readable + bytes)",
+    )
+    cache_parser.add_argument(
         "--evict", default=None, metavar="SELECTOR",
         help="delete entries whose workload name or key-digest prefix "
              "matches SELECTOR",
@@ -449,6 +592,75 @@ def main(argv=None) -> int:
         "--clear", action="store_true",
         help="delete every entry (and stray temp files)",
     )
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the experiment job service (docs/service.md)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8035)
+    serve_parser.add_argument(
+        "--job-store", default=".repro-service", metavar="DIR",
+        help="job records + checkpoints root (default: .repro-service)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="result checkpoint store (default: <job-store>/checkpoints; "
+             "point it at a sweep's store to share results with the CLI)",
+    )
+    serve_parser.add_argument(
+        "--stream-cache", default=None, metavar="DIR",
+        help="compiled workload store (default: REPRO_STREAM_CACHE or off)",
+    )
+    serve_parser.add_argument(
+        "--shm", action="store_true",
+        help="shared-memory workload fan-out to batch workers "
+             "(default: REPRO_SHM or off)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes per batch (default: REPRO_JOBS or 1)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=256,
+        help="max queued cells before submissions get 429 (default: 256)",
+    )
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a cell or sweep to a running service"
+    )
+    submit_parser.add_argument("benchmark", nargs="?", default=None)
+    submit_parser.add_argument("techniques", nargs="*")
+    submit_parser.add_argument(
+        "--url", default="http://127.0.0.1:8035", help="service base URL"
+    )
+    submit_parser.add_argument(
+        "--sweep", action="store_true",
+        help="expand into the full grid (baseline + every technique); "
+             "with no benchmark, the single-thread subset",
+    )
+    submit_parser.add_argument("--client", default="cli", help="client id for fair-share")
+    submit_parser.add_argument("--priority", type=int, default=0,
+                               help="lower runs sooner (default: 0)")
+    submit_parser.add_argument("--scale", type=int, default=None)
+    submit_parser.add_argument("--instructions", type=int, default=None)
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument("--cores", type=int, default=None)
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="block until the job finishes")
+    submit_parser.add_argument("--stream", action="store_true",
+                               help="stream NDJSON progress events to stdout")
+    submit_parser.add_argument("--timeout", type=float, default=None,
+                               help="give up waiting after this many seconds")
+    submit_parser.add_argument("--json", default=None, metavar="FILE",
+                               help="write the result JSON here (implies --wait)")
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="list, inspect, or cancel service jobs"
+    )
+    jobs_parser.add_argument("job_id", nargs="?", default=None)
+    jobs_parser.add_argument(
+        "--url", default="http://127.0.0.1:8035", help="service base URL"
+    )
+    jobs_parser.add_argument("--cancel", default=None, metavar="JOB_ID")
+    jobs_parser.add_argument("--stats", action="store_true",
+                             help="print GET /v1/stats")
     subparsers.add_parser("storage", help="print Table I")
     subparsers.add_parser("power", help="print Table II")
 
@@ -461,6 +673,9 @@ def main(argv=None) -> int:
         "report": _cmd_report,
         "profile": _cmd_profile,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "storage": _cmd_storage,
         "power": _cmd_power,
     }

@@ -42,6 +42,7 @@ import copy
 import hashlib
 import os
 import pickle
+import threading
 from pathlib import Path
 from typing import Optional, Union
 
@@ -130,7 +131,15 @@ class CheckpointStore:
         payload = pickle.dumps(
             {"key": key, "result": stripped}, protocol=pickle.HIGHEST_PROTOCOL
         )
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        # The tmp name must be unique per *writer*, not just per process:
+        # the experiment service stores cells from a dispatcher thread
+        # while sweep code may store from the main thread, and two
+        # writers sharing one tmp path could publish a torn file.  With
+        # distinct tmp files, concurrent same-key writers each replace
+        # atomically and last-rename-wins with complete bytes.
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}"
+        )
         tmp.write_bytes(payload)
         os.replace(tmp, path)
         return path

@@ -22,6 +22,20 @@ from repro.harness.experiments import (
 __all__ = ["export_json", "to_dict"]
 
 
+def _guarded(metric, *args):
+    """A metric value, or ``None`` when the cell never completed.
+
+    Partial sweeps (``allow_partial=True``) omit failed cells from the
+    result maps, so any per-cell metric -- and any mean that folds one
+    in -- is undefined; JSON ``null`` records that honestly instead of
+    crashing the export.  The ``failures`` list names the missing cells.
+    """
+    try:
+        return metric(*args)
+    except KeyError:
+        return None
+
+
 def to_dict(result) -> dict:
     """Serialize a result object from :mod:`repro.harness.experiments`."""
     if isinstance(result, SingleThreadComparison):
@@ -41,23 +55,25 @@ def to_dict(result) -> dict:
             ],
             "normalized_mpki": {
                 benchmark: {
-                    key: result.normalized_mpki(benchmark, key)
+                    key: _guarded(result.normalized_mpki, benchmark, key)
                     for key in result.technique_keys
                 }
                 for benchmark in result.benchmarks
             },
             "speedup": {
                 benchmark: {
-                    key: result.speedup(benchmark, key)
+                    key: _guarded(result.speedup, benchmark, key)
                     for key in result.technique_keys
                 }
                 for benchmark in result.benchmarks
             },
             "mpki_amean": {
-                key: result.mpki_amean(key) for key in result.technique_keys
+                key: _guarded(result.mpki_amean, key)
+                for key in result.technique_keys
             },
             "speedup_gmean": {
-                key: result.speedup_gmean(key) for key in result.technique_keys
+                key: _guarded(result.speedup_gmean, key)
+                for key in result.technique_keys
             },
         }
     if isinstance(result, MulticoreComparison):
@@ -67,20 +83,21 @@ def to_dict(result) -> dict:
             "techniques": list(result.technique_keys),
             "normalized_weighted_speedup": {
                 mix: {
-                    key: result.normalized_weighted_speedup(mix, key)
+                    key: _guarded(result.normalized_weighted_speedup, mix, key)
                     for key in result.technique_keys
                 }
                 for mix in result.mixes
             },
             "normalized_mpki": {
                 mix: {
-                    key: result.normalized_mpki(mix, key)
+                    key: _guarded(result.normalized_mpki, mix, key)
                     for key in result.technique_keys
                 }
                 for mix in result.mixes
             },
             "speedup_gmean": {
-                key: result.speedup_gmean(key) for key in result.technique_keys
+                key: _guarded(result.speedup_gmean, key)
+                for key in result.technique_keys
             },
         }
     if isinstance(result, AccuracyResult):

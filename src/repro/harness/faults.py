@@ -44,9 +44,10 @@ import hashlib
 import multiprocessing
 import os
 import signal
+import sys
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "CellCrashed",
@@ -55,6 +56,7 @@ __all__ = [
     "FaultPolicy",
     "SweepAborted",
     "cell_label",
+    "drain_cleanup_hooks",
     "maybe_inject_fault",
     "parse_fault_spec",
     "run_cells_supervised",
@@ -329,6 +331,43 @@ class cell_deadline:
 
 
 # ----------------------------------------------------------------------
+# supervised cleanup hooks
+# ----------------------------------------------------------------------
+def drain_cleanup_hooks(
+    hooks: Sequence[Callable[[], None]],
+    on_error: Optional[Callable[[str], None]] = None,
+) -> List[Exception]:
+    """Run cleanup hooks in LIFO order, tolerating hooks that raise.
+
+    Resource owners register hooks in acquisition order, so teardown
+    must run in reverse (a shared-memory export created after a pool
+    must be unlinked before the pool's teardown can assume it is gone).
+    A raising hook is recorded and *reported* -- via ``on_error`` when
+    given, else one line on stderr -- and the remaining hooks still run:
+    one broken hook must never leak every resource registered before it.
+
+    Returns the exceptions raised, in execution (LIFO) order; empty when
+    every hook succeeded.
+    """
+    errors: List[Exception] = []
+    for hook in reversed(list(hooks)):
+        try:
+            hook()
+        except Exception as exc:
+            errors.append(exc)
+            name = getattr(hook, "__name__", repr(hook))
+            message = (
+                f"cleanup hook {name} raised "
+                f"{type(exc).__name__}: {exc}; continuing with remaining hooks"
+            )
+            if on_error is not None:
+                on_error(message)
+            else:
+                print(f"[cleanup] {message}", file=sys.stderr)
+    return errors
+
+
+# ----------------------------------------------------------------------
 # the supervision loop
 # ----------------------------------------------------------------------
 #: Wire format a supervised worker returns:
@@ -348,7 +387,7 @@ def run_cells_supervised(
     on_success: Callable[[Cell, object], None],
     serial_fallback: Optional[Callable[[Cell], object]] = None,
     on_event: Optional[Callable[..., None]] = None,
-    cleanup: Optional[Callable[[], None]] = None,
+    cleanup: Union[Callable[[], None], Sequence[Callable[[], None]], None] = None,
 ) -> List[CellError]:
     """Drive ``cells`` through supervised parallel rounds.
 
@@ -372,11 +411,16 @@ def run_cells_supervised(
             :meth:`repro.telemetry.events.SweepTelemetry.on_event` for
             the kinds.  Purely observational: a raising callback is a
             caller bug, not a supervised fault.
-        cleanup: called exactly once when supervision ends, however it
-            ends -- success, partial failure, :class:`SweepAborted`, or
-            an unexpected exception.  Resource owners (the shared-memory
-            workload export, most importantly) hook their teardown here
-            so a crashed or timed-out sweep can never leak segments.
+        cleanup: a hook -- or a sequence of hooks, registered in
+            acquisition order -- run exactly once when supervision ends,
+            however it ends: success, partial failure,
+            :class:`SweepAborted`, or an unexpected exception.  Resource
+            owners (the shared-memory workload export, most importantly)
+            hook their teardown here so a crashed or timed-out sweep can
+            never leak segments.  Hooks drain in LIFO order via
+            :func:`drain_cleanup_hooks`; a hook that raises is reported
+            and the remaining hooks still run, so one broken hook cannot
+            skip a later shm unlink.
 
     Returns the list of unrecovered failures, in work-list order; empty
     on full success.  Raises :class:`SweepAborted` when failures remain
@@ -389,7 +433,8 @@ def run_cells_supervised(
         )
     finally:
         if cleanup is not None:
-            cleanup()
+            hooks = [cleanup] if callable(cleanup) else list(cleanup)
+            drain_cleanup_hooks(hooks)
 
 
 def _run_cells_supervised(

@@ -91,7 +91,11 @@ from repro.telemetry.events import EventLog, ProgressRenderer, SweepTelemetry
 from repro.telemetry.manifest import RunManifest
 from repro.workloads import SINGLE_THREAD_SUBSET
 
-__all__ = ["parallel_single_thread_comparison", "resolve_jobs"]
+__all__ = [
+    "make_cell_pool_factory",
+    "parallel_single_thread_comparison",
+    "resolve_jobs",
+]
 
 #: Sentinel technique key for the per-benchmark LRU baseline cell.
 _BASELINE = None
@@ -138,6 +142,32 @@ def _init_worker(
         stream_store=StreamStore(store_root) if store_root is not None else None,
         compiled_streams=attach_shared_streams(stream_manifest),
     )
+
+
+def make_cell_pool_factory(
+    config: ExperimentConfig,
+    processes: int,
+    store_root: Optional[str] = None,
+    stream_manifest: Optional[StreamManifest] = None,
+):
+    """A zero-argument factory building the supervised cell worker pool.
+
+    This is the single construction path for sweep pools -- explicit
+    ``"spawn"`` context, :func:`_init_worker` wiring the per-worker
+    workload cache to the store and/or shared-memory segments -- shared
+    by :func:`parallel_single_thread_comparison` and the experiment
+    service's scheduler, so both fan work out identically.
+    """
+    context = multiprocessing.get_context("spawn")
+
+    def make_pool():
+        return context.Pool(
+            processes=processes,
+            initializer=_init_worker,
+            initargs=(config, store_root, stream_manifest),
+        )
+
+    return make_pool
 
 
 def _run_cell_on(cache: WorkloadCache, cell: Cell) -> RunResult:
@@ -500,14 +530,10 @@ def parallel_single_thread_comparison(
                             "workloads": sorted(compiled),
                         }
 
-                context = multiprocessing.get_context("spawn")
-
-                def make_pool():
-                    return context.Pool(
-                        processes=min(effective_jobs, len(to_run)),
-                        initializer=_init_worker,
-                        initargs=(config, store_root, stream_manifest),
-                    )
+                make_pool = make_cell_pool_factory(
+                    config, min(effective_jobs, len(to_run)),
+                    store_root, stream_manifest,
+                )
 
                 fallback_cache = workload_cache
 
@@ -517,9 +543,13 @@ def parallel_single_thread_comparison(
                         fallback_cache = WorkloadCache(config, stream_store=streams)
                     return _run_cell_on(fallback_cache, cell)
 
-                def cleanup() -> None:
-                    if export is not None:
-                        export.close()
+                # Registered in acquisition order; run_cells_supervised
+                # drains them LIFO and tolerates a raising hook, so the
+                # shm unlink runs even if an earlier-registered hook
+                # breaks.
+                cleanup_hooks = []
+                if export is not None:
+                    cleanup_hooks.append(export.close)
 
                 failures = tuple(
                     run_cells_supervised(
@@ -530,7 +560,7 @@ def parallel_single_thread_comparison(
                         on_success=record,
                         serial_fallback=serial_fallback if policy.degrade_serially else None,
                         on_event=telemetry.on_event if telemetry is not None else None,
-                        cleanup=cleanup,
+                        cleanup=cleanup_hooks,
                     )
                 )
                 if failures:

@@ -1,0 +1,181 @@
+"""Blocking client SDK for the experiment service.
+
+A thin, dependency-free wrapper over :mod:`http.client` (stdlib) that
+speaks the ``/v1`` API: submit jobs, poll or stream their progress,
+fetch results, cancel, and read server stats.  This is the library the
+``repro submit`` / ``repro jobs`` CLI commands are built on, and the
+one the golden bit-identity smoke test drives.
+
+    client = ServiceClient("http://127.0.0.1:8035")
+    job = client.submit(benchmarks=["mcf"], techniques=["sampler"], sweep=True)
+    for event in client.stream_events(job["id"]):
+        print(event["event"])
+    result = client.result(job["id"])      # == export_json of the CLI sweep
+
+Every HTTP error surfaces as :class:`ServiceError` carrying the status
+code and the server's message; 429 backpressure additionally carries
+``retry_after`` so callers can back off and resubmit.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Dict, Iterator, List, Optional, Sequence
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """An HTTP-level failure from the service."""
+
+    def __init__(self, status: int, message: str, retry_after: Optional[float] = None):
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Blocking client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme {parsed.scheme!r} (http only)")
+        netloc = parsed.netloc or parsed.path  # accept "host:port" without scheme
+        host, _, port = netloc.partition(":")
+        self.host = host or "127.0.0.1"
+        self.port = int(port) if port else 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+            if response.status >= 400:
+                retry_after = response.getheader("Retry-After")
+                raise ServiceError(
+                    response.status,
+                    data.get("error", raw.decode("utf-8", "replace")),
+                    retry_after=float(retry_after) if retry_after else None,
+                )
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(
+        self,
+        benchmarks: Optional[Sequence[str]] = None,
+        techniques: Optional[Sequence[str]] = None,
+        benchmark: Optional[str] = None,
+        technique: Optional[str] = None,
+        sweep: bool = False,
+        config: Optional[Dict] = None,
+        client: str = "anonymous",
+        priority: int = 0,
+    ) -> Dict:
+        """Submit one cell (``benchmark=.../technique=...``) or a sweep
+        (``benchmarks=[...], techniques=[...], sweep=True``).  Returns
+        the created job record (``state`` may already be ``done`` when
+        every cell was a dedup hit)."""
+        body: Dict = {"sweep": sweep, "client": client, "priority": priority}
+        if benchmarks is not None:
+            body["benchmarks"] = list(benchmarks)
+        if techniques is not None:
+            body["techniques"] = list(techniques)
+        if benchmark is not None:
+            body["benchmark"] = benchmark
+        if technique is not None:
+            body["technique"] = technique
+        if config is not None:
+            body["config"] = dict(config)
+        return self._request("POST", "/v1/jobs", body)
+
+    def get(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def list_jobs(self) -> List[Dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_seconds: float = 0.1,
+    ) -> Dict:
+        """Block until the job reaches a terminal state; returns the
+        final job record.  Raises TimeoutError after ``timeout``."""
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        while True:
+            job = self.get(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll_seconds)
+
+    def stream_events(self, job_id: str, follow: bool = True) -> Iterator[Dict]:
+        """Yield the job's NDJSON progress events as dicts.
+
+        With ``follow=True`` (default) the stream runs until the job
+        reaches a terminal state; the final event is ``sweep_finished``.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            suffix = "" if follow else "?follow=0"
+            connection.request("GET", f"/v1/jobs/{job_id}/events{suffix}")
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw.decode("utf-8")).get("error", "")
+                except Exception:
+                    message = raw.decode("utf-8", "replace")
+                raise ServiceError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def submit_and_wait(
+        self, timeout: Optional[float] = None, **submit_kwargs
+    ) -> Dict:
+        """Submit, wait for terminal state, and return the final job."""
+        job = self.submit(**submit_kwargs)
+        return self.wait(job["id"], timeout=timeout)

@@ -1,0 +1,805 @@
+"""Deduplicating scheduler: the dispatcher between jobs and the harness.
+
+The scheduler owns three things:
+
+* the **bounded priority queue** of cells awaiting execution.  Depth is
+  counted in cells; an admission that would overflow it raises
+  :class:`~repro.service.jobs.QueueFull`, which the HTTP layer turns
+  into ``429`` backpressure.  Queued cells are ordered by ``(priority,
+  fair-share, submission seq)`` where fair-share is a per-client
+  served-cell counter -- a client that has had many cells dispatched
+  yields to one that has had few, so a bulk submitter cannot starve
+  small interactive jobs of equal priority.
+* the **dedup registry**.  Every cell is content-addressed (the
+  checkpoint key scheme); before enqueueing, a submission is checked
+  against (1) the checkpoint store -- the cell may already be computed,
+  by anyone, ever -- and (2) the in-flight registry -- the cell may
+  already be queued or running for another job, in which case the new
+  job simply attaches to it.  Either way the cell costs nothing extra;
+  both kinds of hit are counted and surfaced in ``GET /v1/stats``.
+* the **dispatcher**: a daemon thread that drains the queue in batches
+  (all queued cells sharing one :class:`ExperimentConfig`) into the
+  supervised machinery of :mod:`repro.harness.faults` -- the same
+  ``spawn`` pools, per-cell deadlines, retries, watchdog, and graceful
+  serial degradation a CLI sweep gets, via the shared
+  :func:`repro.harness.parallel.make_cell_pool_factory`.  With a
+  compiled workload store / ``shared_memory=True`` the batch pre-compiles
+  each workload once and fans it out to workers exactly as PR 4's sweep
+  path does, so concurrent jobs over one benchmark never recompile.
+
+Because cells execute through the identical code path as
+``make``-driven sweeps and results are persisted in the identical
+checkpoint store, a sweep served through the service is bit-identical
+to the CLI one -- pinned by ``tests/test_service_http.py`` and ``make
+serve-smoke``.
+
+Graceful drain: :meth:`ExperimentScheduler.drain` stops the dispatcher
+from starting new batches, waits for the running batch (every completed
+cell of which is already checkpointed), and persists job states.  A
+scheduler constructed over the same job store resumes: terminal jobs
+are served read-only, non-terminal jobs re-admit -- their finished
+cells come back as checkpoint dedup hits, so no work repeats.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.harness.checkpoint import CheckpointStore
+from repro.harness.experiments import SingleThreadComparison
+from repro.harness.export import to_dict
+from repro.harness.faults import (
+    FaultPolicy,
+    cell_label,
+    run_cells_supervised,
+)
+from repro.harness.parallel import (
+    _run_cell_on,
+    _run_cell_supervised,
+    make_cell_pool_factory,
+    resolve_jobs,
+)
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.harness.techniques import TECHNIQUES
+from repro.sim.streamstore import SharedStreamExport, StreamStore
+from repro.sim.system import RunResult
+from repro.telemetry.events import SweepTelemetry
+from repro.service.jobs import (
+    Cell,
+    Job,
+    JobStore,
+    QueueFull,
+    cell_key,
+)
+from repro.workloads import ALL_BENCHMARKS, SINGLE_THREAD_SUBSET
+
+__all__ = ["ExperimentScheduler"]
+
+
+class _EventBuffer:
+    """Per-job event sink: a `SweepTelemetry` sink appending to a list.
+
+    Mutation always happens under the scheduler lock (RLock, so emits
+    from paths already holding it are fine); readers copy slices out
+    under the same lock.
+    """
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+        self.events: List[Dict] = []
+
+    def emit(self, event: Dict) -> None:
+        with self._lock:
+            self.events.append(dict(event))
+
+
+class _CellEntry:
+    """One in-flight content-addressed cell and the jobs attached to it."""
+
+    __slots__ = (
+        "key", "config", "benchmark", "technique", "state",
+        "jobs", "priority", "client", "seq", "detail", "timing",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        config: ExperimentConfig,
+        benchmark: str,
+        technique: Optional[str],
+        priority: int,
+        client: str,
+        seq: int,
+    ) -> None:
+        self.key = key
+        self.config = config
+        self.benchmark = benchmark
+        self.technique = technique
+        self.state = "queued"  # queued | running | done | failed
+        self.jobs: Set[str] = set()
+        self.priority = priority
+        self.client = client
+        self.seq = seq
+        self.detail = ""
+        self.timing: Optional[Dict[str, float]] = None
+
+    @property
+    def cell(self) -> Cell:
+        return (self.benchmark, self.technique)
+
+    @property
+    def label(self) -> str:
+        return cell_label(self.cell)
+
+
+class ExperimentScheduler:
+    """Bounded, fair-share, deduplicating dispatcher over the harness.
+
+    Args:
+        job_store: a :class:`~repro.service.jobs.JobStore` or a root
+            directory for one.  Results always live in a
+            :class:`~repro.harness.checkpoint.CheckpointStore`; by
+            default it is rooted at ``<job_store>/checkpoints`` so the
+            service's dedup and a CLI sweep pointed at the same
+            directory see each other's results.
+        checkpoint: override the checkpoint store (store instance or
+            path).
+        stream_cache: compiled workload store (instance, path, or None
+            to defer to ``REPRO_STREAM_CACHE``).
+        shared_memory: fan compiled workloads to workers via shared
+            memory (None defers to ``REPRO_SHM``).
+        jobs: worker processes per batch (None defers to
+            ``REPRO_JOBS``).
+        queue_depth: maximum queued cells before submissions bounce
+            with :class:`~repro.service.jobs.QueueFull`.
+        fault_policy: supervision knobs (None defers to the
+            ``REPRO_CELL_*`` environment).  ``allow_partial`` is forced
+            on -- a failed cell fails its jobs, never the whole server.
+        start: start the dispatcher thread immediately (tests that only
+            exercise admission pass False).
+    """
+
+    def __init__(
+        self,
+        job_store: Union[JobStore, str, os.PathLike],
+        checkpoint: Union[CheckpointStore, str, os.PathLike, None] = None,
+        stream_cache: Union[StreamStore, str, os.PathLike, None] = None,
+        shared_memory: Optional[bool] = None,
+        jobs: Optional[int] = None,
+        queue_depth: int = 256,
+        fault_policy: Optional[FaultPolicy] = None,
+        start: bool = True,
+    ) -> None:
+        self.job_store = (
+            job_store if isinstance(job_store, JobStore) else JobStore(job_store)
+        )
+        if isinstance(checkpoint, CheckpointStore):
+            self.checkpoint = checkpoint
+        elif checkpoint is not None:
+            self.checkpoint = CheckpointStore(checkpoint)
+        else:
+            self.checkpoint = CheckpointStore(self.job_store.root / "checkpoints")
+        if isinstance(stream_cache, StreamStore):
+            self.stream_store: Optional[StreamStore] = stream_cache
+        else:
+            self.stream_store = StreamStore.from_env(stream_cache)
+        self.shared_memory = bool(shared_memory) if shared_memory is not None else (
+            os.environ.get("REPRO_SHM", "").strip().lower()
+            in ("1", "true", "yes", "on")
+        )
+        self.worker_count = resolve_jobs(jobs)
+        self.queue_depth = int(queue_depth)
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        base_policy = fault_policy if fault_policy is not None else FaultPolicy.from_env()
+        self.fault_policy = replace(base_policy, allow_partial=True)
+
+        self._lock = threading.RLock()
+        self._wakeup = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._cells: Dict[str, _CellEntry] = {}  # key -> entry (queued/running)
+        self._queue: List[str] = []  # queued cell keys (unordered; picked by sort)
+        self._job_pending: Dict[str, Set[str]] = {}
+        self._job_failed: Dict[str, Dict[str, str]] = {}
+        self._events: Dict[str, _EventBuffer] = {}
+        self._telemetry: Dict[str, SweepTelemetry] = {}
+        self._served: Dict[str, int] = {}  # client -> cells dispatched (fair share)
+        self._seq = 0
+        self._running_batch = 0  # cells in the batch being executed
+        self._draining = False
+        self._closed = False
+        self._started_at = time.time()
+        self.counters = {
+            "submitted_jobs": 0,
+            "submitted_cells": 0,
+            "executed_cells": 0,
+            "failed_cells": 0,
+            "dedup_checkpoint_hits": 0,
+            "dedup_inflight_hits": 0,
+            "stream_hits": 0,
+            "stream_misses": 0,
+        }
+
+        self._resume_from_store()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
+        )
+        if start:
+            self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        config: ExperimentConfig,
+        benchmarks: Sequence[str],
+        techniques: Sequence[str],
+        sweep: bool = False,
+        client: str = "anonymous",
+        priority: int = 0,
+    ) -> Job:
+        """Admit one submission; returns the (persisted) job.
+
+        A *sweep* expands server-side into the full cell grid -- every
+        benchmark's LRU baseline plus one cell per (benchmark,
+        technique) -- the exact grid a CLI sweep runs.  A non-sweep
+        submission must name exactly one benchmark and one technique
+        and runs that single cell (techniques may name ``"lru"``'s
+        baseline via an empty technique list).
+
+        Raises:
+            ValueError: unknown benchmark/technique, or bad shapes.
+            QueueFull: admitting would overflow the bounded queue.
+            RuntimeError: the scheduler is draining or closed.
+        """
+        benchmarks = list(benchmarks)
+        techniques = list(techniques)
+        unknown = [b for b in benchmarks if b not in ALL_BENCHMARKS]
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s): {', '.join(map(repr, unknown))} "
+                f"(known: {', '.join(ALL_BENCHMARKS)})"
+            )
+        unknown = [t for t in techniques if t not in TECHNIQUES]
+        if unknown:
+            raise ValueError(
+                f"unknown technique(s): {', '.join(map(repr, unknown))} "
+                f"(known: {', '.join(TECHNIQUES)})"
+            )
+        if sweep:
+            if not benchmarks:
+                benchmarks = list(SINGLE_THREAD_SUBSET)
+            cells: List[Cell] = []
+            for benchmark in benchmarks:
+                cells.append((benchmark, None))
+                cells.extend((benchmark, t) for t in techniques)
+            kind = "sweep"
+        else:
+            if len(benchmarks) != 1 or len(techniques) > 1:
+                raise ValueError(
+                    "a cell submission names exactly one benchmark and at "
+                    "most one technique; set sweep=true for grids"
+                )
+            technique = techniques[0] if techniques else None
+            cells = [(benchmarks[0], technique)]
+            techniques = [technique] if technique is not None else []
+            kind = "cell"
+
+        with self._lock:
+            if self._draining or self._closed:
+                raise RuntimeError("scheduler is draining; not accepting jobs")
+            self._seq += 1
+            job = Job.new(
+                kind=kind, client=client, priority=int(priority), config=config,
+                benchmarks=benchmarks, techniques=techniques, cells=cells,
+                seq=self._seq,
+            )
+            # Backpressure check before any state changes: count the
+            # cells this job would newly enqueue.
+            new_cells = 0
+            for cell in cells:
+                key = cell_key(config, *cell)
+                entry = self._cells.get(key)
+                if entry is not None and entry.state in ("queued", "running"):
+                    continue
+                if self.checkpoint.load(config, *cell) is not None:
+                    continue
+                new_cells += 1
+            if len(self._queue) + new_cells > self.queue_depth:
+                raise QueueFull(
+                    f"queue at capacity ({len(self._queue)}/{self.queue_depth} "
+                    f"cells queued, submission needs {new_cells} more)"
+                )
+            self.counters["submitted_jobs"] += 1
+            self.counters["submitted_cells"] += len(cells)
+            self._admit(job)
+            self._wakeup.notify_all()
+        return job
+
+    def _admit(self, job: Job) -> None:
+        """Attach a job's cells to the registry (lock held).
+
+        Shared by :meth:`submit` and restart resume.  Dedup layers, in
+        order: in-flight registry (queued/running/done-this-life), then
+        the checkpoint store; only a cell missing from both enqueues.
+        """
+        self._jobs[job.id] = job
+        buffer = _EventBuffer(self._lock)
+        self._events[job.id] = buffer
+        telemetry = SweepTelemetry(sinks=[buffer])
+        self._telemetry[job.id] = telemetry
+        pending: Set[str] = set()
+        telemetry.sweep_started(
+            len(job.cells), list(job.benchmarks), list(job.techniques),
+            self.worker_count,
+        )
+        for cell in job.cells:
+            key = cell_key(job.config, *cell)
+            entry = self._cells.get(key)
+            if entry is not None and entry.state in ("queued", "running"):
+                # Someone else is already computing this cell: attach.
+                entry.jobs.add(job.id)
+                entry.priority = min(entry.priority, job.priority)
+                pending.add(key)
+                job.dedup_cells += 1
+                self.counters["dedup_inflight_hits"] += 1
+                continue
+            if entry is not None and entry.state == "done":
+                job.dedup_cells += 1
+                self.counters["dedup_checkpoint_hits"] += 1
+                telemetry.cell_resumed(cell_label(cell))
+                continue
+            if self.checkpoint.load(job.config, *cell) is not None:
+                job.dedup_cells += 1
+                self.counters["dedup_checkpoint_hits"] += 1
+                telemetry.cell_resumed(cell_label(cell))
+                continue
+            # Cold (or previously failed) cell: (re-)enqueue it.
+            entry = _CellEntry(
+                key, job.config, cell[0], cell[1],
+                job.priority, job.client, job.seq,
+            )
+            entry.jobs.add(job.id)
+            self._cells[key] = entry
+            self._queue.append(key)
+            pending.add(key)
+        self._job_pending[job.id] = pending
+        self._job_failed[job.id] = {}
+        if not pending:
+            job.transition("done")
+            telemetry.sweep_finished("ok")
+        self.job_store.save(job, progress=self._progress(job))
+
+    def _resume_from_store(self) -> None:
+        """Re-admit persisted non-terminal jobs (constructor path)."""
+        for job in self.job_store.resume():
+            if job.is_terminal:
+                self._jobs[job.id] = job
+                self._events[job.id] = _EventBuffer(self._lock)
+                self._job_pending[job.id] = set()
+                self._job_failed[job.id] = {}
+                continue
+            self._seq = max(self._seq, job.seq)
+            self._admit(job)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: (j.seq, j.id))
+
+    def job_dict(self, job: Job) -> Dict:
+        with self._lock:
+            return job.to_dict(progress=self._progress(job))
+
+    def _progress(self, job: Job) -> Dict[str, int]:
+        pending = self._job_pending.get(job.id, set())
+        failed = self._job_failed.get(job.id, {})
+        total = len(job.cells)
+        return {
+            "total": total,
+            "done": total - len(pending) - len(failed),
+            "failed": len(failed),
+            "pending": len(pending),
+        }
+
+    def events_since(self, job_id: str, start: int = 0) -> Tuple[List[Dict], bool]:
+        """Events ``start:`` for a job plus whether the job is terminal
+        (no further events will ever arrive)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            buffer = self._events.get(job_id)
+            events = list(buffer.events[start:]) if buffer is not None else []
+            return events, job.is_terminal
+
+    def result(self, job_id: str) -> Dict:
+        """The result body for a *done* job.
+
+        Cell jobs return the run's stats; sweep jobs return the full
+        :func:`repro.harness.export.to_dict` comparison -- byte-for-byte
+        what ``export_json`` of the equivalent CLI sweep produces.
+
+        Raises KeyError for unknown jobs and RuntimeError for jobs not
+        in ``done`` (the HTTP layer maps these to 404 / 409).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            if job.state != "done":
+                raise RuntimeError(f"job {job_id} is {job.state}, not done")
+        if job.kind == "cell":
+            benchmark, technique = job.cells[0]
+            run = self.checkpoint.load(job.config, benchmark, technique)
+            if run is None:
+                raise RuntimeError(
+                    f"job {job_id} is done but its checkpoint is missing "
+                    "(store cleared underneath the service?)"
+                )
+            return _run_to_dict(run, benchmark, technique)
+        comparison = self._assemble_comparison(job)
+        return to_dict(comparison)
+
+    def _assemble_comparison(self, job: Job) -> SingleThreadComparison:
+        baseline: Dict[str, RunResult] = {}
+        results: Dict[str, Dict[str, RunResult]] = {
+            b: {} for b in job.benchmarks
+        }
+        for benchmark, technique in job.cells:
+            run = self.checkpoint.load(job.config, benchmark, technique)
+            if run is None:
+                raise RuntimeError(
+                    f"job {job.id}: checkpoint for "
+                    f"{cell_label((benchmark, technique))} is missing"
+                )
+            if technique is None:
+                baseline[benchmark] = run
+            else:
+                results[benchmark][technique] = run
+        return SingleThreadComparison(
+            benchmarks=job.benchmarks,
+            technique_keys=job.techniques,
+            baseline=baseline,
+            results=results,
+        )
+
+    def stats(self) -> Dict:
+        """The ``GET /v1/stats`` body."""
+        with self._lock:
+            states: Dict[str, int] = {state: 0 for state in
+                                      ("queued", "running", "done", "failed",
+                                       "cancelled")}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            hits = (self.counters["dedup_checkpoint_hits"]
+                    + self.counters["dedup_inflight_hits"])
+            submitted = self.counters["submitted_cells"]
+            busy = min(self._running_batch, self.worker_count)
+            return {
+                "uptime_seconds": round(time.time() - self._started_at, 3),
+                "draining": self._draining,
+                "queue": {
+                    "depth": len(self._queue),
+                    "limit": self.queue_depth,
+                    "running_batch": self._running_batch,
+                },
+                "jobs": states,
+                "cells": {
+                    "submitted": submitted,
+                    "executed": self.counters["executed_cells"],
+                    "failed": self.counters["failed_cells"],
+                },
+                "dedup": {
+                    "checkpoint_hits": self.counters["dedup_checkpoint_hits"],
+                    "inflight_hits": self.counters["dedup_inflight_hits"],
+                    "hit_rate": round(hits / submitted, 6) if submitted else 0.0,
+                },
+                "workers": {
+                    "count": self.worker_count,
+                    "busy": busy,
+                    "utilization": round(busy / self.worker_count, 6),
+                },
+                "stream_store": {
+                    "enabled": self.stream_store is not None,
+                    "shared_memory": self.shared_memory,
+                    "hits": self.counters["stream_hits"],
+                    "misses": self.counters["stream_misses"],
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: queued cells it alone wanted leave the queue;
+        cells other jobs share (or that are mid-execution) keep running
+        and their results still checkpoint.  Terminal jobs are a no-op.
+
+        Raises KeyError for unknown jobs.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            if job.is_terminal:
+                return job
+            for key in list(self._job_pending.get(job_id, ())):
+                entry = self._cells.get(key)
+                if entry is None:
+                    continue
+                entry.jobs.discard(job_id)
+                if not entry.jobs and entry.state == "queued":
+                    self._queue.remove(key)
+                    del self._cells[key]
+            self._job_pending[job_id] = set()
+            job.transition("cancelled")
+            telemetry = self._telemetry.get(job_id)
+            if telemetry is not None:
+                telemetry.sweep_finished("cancelled")
+            self.job_store.save(job, progress=self._progress(job))
+            return job
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _pick_batch(self) -> Tuple[Optional[ExperimentConfig], List[_CellEntry]]:
+        """The next batch: all queued cells sharing the best cell's
+        config, in fair-share order (lock held)."""
+        if not self._queue:
+            return None, []
+
+        def sort_key(key: str):
+            entry = self._cells[key]
+            return (entry.priority, self._served.get(entry.client, 0), entry.seq)
+
+        best = self._cells[min(self._queue, key=sort_key)]
+        batch = [
+            self._cells[key]
+            for key in self._queue
+            if self._cells[key].config == best.config
+        ]
+        batch.sort(key=lambda e: sort_key(e.key))
+        for entry in batch:
+            self._queue.remove(entry.key)
+            entry.state = "running"
+            self._served[entry.client] = self._served.get(entry.client, 0) + 1
+            for job_id in entry.jobs:
+                job = self._jobs[job_id]
+                if job.state == "queued":
+                    job.transition("running")
+                    self.job_store.save(job, progress=self._progress(job))
+        return best.config, batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._draining:
+                    self._wakeup.wait(timeout=0.5)
+                    if self._closed:
+                        return
+                if self._draining:
+                    # Drain means: never *start* a batch.  Whatever is
+                    # still queued stays queued (and persisted) for the
+                    # next server life to resume.
+                    self._wakeup.notify_all()
+                    return
+                config, batch = self._pick_batch()
+                self._running_batch = len(batch)
+            try:
+                if batch:
+                    self._execute_batch(config, batch)
+            except Exception as exc:  # defensive: dispatcher must survive
+                with self._lock:
+                    for entry in batch:
+                        if entry.state == "running":
+                            self._finish_cell(
+                                entry, "failed",
+                                detail=f"batch execution failed: "
+                                       f"{type(exc).__name__}: {exc}",
+                            )
+            finally:
+                with self._lock:
+                    self._running_batch = 0
+                    self._wakeup.notify_all()
+
+    def _execute_batch(
+        self, config: ExperimentConfig, batch: List[_CellEntry]
+    ) -> None:
+        """Run one batch through the harness (dispatcher thread)."""
+        by_cell = {entry.cell: entry for entry in batch}
+        cells = [entry.cell for entry in batch]
+        cache = WorkloadCache(config, stream_store=self.stream_store)
+
+        def record(cell: Cell, result: RunResult, timing=None) -> None:
+            entry = by_cell[cell]
+            self.checkpoint.store(config, cell[0], cell[1], result)
+            with self._lock:
+                entry.timing = timing
+                self._finish_cell(entry, "done")
+
+        workers = min(self.worker_count, len(cells))
+        if workers <= 1:
+            for cell in cells:
+                entry = by_cell[cell]
+                with self._lock:
+                    for job_id in entry.jobs:
+                        telemetry = self._telemetry.get(job_id)
+                        if telemetry is not None:
+                            telemetry.cell_started(entry.label)
+                wall = time.perf_counter()
+                cpu = time.process_time()
+                try:
+                    result = _run_cell_on(cache, cell)
+                except Exception as exc:
+                    with self._lock:
+                        self._finish_cell(
+                            entry, "failed",
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+                else:
+                    record(cell, result, timing={
+                        "wall_seconds": time.perf_counter() - wall,
+                        "cpu_seconds": time.process_time() - cpu,
+                    })
+        else:
+            # Warm fan-out, exactly as the CLI sweep path: compile each
+            # workload once in the parent, then export via shared memory
+            # and/or let workers load blobs from the store.
+            store_root = (
+                os.fspath(self.stream_store.root)
+                if self.stream_store is not None else None
+            )
+            stream_manifest = None
+            export: Optional[SharedStreamExport] = None
+            cleanup_hooks = []
+            if self.stream_store is not None or self.shared_memory:
+                compiled = {}
+                for benchmark in dict.fromkeys(b for b, _ in cells):
+                    compiled[benchmark] = cache.compiled(benchmark)
+                if self.shared_memory:
+                    export = SharedStreamExport.create(compiled)
+                    stream_manifest = export.manifest()
+                    cleanup_hooks.append(export.close)
+
+            make_pool = make_cell_pool_factory(
+                config, workers, store_root, stream_manifest
+            )
+
+            def on_success(cell: Cell, result: RunResult) -> None:
+                record(cell, result)
+
+            def on_event(kind: str, label: str, **payload) -> None:
+                if kind not in ("retried", "timed_out"):
+                    return
+                benchmark, _, technique = label.partition("/")
+                entry = by_cell.get(
+                    (benchmark, None if technique == "lru(baseline)" else technique)
+                )
+                if entry is None:
+                    return
+                with self._lock:
+                    for job_id in entry.jobs:
+                        telemetry = self._telemetry.get(job_id)
+                        if telemetry is not None:
+                            telemetry.on_event(kind, label, **payload)
+
+            failures = run_cells_supervised(
+                make_pool,
+                _run_cell_supervised,
+                cells,
+                self.fault_policy,
+                on_success=on_success,
+                serial_fallback=(
+                    (lambda cell: _run_cell_on(cache, cell))
+                    if self.fault_policy.degrade_serially else None
+                ),
+                on_event=on_event,
+                cleanup=cleanup_hooks,
+            )
+            with self._lock:
+                for failure in failures:
+                    entry = by_cell.get(failure.cell)
+                    if entry is not None and entry.state == "running":
+                        self._finish_cell(entry, "failed", detail=str(failure))
+        with self._lock:
+            self.counters["stream_hits"] += cache.stream_hits
+            self.counters["stream_misses"] += cache.stream_misses
+
+    def _finish_cell(
+        self, entry: _CellEntry, state: str, detail: str = ""
+    ) -> None:
+        """Mark a cell terminal and settle every attached job (lock held)."""
+        entry.state = state
+        entry.detail = detail
+        if state == "done":
+            self.counters["executed_cells"] += 1
+        else:
+            self.counters["failed_cells"] += 1
+        status = "ok" if state == "done" else "failed"
+        for job_id in sorted(entry.jobs):
+            job = self._jobs.get(job_id)
+            if job is None or job.is_terminal:
+                continue
+            pending = self._job_pending.get(job_id, set())
+            pending.discard(entry.key)
+            if state == "failed":
+                self._job_failed.setdefault(job_id, {})[entry.key] = (
+                    f"{entry.label}: {detail}"
+                )
+            telemetry = self._telemetry.get(job_id)
+            if telemetry is not None:
+                telemetry.cell_finished(entry.label, status, timing=entry.timing)
+            if not pending:
+                failed = self._job_failed.get(job_id, {})
+                if failed:
+                    job.error = "; ".join(failed.values())
+                    job.transition("failed")
+                    if telemetry is not None:
+                        telemetry.sweep_finished("failed")
+                else:
+                    job.transition("done")
+                    if telemetry is not None:
+                        telemetry.sweep_finished("ok")
+            self.job_store.save(job, progress=self._progress(job))
+        # The registry keeps done/failed entries so later submissions
+        # dedup against them in-memory; they are cheap (no results).
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse new jobs, let the running batch
+        finish (each completed cell is already checkpointed), persist
+        job states, stop the dispatcher.  Returns True when the
+        dispatcher stopped within ``timeout``."""
+        with self._lock:
+            self._draining = True
+            self._wakeup.notify_all()
+        if self._dispatcher.is_alive():
+            self._dispatcher.join(timeout=timeout)
+        stopped = not self._dispatcher.is_alive()
+        with self._lock:
+            for job in self._jobs.values():
+                self.job_store.save(job, progress=self._progress(job))
+        return stopped
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        self.drain(timeout=timeout)
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+
+
+def _run_to_dict(run: RunResult, benchmark: str, technique: Optional[str]) -> Dict:
+    """JSON body for a single-cell result."""
+    stats = run.llc_stats
+    return {
+        "kind": "cell",
+        "benchmark": benchmark,
+        "technique": technique if technique is not None else "lru(baseline)",
+        "instructions": run.instructions,
+        "mpki": run.mpki,
+        "ipc": run.ipc,
+        "llc": {
+            "accesses": stats.accesses,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "fills": stats.fills,
+            "evictions": stats.evictions,
+            "writebacks": stats.writebacks,
+            "bypasses": stats.bypasses,
+            "dead_block_victims": stats.dead_block_victims,
+        },
+    }

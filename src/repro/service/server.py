@@ -1,0 +1,455 @@
+"""Stdlib-only HTTP/1.1 front end for the experiment scheduler.
+
+Built directly on ``asyncio.start_server`` -- no ``http.server``, no
+third-party framework.  Each connection carries one request (responses
+always send ``Connection: close``), which keeps the protocol machine
+tiny and the drain story exact.
+
+API (all request/response bodies are JSON unless noted)::
+
+    POST   /v1/jobs              submit a cell or sweep        201 / 400 / 429 / 503
+    GET    /v1/jobs              list jobs                     200
+    GET    /v1/jobs/{id}         job state + progress          200 / 404
+    GET    /v1/jobs/{id}/events  NDJSON progress stream        200 / 404
+    GET    /v1/jobs/{id}/result  result (cell stats or the
+                                 full export_json comparison)  200 / 404 / 409
+    DELETE /v1/jobs/{id}         cancel                        200 / 404
+    GET    /v1/healthz           liveness                      200
+    GET    /v1/stats             queue/dedup/worker/store      200
+
+Submission body::
+
+    {"benchmark": "mcf", "technique": "sampler",          # one cell, or
+     "benchmarks": [...], "techniques": [...], "sweep": true,
+     "config": {"scale": 8, "instructions": 400000, "seed": 1, "cores": 4},
+     "client": "alice", "priority": 0}
+
+``/events`` re-uses the PR 3 sweep event schema (one JSON object per
+line: ``sweep_started``, ``cell_resumed`` for dedup hits,
+``cell_finished``, ``cell_retried``, ``cell_timed_out``,
+``sweep_finished``).  By default the stream follows the job until it
+reaches a terminal state; ``?follow=0`` dumps the events so far and
+closes.
+
+Backpressure: a submission that would overflow the scheduler's bounded
+queue gets ``429`` with a ``Retry-After`` header; a draining server
+answers ``503`` for new submissions while read-only endpoints keep
+working until the listener closes.
+
+Graceful drain: :func:`serve` installs SIGTERM/SIGINT handlers that
+stop accepting connections, drain the scheduler (running cells finish
+and checkpoint; queued jobs persist), and exit.  A server restarted on
+the same ``--job-store`` resumes the queued jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro import __version__
+from repro.service.jobs import QueueFull, config_from_dict
+from repro.service.scheduler import ExperimentScheduler
+
+__all__ = ["ExperimentServer", "serve"]
+
+_MAX_HEADER_BYTES = 32 * 1024
+_MAX_BODY_BYTES = 4 * 1024 * 1024
+_EVENT_POLL_SECONDS = 0.05
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str, headers: Optional[Dict] = None):
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ExperimentServer:
+    """One listening socket in front of an :class:`ExperimentScheduler`."""
+
+    def __init__(
+        self,
+        scheduler: ExperimentScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port  # 0 = ephemeral; the bound port lands here
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started_at = time.time()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, drain_timeout: Optional[float] = 60.0) -> None:
+        """Stop accepting, drain the scheduler, close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, lambda: self.scheduler.close(timeout=drain_timeout)
+        )
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, query, body = await self._read_request(reader)
+            except _HttpError as error:
+                await self._respond_json(
+                    writer, error.status, {"error": error.message}, error.headers
+                )
+                return
+            try:
+                await self._route(method, path, query, body, writer)
+            except _HttpError as error:
+                await self._respond_json(
+                    writer, error.status, {"error": error.message}, error.headers
+                )
+            except Exception as exc:  # defensive: one request, one 500
+                await self._respond_json(
+                    writer, 500,
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str], Optional[Dict]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError(413, "request head too large") from None
+        if len(head) > _MAX_HEADER_BYTES:
+            raise _HttpError(413, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        path, _, raw_query = target.partition("?")
+        query = {}
+        for pair in raw_query.split("&"):
+            if pair:
+                name, _, value = pair.partition("=")
+                query[name] = value
+        body = None
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                length = int(length)
+            except ValueError:
+                raise _HttpError(400, "bad Content-Length") from None
+            if length > _MAX_BODY_BYTES:
+                raise _HttpError(413, "request body too large")
+            raw = await reader.readexactly(length)
+            if raw:
+                try:
+                    body = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    raise _HttpError(400, "request body is not valid JSON") from None
+        return method, path, query, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str,
+        extra_headers: Optional[Dict] = None,
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        headers = {
+            "Content-Type": content_type,
+            "Content-Length": str(len(payload)),
+            "Connection": "close",
+            "Server": f"repro-service/{__version__}",
+        }
+        headers.update(extra_headers or {})
+        head = f"HTTP/1.1 {status} {reason}\r\n" + "".join(
+            f"{name}: {value}\r\n" for name, value in headers.items()
+        ) + "\r\n"
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    async def _respond_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Dict,
+        extra_headers: Optional[Dict] = None,
+    ) -> None:
+        payload = (json.dumps(body, sort_keys=True) + "\n").encode("utf-8")
+        await self._respond(
+            writer, status, payload, "application/json", extra_headers
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        body: Optional[Dict],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if path == "/v1/healthz" and method == "GET":
+            await self._respond_json(writer, 200, {
+                "status": "ok",
+                "version": __version__,
+                "uptime_seconds": round(time.time() - self._started_at, 3),
+            })
+            return
+        if path == "/v1/stats" and method == "GET":
+            await self._respond_json(writer, 200, self.scheduler.stats())
+            return
+        if path == "/v1/jobs" and method == "POST":
+            await self._submit(body, writer)
+            return
+        if path == "/v1/jobs" and method == "GET":
+            jobs = [
+                self.scheduler.job_dict(job)
+                for job in self.scheduler.list_jobs()
+            ]
+            await self._respond_json(writer, 200, {"jobs": jobs})
+            return
+        if path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            job_id, _, action = rest.partition("/")
+            if not job_id:
+                raise _HttpError(404, "missing job id")
+            if not action and method == "GET":
+                await self._get_job(job_id, writer)
+                return
+            if not action and method == "DELETE":
+                await self._cancel(job_id, writer)
+                return
+            if action == "events" and method == "GET":
+                await self._stream_events(job_id, query, writer)
+                return
+            if action == "result" and method == "GET":
+                await self._result(job_id, writer)
+                return
+        raise _HttpError(404 if method in ("GET", "POST", "DELETE") else 405,
+                         f"no route for {method} {path}")
+
+    async def _submit(
+        self, body: Optional[Dict], writer: asyncio.StreamWriter
+    ) -> None:
+        if not isinstance(body, dict):
+            raise _HttpError(400, "submission body must be a JSON object")
+        try:
+            config = config_from_dict(body.get("config"))
+            benchmarks = body.get("benchmarks")
+            if benchmarks is None:
+                benchmark = body.get("benchmark")
+                benchmarks = [benchmark] if benchmark else []
+            techniques = body.get("techniques")
+            if techniques is None:
+                technique = body.get("technique")
+                techniques = [technique] if technique else []
+            sweep = bool(body.get("sweep", False))
+            client = str(body.get("client", "anonymous"))
+            priority = int(body.get("priority", 0))
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        loop = asyncio.get_running_loop()
+        try:
+            # submit() touches the checkpoint store (dedup probes), so
+            # keep it off the event loop thread.
+            job = await loop.run_in_executor(
+                None,
+                lambda: self.scheduler.submit(
+                    config, benchmarks, techniques,
+                    sweep=sweep, client=client, priority=priority,
+                ),
+            )
+        except QueueFull as exc:
+            raise _HttpError(429, str(exc), headers={"Retry-After": "1"}) from None
+        except ValueError as exc:
+            raise _HttpError(400, str(exc)) from None
+        except RuntimeError as exc:
+            raise _HttpError(503, str(exc)) from None
+        await self._respond_json(writer, 201, self.scheduler.job_dict(job))
+
+    async def _get_job(self, job_id: str, writer: asyncio.StreamWriter) -> None:
+        job = self.scheduler.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        await self._respond_json(writer, 200, self.scheduler.job_dict(job))
+
+    async def _cancel(self, job_id: str, writer: asyncio.StreamWriter) -> None:
+        try:
+            job = self.scheduler.cancel(job_id)
+        except KeyError:
+            raise _HttpError(404, f"unknown job {job_id!r}") from None
+        await self._respond_json(writer, 200, self.scheduler.job_dict(job))
+
+    async def _result(self, job_id: str, writer: asyncio.StreamWriter) -> None:
+        job = self.scheduler.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        if job.state != "done":
+            raise _HttpError(
+                409,
+                f"job {job_id} is {job.state}; result available once done",
+            )
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            None, lambda: self.scheduler.result(job_id)
+        )
+        await self._respond_json(writer, 200, result)
+
+    async def _stream_events(
+        self, job_id: str, query: Dict[str, str], writer: asyncio.StreamWriter
+    ) -> None:
+        follow = query.get("follow", "1") not in ("0", "false", "no")
+        try:
+            events, done = self.scheduler.events_since(job_id, 0)
+        except KeyError:
+            raise _HttpError(404, f"unknown job {job_id!r}") from None
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n"
+            f"Server: repro-service/{__version__}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        sent = 0
+        while True:
+            for event in events:
+                writer.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+                )
+            sent += len(events)
+            await writer.drain()
+            if done or not follow:
+                return
+            await asyncio.sleep(_EVENT_POLL_SECONDS)
+            events, done = self.scheduler.events_since(job_id, sent)
+
+    # ------------------------------------------------------------------
+    # embedding (tests, `make serve-smoke`)
+    # ------------------------------------------------------------------
+    def start_in_thread(self) -> "_ThreadedServer":
+        """Run this server on its own event loop in a daemon thread.
+
+        Returns a handle with the bound ``port`` and a blocking
+        ``stop()``; used by the test suite and the smoke gate to embed
+        a real server without owning the process.
+        """
+        return _ThreadedServer(self)
+
+
+class _ThreadedServer:
+    def __init__(self, server: ExperimentServer) -> None:
+        self.server = server
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("service thread failed to start in 30s")
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def scheduler(self) -> ExperimentScheduler:
+        return self.server.scheduler
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self._loop.run_forever()
+        # run_forever returned: stop() asked us to shut down.
+        self._loop.run_until_complete(self.server.stop())
+        self._loop.close()
+
+    def stop(self) -> None:
+        """Drain and stop the embedded server (blocking, idempotent)."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=120.0)
+
+
+async def _serve_until_signalled(server: ExperimentServer) -> None:
+    loop = asyncio.get_running_loop()
+    stop_event = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop_event.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platforms without loop signal handlers
+    await server.start()
+    print(
+        f"repro service listening on http://{server.host}:{server.port} "
+        f"(workers={server.scheduler.worker_count}, "
+        f"queue depth {server.scheduler.queue_depth}); "
+        "SIGTERM drains gracefully",
+        flush=True,
+    )
+    await stop_event.wait()
+    print("repro service draining: running cells will finish and "
+          "checkpoint; queued jobs persist for resume", flush=True)
+    await server.stop()
+    print("repro service stopped", flush=True)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8035,
+    **scheduler_kwargs,
+) -> int:
+    """Blocking entry point behind ``repro serve``: build the scheduler,
+    listen, and run until SIGTERM/SIGINT, then drain gracefully."""
+    scheduler = ExperimentScheduler(**scheduler_kwargs)
+    server = ExperimentServer(scheduler, host=host, port=port)
+    asyncio.run(_serve_until_signalled(server))
+    return 0

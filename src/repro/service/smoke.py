@@ -1,0 +1,133 @@
+"""End-to-end smoke gate for the experiment service (``make serve-smoke``).
+
+Boots a real server on an ephemeral port (own event loop, daemon
+thread), submits a tiny sweep through the client SDK with parallel
+workers and shared-memory stream fan-out, and asserts the result is
+**bit-identical** to the same sweep run serially through the existing
+harness path -- the service's core correctness promise.  Then
+re-submits the identical sweep and requires it to complete instantly
+via dedup (one execution, two completed jobs, hits visible in
+``/v1/stats``), and finally drains the server cleanly.
+
+The whole run sits under a hard ``SIGALRM`` deadline so a wedged server
+fails the gate loudly instead of hanging ``make check``.
+
+Exit status: 0 on success, 1 on any mismatch or failure.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.harness.export import to_dict
+from repro.harness.parallel import parallel_single_thread_comparison
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.service.client import ServiceClient
+from repro.service.scheduler import ExperimentScheduler
+from repro.service.server import ExperimentServer
+
+HARD_DEADLINE_SECONDS = 300.0
+BENCHMARKS = ("perlbench",)
+TECHNIQUES = ("sampler", "rrip")
+CONFIG = ExperimentConfig(scale=16, instructions=30_000, seed=1)
+
+
+def _fail(message: str) -> int:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    if hasattr(signal, "SIGALRM"):
+        def _on_alarm(signum, frame):
+            raise TimeoutError(
+                f"serve-smoke exceeded its {HARD_DEADLINE_SECONDS}s deadline"
+            )
+
+        signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, HARD_DEADLINE_SECONDS)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        root = Path(tmp)
+
+        # Reference: the sweep exactly as `repro run` executes it, serially.
+        serial = parallel_single_thread_comparison(
+            WorkloadCache(CONFIG), list(TECHNIQUES), BENCHMARKS, jobs=1
+        )
+        expected = to_dict(serial)
+
+        scheduler = ExperimentScheduler(
+            job_store=root / "service",
+            stream_cache=root / "streams",
+            shared_memory=True,
+            jobs=2,
+        )
+        handle = ExperimentServer(scheduler, port=0).start_in_thread()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{handle.port}")
+            health = client.healthz()
+            if health.get("status") != "ok":
+                return _fail(f"healthz: {health}")
+
+            spec = dict(
+                benchmarks=list(BENCHMARKS), techniques=list(TECHNIQUES),
+                sweep=True,
+                config={
+                    "scale": CONFIG.scale,
+                    "instructions": CONFIG.instructions,
+                    "seed": CONFIG.seed,
+                    "cores": CONFIG.num_cores,
+                },
+            )
+            job = client.submit(client="smoke", **spec)
+            final = client.wait(job["id"], timeout=HARD_DEADLINE_SECONDS)
+            if final["state"] != "done":
+                return _fail(
+                    f"job finished {final['state']}: {final.get('error', '')}"
+                )
+            got = client.result(job["id"])
+            if got != expected:
+                return _fail(
+                    "service sweep is not bit-identical to the serial sweep:\n"
+                    f"service: {json.dumps(got, sort_keys=True)[:2000]}\n"
+                    f"serial : {json.dumps(expected, sort_keys=True)[:2000]}"
+                )
+
+            # Dedup: the identical sweep must complete without executing
+            # anything, and the hits must show up in /v1/stats.
+            repeat = client.submit(client="smoke-again", **spec)
+            if repeat["state"] != "done":
+                repeat = client.wait(repeat["id"], timeout=10.0)
+            if repeat["state"] != "done":
+                return _fail(f"dedup resubmission finished {repeat['state']}")
+            if repeat["dedup_cells"] != len(repeat["cells"]):
+                return _fail(
+                    f"dedup resubmission executed cells: "
+                    f"{repeat['dedup_cells']}/{len(repeat['cells'])} deduped"
+                )
+            if client.result(repeat["id"]) != expected:
+                return _fail("dedup result differs from the original")
+            stats = client.stats()
+            hits = stats["dedup"]["checkpoint_hits"] + stats["dedup"]["inflight_hits"]
+            if hits < len(repeat["cells"]):
+                return _fail(f"stats do not show the dedup hits: {stats['dedup']}")
+            events = list(client.stream_events(job["id"]))
+            kinds = [event.get("event") for event in events]
+            if kinds[:1] != ["sweep_started"] or kinds[-1:] != ["sweep_finished"]:
+                return _fail(f"unexpected event stream: {kinds}")
+        finally:
+            handle.stop()
+
+        print(
+            "serve-smoke: OK -- service sweep bit-identical to serial, "
+            f"dedup hits visible ({stats['dedup']}), drained cleanly"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

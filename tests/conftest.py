@@ -4,11 +4,13 @@ The helpers here build tiny caches and replay short access strings so the
 unit tests can state expectations exactly.  Everything is deterministic.
 
 Fault-injection tests (``@pytest.mark.faults``, run via ``make
-test-faults``) exercise worker crashes, hangs, and timeouts; a
-regression there can *wedge* rather than fail, so every marked test runs
-under a hard SIGALRM deadline (default 120s, override with
-``@pytest.mark.faults(timeout=N)``) that turns a hang into a loud
-failure instead of a stuck suite.
+test-faults``) exercise worker crashes, hangs, and timeouts, and
+experiment-service tests (``@pytest.mark.service``, run via ``make
+test-service``) exercise a live job server; a regression in either can
+*wedge* rather than fail, so every marked test runs under a hard SIGALRM
+deadline (default 120s, override with
+``@pytest.mark.faults(timeout=N)`` / ``@pytest.mark.service(timeout=N)``)
+that turns a hang into a loud failure instead of a stuck suite.
 """
 
 from __future__ import annotations
@@ -20,20 +22,28 @@ import pytest
 
 from repro.cache import Cache, CacheAccess, CacheGeometry
 
-_FAULTS_TEST_TIMEOUT = 120.0
+_HARD_TEST_TIMEOUT = 120.0
+
+#: Markers whose tests run under a hard wall-clock deadline.
+_DEADLINE_MARKERS = ("faults", "service")
 
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
-    marker = item.get_closest_marker("faults")
+    marker = next(
+        (m for name in _DEADLINE_MARKERS
+         if (m := item.get_closest_marker(name)) is not None),
+        None,
+    )
     if marker is None or not hasattr(signal, "SIGALRM"):
         yield
         return
-    limit = float(marker.kwargs.get("timeout", _FAULTS_TEST_TIMEOUT))
+    limit = float(marker.kwargs.get("timeout", _HARD_TEST_TIMEOUT))
 
     def _on_alarm(signum, frame):
         raise TimeoutError(
-            f"faults test {item.nodeid} exceeded its {limit}s hard deadline"
+            f"deadline-marked test {item.nodeid} exceeded its {limit}s "
+            "hard deadline"
         )
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)

@@ -9,6 +9,7 @@ against torn or tampered files.
 from __future__ import annotations
 
 import pickle
+import threading
 
 import pytest
 
@@ -107,6 +108,57 @@ class TestConfigurationIsolation:
         ):
             assert fragment in key
         assert "technique=<baseline>" in CheckpointStore.cell_key(CONFIG, "mcf", None)
+
+
+class TestConcurrentWriters:
+    def test_two_writers_racing_on_one_key_never_tear(self, tmp_path, result):
+        """Two threads storing the same cell concurrently: every read
+        taken during the race sees a complete checkpoint (the atomic
+        rename publishes whole files, last rename wins), never a torn
+        one.  A torn publish would surface as ``load() is None`` here,
+        because the store treats unreadable bytes as missing."""
+        store = CheckpointStore(tmp_path)
+        # Seed the cell so the file exists before the race: from here on
+        # a None load can only mean a torn publish.
+        store.store(CONFIG, "perlbench", "rrip", result)
+        expected = result.llc_stats.snapshot()
+
+        start = threading.Barrier(3)
+        stop = threading.Event()
+        problems = []
+
+        def writer():
+            start.wait()
+            for _ in range(100):
+                store.store(CONFIG, "perlbench", "rrip", result)
+
+        def reader():
+            start.wait()
+            while not stop.is_set():
+                loaded = store.load(CONFIG, "perlbench", "rrip")
+                if loaded is None:
+                    problems.append("load() read the cell as missing mid-race")
+                    return
+                if loaded.llc_stats.snapshot() != expected:
+                    problems.append("load() returned a mangled result")
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        watcher = threading.Thread(target=reader)
+        for thread in threads + [watcher]:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        watcher.join()
+
+        assert problems == []
+        # The survivor is a complete, loadable checkpoint ...
+        final = store.load(CONFIG, "perlbench", "rrip")
+        assert final is not None
+        assert final.llc_stats.snapshot() == expected
+        # ... and no writer leaked its temporary file.
+        assert not list(tmp_path.rglob("*.tmp.*"))
 
 
 class TestCorruptionTolerance:

@@ -170,3 +170,55 @@ def test_efficiency_fields_survive(tmp_path):
 def test_unknown_result_type_raises(tmp_path):
     with pytest.raises(TypeError, match="cannot serialize"):
         export_json(object(), tmp_path / "nope.json")
+
+
+@pytest.mark.faults
+def test_partial_sweep_with_dedup_hit_cells_roundtrips(tmp_path, monkeypatch):
+    """A *real* partial sweep: checkpointed (dedup-hit) cells resumed off
+    disk mixed with cells that failed unrecoverably.  The export must
+    round-trip losslessly -- real numbers for the resumed cells, JSON
+    ``null`` for the failed cells and for any mean that folds one in --
+    instead of crashing on the missing cells.
+    """
+    from repro.harness.checkpoint import CheckpointStore
+    from repro.harness.faults import FaultPolicy
+    from repro.harness.parallel import parallel_single_thread_comparison
+    from repro.harness.runner import ExperimentConfig
+
+    config = ExperimentConfig(instructions=20_000)
+    store = CheckpointStore(tmp_path / "ckpt")
+
+    # Phase 1: complete the perlbench cells into the checkpoint store;
+    # on resume they are the sweep's dedup hits.
+    parallel_single_thread_comparison(
+        config, ("rrip",), ("perlbench",), jobs=1, checkpoint=store
+    )
+
+    # Phase 2: resume over perlbench+mcf with every worker attempt
+    # crashing and no degradation: perlbench comes off disk, every mcf
+    # cell fails, and allow_partial returns the mixed result.
+    monkeypatch.setenv("REPRO_FAULT_INJECT", "crash:1.0")
+    comparison = parallel_single_thread_comparison(
+        config, ("rrip",), ("perlbench", "mcf"), jobs=2,
+        checkpoint=store, resume=True,
+        fault_policy=FaultPolicy(
+            max_retries=0, watchdog=2.0, backoff=0.0, degrade_serially=False
+        ),
+        allow_partial=True,
+    )
+    assert comparison.is_partial
+    assert "perlbench" in comparison.baseline and "mcf" not in comparison.baseline
+
+    path = tmp_path / "partial.json"
+    export_json(comparison, path)
+    data = json.load(open(path))
+    assert data == to_dict(comparison)
+
+    assert data["normalized_mpki"]["perlbench"]["rrip"] is not None
+    assert data["speedup"]["perlbench"]["rrip"] is not None
+    assert data["normalized_mpki"]["mcf"]["rrip"] is None
+    assert data["speedup"]["mcf"]["rrip"] is None
+    assert data["mpki_amean"]["rrip"] is None
+    assert data["speedup_gmean"]["rrip"] is None
+    failed = {(f["benchmark"], f["technique"]) for f in data["failures"]}
+    assert ("mcf", "rrip") in failed

@@ -29,8 +29,10 @@ from repro.harness.faults import (
     FaultPolicy,
     SweepAborted,
     cell_label,
+    drain_cleanup_hooks,
     maybe_inject_fault,
     parse_fault_spec,
+    run_cells_supervised,
 )
 from repro.harness.parallel import parallel_single_thread_comparison
 from repro.harness.runner import ExperimentConfig, WorkloadCache
@@ -137,6 +139,92 @@ class TestFaultPolicyEnv:
         assert FaultPolicy().effective_watchdog() > 0
         assert FaultPolicy(cell_timeout=2.0).effective_watchdog() > 2.0
         assert FaultPolicy(watchdog=7.0).effective_watchdog() == 7.0
+
+
+class TestCleanupHooks:
+    """The supervised-cleanup drain: LIFO order, raise-tolerant.
+
+    Regression for the bug where one raising hook skipped every later
+    teardown -- most importantly the shared-memory stream unlink, which
+    then leaked a segment per crashed sweep.
+    """
+
+    def test_hooks_drain_in_lifo_order(self):
+        order = []
+        errors = drain_cleanup_hooks(
+            [lambda: order.append(1), lambda: order.append(2), lambda: order.append(3)]
+        )
+        assert order == [3, 2, 1]
+        assert errors == []
+
+    def test_raising_hook_is_reported_and_later_hooks_still_run(self):
+        order = []
+
+        def unlink_shm():
+            order.append("shm")
+            raise OSError("segment already gone")
+
+        messages = []
+        errors = drain_cleanup_hooks(
+            # Acquisition order: pool teardown first, then the shm
+            # export -- so the raiser runs *first* in LIFO and must not
+            # take the pool hook down with it.
+            [lambda: order.append("pool"), unlink_shm],
+            on_error=messages.append,
+        )
+        assert order == ["shm", "pool"]
+        assert len(errors) == 1 and isinstance(errors[0], OSError)
+        assert "unlink_shm" in messages[0]
+        assert "continuing" in messages[0]
+
+    def test_default_report_goes_to_stderr(self, capsys):
+        def broken():
+            raise RuntimeError("disc full")
+
+        errors = drain_cleanup_hooks([broken])
+        assert len(errors) == 1
+        captured = capsys.readouterr()
+        assert "broken" in captured.err and "disc full" in captured.err
+
+    def test_empty_and_single_callable_forms(self):
+        assert drain_cleanup_hooks([]) == []
+        ran = []
+        assert drain_cleanup_hooks([lambda: ran.append(True)]) == []
+        assert ran == [True]
+
+
+@pytest.mark.faults
+class TestSupervisedCleanup:
+    def test_supervision_drains_every_hook_despite_a_raiser(self):
+        # A real supervised run (spawn pool, one cell) whose cleanup
+        # list contains a raising hook in the middle: all three hooks
+        # run, LIFO, and the sweep itself still succeeds.
+        from repro.harness.parallel import _run_cell_supervised, make_cell_pool_factory
+
+        order = []
+
+        def early():
+            order.append("early")
+
+        def raiser():
+            order.append("raiser")
+            raise OSError("unlink failed")
+
+        def late():
+            order.append("late")
+
+        results = {}
+        failures = run_cells_supervised(
+            make_cell_pool_factory(SMALL, 1),
+            _run_cell_supervised,
+            [("perlbench", None)],
+            FaultPolicy(max_retries=0, **FAST),
+            on_success=lambda cell, result: results.__setitem__(cell, result),
+            cleanup=[early, raiser, late],
+        )
+        assert failures == []
+        assert ("perlbench", None) in results
+        assert order == ["late", "raiser", "early"]
 
 
 @pytest.mark.faults
