@@ -82,13 +82,13 @@ figures-fast:
 results:
 	@for f in benchmarks/results/*.txt; do echo; cat $$f; done
 
-# BENCH_PR1.json / BENCH_PR4.json are committed baselines and must
-# survive a clean; every other BENCH_*.json at the repo root is a
-# dropping from a local bench run.  The compiled workload store is
+# BENCH_PR*.json are committed per-PR baselines and must survive a
+# clean; every other BENCH_*.json at the repo root (e.g. BENCH_SMOKE)
+# is a dropping from a local bench run.  The compiled workload store is
 # deliberately NOT cleaned here -- that is what clean-cache is for.
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results src/repro.egg-info
-	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_PR1.json' ! -name 'BENCH_PR4.json' -delete
+	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_PR*.json' -delete
 	find . -name __pycache__ -type d -exec rm -rf {} +
 
 clean-cache:

@@ -19,6 +19,16 @@ report (``BENCH_PR1.json`` by default):
   yield identical streams; a full run also writes the store section to
   ``BENCH_PR4.json`` and ``--min-store-speedup`` (default 3.0) gates the
   warm path in every mode, including ``--smoke`` under ``make check``.
+* **array_kernel**: the array-eligible technique cells replayed through
+  the object kernel (``REPRO_ARRAY_KERNEL=0``) and the array kernels
+  (:mod:`repro.sim.replay_array`), interleaved best-of-N per cell with
+  the shared :class:`~repro.cache.soa.ReplayIndex` prebuilt.  Both
+  kernels must produce identical hit vectors and statistics; cells the
+  substrate declines (e.g. ``small-stream``) are recorded as skipped,
+  and one ineligible technique is probed to prove the automatic
+  fallback.  A full run also writes the section to ``BENCH_PR6.json``,
+  and ``--min-array-speedup`` (default 1.3) gates the aggregate in
+  every mode.
 
 Usage::
 
@@ -36,7 +46,9 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import gc
 import json
+import os
 import sys
 import tempfile
 import time
@@ -78,8 +90,18 @@ from repro.workloads import SINGLE_THREAD_SUBSET  # noqa: E402
 #: baseline cell every sweep also runs).
 SUBSTRATE_TECHNIQUES = ("lru",) + tuple(SINGLE_THREAD_TECHNIQUES)
 
+#: Techniques whose policies register array replay kernels (the
+#: Figure 4-8 baseline families); the array_kernel section measures
+#: these cells object-vs-array.
+ARRAY_TECHNIQUES = ("lru", "dip", "rrip", "random")
+
+#: Interleaved trials per array-kernel cell; the best of each side is
+#: kept (single-vCPU boxes jitter absolute rates, ratios stay stable).
+_ARRAY_TRIALS = 5
+
 _SMOKE_BENCHMARKS = ("perlbench", "mcf")
 _SMOKE_TECHNIQUES = ("lru", "sampler")
+_SMOKE_ARRAY_TECHNIQUES = ("lru",)
 _SMOKE_INSTRUCTIONS = 40_000
 
 
@@ -331,6 +353,155 @@ def _measure_substrate(workload_cache, technique_keys, benchmarks) -> Dict:
     }
 
 
+@contextlib.contextmanager
+def _array_kernel_env(value: str):
+    """Pin ``REPRO_ARRAY_KERNEL`` for one timed run, then restore it."""
+    saved = os.environ.get("REPRO_ARRAY_KERNEL")
+    os.environ["REPRO_ARRAY_KERNEL"] = value
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_ARRAY_KERNEL", None)
+        else:
+            os.environ["REPRO_ARRAY_KERNEL"] = saved
+
+
+def _measure_array_kernel(workload_cache, technique_keys, benchmarks) -> Dict:
+    """Time the array-eligible cells through both replay kernels.
+
+    Per cell: ``_ARRAY_TRIALS`` interleaved (object, array) runs over
+    the same prepared stream, best of each side kept.  The shared
+    :class:`~repro.cache.soa.ReplayIndex` is prebuilt outside the
+    clocks -- it is amortized across every technique of a sweep, the
+    same contract as the precomputed ``(set_index, tag)`` decomposition
+    the object kernel already enjoys.  Hit vectors and statistics must
+    match between kernels; a cell the substrate declines (e.g. a stream
+    too small to amortize the frame planes) is recorded as skipped with
+    its fallback reason.
+    """
+    geometry = workload_cache.machine.llc
+    per_technique: Dict[str, Dict] = {
+        key: {"accesses": 0, "object_seconds": 0.0, "array_seconds": 0.0}
+        for key in technique_keys
+    }
+    skipped = []
+    fallback_probe = None
+    for benchmark in benchmarks:
+        filtered = workload_cache.filtered(benchmark)
+        stream = filtered.llc_stream(geometry)
+        accesses = stream.accesses
+        stream.replay_index(geometry.num_sets)
+        # Only probe the automatic fallback on a stream where the array
+        # path actually ran: the probe should witness the *policy*
+        # decline, not a size-based one.
+        measured_any = False
+        for key in technique_keys:
+            technique = TECHNIQUES[key]
+            best_object = best_array = None
+            declined = None
+            for _ in range(_ARRAY_TRIALS):
+                with _array_kernel_env("0"):
+                    cache = Cache(geometry, technique.build(geometry, accesses))
+                    gc_was_enabled = gc.isenabled()
+                    gc.disable()
+                    start = time.perf_counter()
+                    object_hits = replay(
+                        cache, accesses, stream.set_indices, stream.tags,
+                        stream=stream,
+                    )
+                    elapsed = time.perf_counter() - start
+                    if gc_was_enabled:
+                        gc.enable()
+                object_stats = cache.stats.snapshot()
+                if best_object is None or elapsed < best_object:
+                    best_object = elapsed
+
+                with _array_kernel_env("1"):
+                    cache = Cache(geometry, technique.build(geometry, accesses))
+                    gc_was_enabled = gc.isenabled()
+                    gc.disable()
+                    start = time.perf_counter()
+                    array_hits = replay(
+                        cache, accesses, stream.set_indices, stream.tags,
+                        stream=stream,
+                    )
+                    elapsed = time.perf_counter() - start
+                    if gc_was_enabled:
+                        gc.enable()
+                if cache.last_replay_kernel != "array":
+                    declined = cache.last_replay_fallback
+                    break
+                if array_hits != object_hits or (
+                    cache.stats.snapshot() != object_stats
+                ):
+                    raise SystemExit(
+                        f"ARRAY KERNEL DIVERGENCE on ({benchmark}, {key}): "
+                        f"object {object_stats} != array {cache.stats.snapshot()}"
+                    )
+                if best_array is None or elapsed < best_array:
+                    best_array = elapsed
+            if declined is not None:
+                skipped.append(
+                    {"benchmark": benchmark, "technique": key, "reason": declined}
+                )
+                continue
+            cell = per_technique[key]
+            cell["accesses"] += len(accesses)
+            cell["object_seconds"] += best_object
+            cell["array_seconds"] += best_array
+            measured_any = True
+
+        if fallback_probe is None and measured_any and "sampler" in TECHNIQUES:
+            # One ineligible technique, array path enabled: the replay
+            # must decline to the object kernel on its own.
+            technique = TECHNIQUES["sampler"]
+            with _array_kernel_env("1"):
+                cache = Cache(geometry, technique.build(geometry, accesses))
+                replay(
+                    cache, accesses, stream.set_indices, stream.tags, stream=stream
+                )
+            if cache.last_replay_kernel != "object":
+                raise SystemExit(
+                    "FALLBACK FAILURE: sampler cell ran kernel "
+                    f"{cache.last_replay_kernel!r}"
+                )
+            fallback_probe = {
+                "benchmark": benchmark,
+                "technique": "sampler",
+                "kernel": cache.last_replay_kernel,
+                "reason": cache.last_replay_fallback,
+            }
+
+    total = {"accesses": 0, "object_seconds": 0.0, "array_seconds": 0.0}
+    for key in list(per_technique):
+        cell = per_technique[key]
+        if not cell["accesses"]:
+            del per_technique[key]  # every benchmark declined this cell
+            continue
+        for field in total:
+            total[field] += cell[field]
+        cell["object_acc_per_sec"] = cell["accesses"] / cell["object_seconds"]
+        cell["array_acc_per_sec"] = cell["accesses"] / cell["array_seconds"]
+        cell["speedup"] = cell["object_seconds"] / cell["array_seconds"]
+    if total["accesses"]:
+        total["object_acc_per_sec"] = total["accesses"] / total["object_seconds"]
+        total["array_acc_per_sec"] = total["accesses"] / total["array_seconds"]
+        total["speedup"] = total["object_seconds"] / total["array_seconds"]
+    else:
+        total["speedup"] = None
+    return {
+        "benchmarks": list(benchmarks),
+        "techniques": list(technique_keys),
+        "trials": _ARRAY_TRIALS,
+        "per_technique": per_technique,
+        "skipped": skipped,
+        "fallback_probe": fallback_probe,
+        "total": total,
+        "results_equivalent": True,
+    }
+
+
 def _measure_telemetry_overhead(workload_cache, benchmarks) -> Dict:
     """Time the sampler cell probes-off vs with an IntervalRecorder.
 
@@ -519,6 +690,35 @@ def _print_report(report: Dict) -> None:
         f"  {'TOTAL':14s} {total['before_acc_per_sec']:>14,.0f} "
         f"{total['after_acc_per_sec']:>14,.0f} {total['speedup']:>7.2f}x"
     )
+    array_section = report["array_kernel"]
+    print(
+        f"\narray kernel ({len(array_section['benchmarks'])} benchmarks, "
+        f"best of {array_section['trials']} interleaved trials):"
+    )
+    print(f"  {'technique':14s} {'object acc/s':>14s} {'array acc/s':>14s} {'speedup':>8s}")
+    for key, cell in array_section["per_technique"].items():
+        print(
+            f"  {key:14s} {cell['object_acc_per_sec']:>14,.0f} "
+            f"{cell['array_acc_per_sec']:>14,.0f} {cell['speedup']:>7.2f}x"
+        )
+    array_total = array_section["total"]
+    if array_total["speedup"] is not None:
+        print(
+            f"  {'TOTAL':14s} {array_total['object_acc_per_sec']:>14,.0f} "
+            f"{array_total['array_acc_per_sec']:>14,.0f} "
+            f"{array_total['speedup']:>7.2f}x"
+        )
+    for cell in array_section["skipped"]:
+        print(
+            f"  skipped ({cell['benchmark']}, {cell['technique']}): "
+            f"{cell['reason']}"
+        )
+    probe = array_section["fallback_probe"]
+    if probe is not None:
+        print(
+            f"  fallback probe ({probe['benchmark']}, {probe['technique']}): "
+            f"kernel={probe['kernel']} reason={probe['reason']}"
+        )
     telemetry = report["telemetry"]
     print(
         f"\ntelemetry (sampler cell): probes-off "
@@ -597,6 +797,16 @@ def main(argv=None) -> int:
         help="where to write the store section on its own "
         "(default BENCH_PR4.json; not written with --smoke)",
     )
+    parser.add_argument(
+        "--min-array-speedup", type=float, default=1.3,
+        help="array-kernel guard: minimum aggregate speedup of the array "
+        "kernels over the object kernel on eligible cells (exit 1 below it)",
+    )
+    parser.add_argument(
+        "--array-output", type=Path, default=None,
+        help="where to write the array-kernel section on its own "
+        "(default BENCH_PR6.json; not written with --smoke)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -605,11 +815,13 @@ def main(argv=None) -> int:
         )
         benchmarks = _SMOKE_BENCHMARKS
         technique_keys = _SMOKE_TECHNIQUES
+        array_techniques = _SMOKE_ARRAY_TECHNIQUES
         jobs = 1 if args.jobs is None else args.jobs
     else:
         config = ExperimentConfig.from_env()
         benchmarks = SINGLE_THREAD_SUBSET
         technique_keys = SUBSTRATE_TECHNIQUES
+        array_techniques = ARRAY_TECHNIQUES
         jobs = resolve_jobs(args.jobs)
 
     print(f"machine: {config.describe()}")
@@ -627,6 +839,9 @@ def main(argv=None) -> int:
             "seed": config.seed,
         },
         "substrate": _measure_substrate(workload_cache, technique_keys, benchmarks),
+        "array_kernel": _measure_array_kernel(
+            workload_cache, array_techniques, benchmarks
+        ),
         "telemetry": _measure_telemetry_overhead(workload_cache, benchmarks),
         "store": _measure_store(config, benchmarks),
         "end_to_end": _measure_end_to_end(
@@ -663,6 +878,24 @@ def main(argv=None) -> int:
         )
         print(f"store report written to {store_output}")
 
+    # Likewise the array-kernel section stands alone as the PR 6
+    # baseline; smoke runs keep it inside BENCH_SMOKE.json only.
+    array_output = args.array_output
+    if array_output is None and not args.smoke:
+        array_output = REPO_ROOT / "BENCH_PR6.json"
+    if array_output is not None:
+        array_report = {
+            "schema": "repro-bench-array/1",
+            "unix_time": report["unix_time"],
+            "smoke": args.smoke,
+            "config": report["config"],
+            "array_kernel": report["array_kernel"],
+        }
+        array_output.write_text(
+            json.dumps(array_report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"array-kernel report written to {array_output}")
+
     # Probes-off guard: with telemetry disabled (the default), the replay
     # kernel must still beat the frozen in-file legacy substrate by the
     # configured margin -- a slow fast path means the probe hooks leaked
@@ -672,6 +905,22 @@ def main(argv=None) -> int:
         print(
             f"\nPROBES-OFF OVERHEAD: aggregate speedup {speedup:.2f}x fell "
             f"below the floor {args.min_speedup:.2f}x"
+        )
+        return 1
+
+    # Array-kernel guard: on the cells whose policies registered array
+    # kernels, the array path must beat the object kernel by the
+    # configured margin -- a slower array path means the substrate's
+    # eligibility rules are letting losing replays through.
+    array_speedup = report["array_kernel"]["total"]["speedup"]
+    if array_speedup is None:
+        print("\nARRAY KERNEL GUARD: no eligible cell was measured")
+        return 1
+    if array_speedup < args.min_array_speedup:
+        print(
+            f"\nARRAY KERNEL REGRESSION: aggregate speedup "
+            f"{array_speedup:.2f}x fell below the floor "
+            f"{args.min_array_speedup:.2f}x"
         )
         return 1
 

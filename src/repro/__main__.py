@@ -10,6 +10,9 @@ Commands:
   sparkline table.
 * ``report --timeseries [BENCHMARK ...]`` -- sparkline phase report
   across benchmarks (docs/observability.md).
+* ``report --bench`` -- tabulate the committed BENCH_PR*.json
+  performance baselines (replay substrate, workload store, array
+  kernel).
 * ``profile BENCHMARK`` -- reuse-distance profile of a workload.
 * ``cache`` -- inspect or prune the compiled workload store
   (``--footprint`` / ``--evict`` / ``--clear``).
@@ -226,11 +229,71 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _render_bench_baselines() -> int:
+    """Tabulate the committed BENCH_PR*.json baselines (repo root)."""
+    import json
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    paths = sorted(root.glob("BENCH_PR*.json"))
+    if not paths:
+        print(f"no BENCH_PR*.json baselines under {root}")
+        return 1
+    print(f"bench baselines ({root}):")
+    for path in paths:
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"  {path.name:16s} unreadable: {exc}")
+            continue
+        config = report.get("config", {})
+        header = (
+            f"  {path.name:16s} {report.get('schema', '?'):22s} "
+            f"scale=1/{config.get('scale', '?')} "
+            f"instructions={config.get('instructions', '?')}"
+        )
+        print(header)
+        substrate = (report.get("substrate") or {}).get("total")
+        if substrate:
+            print(
+                "    replay substrate: "
+                f"{substrate['before_acc_per_sec'] / 1e6:.2f}M/s -> "
+                f"{substrate['after_acc_per_sec'] / 1e6:.2f}M/s "
+                f"({substrate['speedup']:.2f}x over the pre-PR1 engine, "
+                f"{substrate['accesses']} accesses)"
+            )
+        store = (report.get("store") or {}).get("total")
+        if store:
+            print(
+                "    workload store:   "
+                f"cold {store['cold_seconds']:.2f}s, "
+                f"warm {store['warm_speedup']:.1f}x, "
+                f"shm {store['shm_speedup']:.1f}x "
+                f"({store['store_bytes'] / 1e6:.1f} MB on disk)"
+            )
+        array_kernel = (report.get("array_kernel") or {}).get("total")
+        if array_kernel:
+            speedup = array_kernel.get("speedup")
+            shown = "n/a" if speedup is None else f"{speedup:.2f}x"
+            print(
+                "    array kernel:     "
+                f"{array_kernel['object_acc_per_sec'] / 1e6:.2f}M/s -> "
+                f"{array_kernel['array_acc_per_sec'] / 1e6:.2f}M/s "
+                f"({shown} over the object kernel on eligible cells, "
+                f"{array_kernel['accesses']} accesses)"
+            )
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.telemetry import render_report
 
+    if args.bench:
+        return _render_bench_baselines()
     if not args.timeseries:
-        raise SystemExit("report: pass --timeseries (the only report so far)")
+        raise SystemExit(
+            "report: pass --timeseries or --bench (the only reports so far)"
+        )
     config = ExperimentConfig.from_env()
     benchmarks = args.benchmarks or list(SINGLE_THREAD_SUBSET[:3])
     first = True
@@ -559,6 +622,10 @@ def main(argv=None) -> int:
         "--timeseries", action="store_true",
         help="per-benchmark phase plot: miss rate, coverage, false "
              "positives, bypass, sampler/table gauges over epochs",
+    )
+    report_parser.add_argument(
+        "--bench", action="store_true",
+        help="tabulate the committed BENCH_PR*.json performance baselines",
     )
     report_parser.add_argument(
         "--technique", default="sampler",

@@ -170,6 +170,13 @@ class Cache:
         self._index_bits = geometry.index_bits
         self._index_mask = geometry.num_sets - 1
         self._observers: List[CacheObserver] = []
+        #: Which replay kernel last drove this cache ("array" / "object";
+        #: None until the first replay) and, for the object kernel, why
+        #: the array path declined.  Strictly observational -- set by
+        #: :func:`repro.sim.replay.replay`, read by run manifests and the
+        #: service's /stats aggregation; never consulted by the model.
+        self.last_replay_kernel: Optional[str] = None
+        self.last_replay_fallback: Optional[str] = None
         policy.bind(self)
 
     # ------------------------------------------------------------------

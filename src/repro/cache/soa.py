@@ -1,0 +1,304 @@
+"""Structure-of-arrays LLC substrate for the batched replay kernels.
+
+The object substrate (:class:`repro.cache.cache.Cache`) spends most of a
+replayed access on Python attribute traffic: every hit touches a
+:class:`~repro.cache.block.CacheBlock` three times and every fill writes
+seven fields.  The array kernels (:mod:`repro.sim.replay_array`) instead
+simulate on flat per-frame planes plus per-set locals, and only
+materialize object state once, at the end of the replay:
+
+* :class:`SoACache` holds the frame planes -- ``array('q')`` tags and
+  fill positions, ``bytearray`` valid/dirty/predicted-dead -- indexed by
+  ``frame = set_index * associativity + way``, plus the per-set
+  ``tag -> way`` dicts.  Recency state (LRU stacks, PLRU trees, RRIP
+  counters) is *policy* state, already array-shaped inside each policy;
+  the kernels mutate it directly (or rebuild it from their own compact
+  encodings) and leave it exactly as the object kernel would.
+* :class:`ReplayIndex` is the per-stream side: the stream's positions
+  grouped by set (so order-independent policies replay one set at a
+  time in a tight loop), per ``(set, tag)`` the sorted list of stream
+  positions touching that tag, and the flat ``next_write`` array.  It is
+  built once per ``(workload, geometry)`` and cached on the
+  :class:`~repro.sim.hierarchy.PreparedStream`, so every technique of a
+  sweep shares it -- the same amortization contract as the precomputed
+  ``(set_index, tag)`` decomposition itself.
+
+The index is what lets the kernels drop per-access metadata maintenance
+from the hot loop entirely:
+
+* ``access_count`` / ``last_access_seq`` are recovered at
+  materialization *for resident frames only*.  Given a frame's final
+  fill position ``f``, every later stream position touching that
+  ``(set, tag)`` necessarily hit this incarnation of the block (had it
+  been evicted after ``f``, a later touch would have re-filled it at a
+  position ``> f``, and no touch after an eviction means the block
+  would not be resident).  So ``access_count`` is the count of indexed
+  positions ``>= f`` (one :func:`bisect.bisect_left`) and
+  ``last_access_seq`` is the last indexed position's ``seq``.
+* ``dirty`` is a pure function of the fill position: a block incarnation
+  filled at ``f`` is dirty iff some access at position ``>= f`` (the
+  fill itself included) wrote to its ``(set, tag)`` before the block
+  left -- and by the same residency argument every such access up to the
+  eviction (or the end of the stream) belongs to this incarnation.
+  ``next_write[f]`` gives the first such position, so eviction-time
+  writeback accounting is ``next_write[fill] < position`` and
+  commit-time dirty is ``next_write[fill] < len(stream)``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["ReplayIndex", "SoACache"]
+
+
+class ReplayIndex:
+    """Per-(stream, geometry) grouping of a prepared LLC stream.
+
+    Attributes:
+        num_sets: geometry the grouping was built for.
+        index_bits: ``log2(num_sets)`` (sets are a power of two).
+        set_positions / set_tags: per set, the stream positions that map
+            to it and their tags, in stream order (parallel lists).
+        block_keys: per stream position, ``tag << index_bits |
+            set_index`` -- the block address.  One key identifies a
+            block globally, so the stream-order kernels can keep a
+            single residency dict instead of one per set.
+        tag_positions: per set, ``tag -> sorted stream positions``.
+        next_write: per stream position ``p``, the first position
+            ``>= p`` (``p`` itself included) that *writes* to the same
+            ``(set, tag)``, or ``len(stream)`` when there is none.
+        seq_is_position: True when every access's ``seq`` equals its
+            stream position (the :class:`~repro.sim.hierarchy.PreparedStream`
+            contract).  Proven once here so the materializer can write
+            positions as sequence numbers without touching the access
+            objects.
+    """
+
+    __slots__ = (
+        "num_sets",
+        "index_bits",
+        "set_positions",
+        "set_tags",
+        "block_keys",
+        "tag_positions",
+        "next_write",
+        "seq_is_position",
+    )
+
+    def __init__(
+        self,
+        num_sets: int,
+        set_positions: List[List[int]],
+        set_tags: List[List[int]],
+        block_keys: List[int],
+        tag_positions: List[Dict[int, List[int]]],
+        next_write: List[int],
+        seq_is_position: bool = False,
+    ) -> None:
+        self.num_sets = num_sets
+        self.index_bits = num_sets.bit_length() - 1
+        self.set_positions = set_positions
+        self.set_tags = set_tags
+        self.block_keys = block_keys
+        self.tag_positions = tag_positions
+        self.next_write = next_write
+        self.seq_is_position = seq_is_position
+
+    @classmethod
+    def build(
+        cls,
+        accesses: Sequence,
+        set_indices: Sequence[int],
+        tags: Sequence[int],
+        writes: Optional[Sequence[int]],
+        num_sets: int,
+    ) -> "ReplayIndex":
+        """Group a decomposed stream by set.  One pass over the stream
+        for the bucketing, one pass per set for the derived arrays."""
+        if writes is None:
+            writes = [access.is_write for access in accesses]
+        total = len(set_indices)
+        index_bits = num_sets.bit_length() - 1
+        block_keys = [
+            tag << index_bits | set_index
+            for set_index, tag in zip(set_indices, tags)
+        ]
+        set_positions: List[List[int]] = [[] for _ in range(num_sets)]
+        appends = [positions.append for positions in set_positions]
+        for position, set_index in enumerate(set_indices):
+            appends[set_index](position)
+        set_tags: List[List[int]] = []
+        tag_positions: List[Dict[int, List[int]]] = []
+        next_write = [total] * total
+        for positions in set_positions:
+            local_tags = [tags[position] for position in positions]
+            set_tags.append(local_tags)
+            per_tag: Dict[int, List[int]] = {}
+            per_tag_get = per_tag.get
+            for position, tag in zip(positions, local_tags):
+                bucket = per_tag_get(tag)
+                if bucket is None:
+                    per_tag[tag] = [position]
+                else:
+                    bucket.append(position)
+            tag_positions.append(per_tag)
+            for bucket in per_tag.values():
+                nearest = total
+                for position in reversed(bucket):
+                    if writes[position]:
+                        nearest = position
+                    next_write[position] = nearest
+        seq_is_position = all(
+            access.seq == position for position, access in enumerate(accesses)
+        )
+        return cls(
+            num_sets,
+            set_positions,
+            set_tags,
+            block_keys,
+            tag_positions,
+            next_write,
+            seq_is_position,
+        )
+
+
+class SoACache:
+    """Flat frame planes a kernel commits into, then materializes.
+
+    Only sets a kernel actually touched carry state (``tag_index[s]`` is
+    ``None`` for untouched sets); :meth:`to_cache` skips the rest, so a
+    sparse stream pays for its own footprint only.
+    """
+
+    __slots__ = (
+        "num_sets",
+        "associativity",
+        "tags",
+        "valid",
+        "dirty",
+        "predicted_dead",
+        "fill_pos",
+        "tag_index",
+        "_fills",
+        "_next_write",
+        "_sentinel",
+    )
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        frames = num_sets * associativity
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self.tags = array("q", bytes(8 * frames))
+        self.valid = bytearray(frames)
+        self.dirty = bytearray(frames)
+        self.predicted_dead = bytearray(frames)
+        self.fill_pos = array("q", bytes(8 * frames))
+        #: Per-set ``tag -> way`` over valid frames; None = set untouched.
+        self.tag_index: List[Optional[Dict[int, int]]] = [None] * num_sets
+        #: Per-set ``way -> final fill position`` (parallel to tag_index).
+        self._fills: List[Optional[List[int]]] = [None] * num_sets
+        self._next_write: Sequence[int] = ()
+        self._sentinel = 0
+
+    @classmethod
+    def for_run(cls, cache, index: ReplayIndex) -> "SoACache":
+        """A fresh plane set for one replay of ``index``'s stream."""
+        soa = cls(cache.geometry.num_sets, cache.geometry.associativity)
+        soa._next_write = index.next_write
+        soa._sentinel = len(index.next_write)
+        return soa
+
+    # ------------------------------------------------------------------
+    def commit_set(
+        self,
+        set_index: int,
+        tag_to_way: Dict[int, int],
+        way_fill: List[int],
+        filled: int,
+    ) -> None:
+        """Hand one set's kernel-local state over to the substrate.
+
+        Kernels fill ways densely from 0 (the eligible policies never
+        invalidate a frame), so ``filled`` bounds the valid ways.  The
+        handoff is O(1): the kernel transfers ownership of its per-set
+        ``tag -> way`` mapping and ``way -> fill position`` list, and
+        :meth:`to_cache` writes the frame planes and the object blocks in
+        one fused pass.  The dirty plane is derived there from the fill
+        positions (see the module docstring) -- kernels never track it.
+        """
+        self.tag_index[set_index] = tag_to_way
+        self._fills[set_index] = way_fill
+
+    # ------------------------------------------------------------------
+    def to_cache(self, cache, accesses: Sequence, index: ReplayIndex) -> None:
+        """Materialize the committed sets: planes *and* object substrate.
+
+        One fused pass per resident frame writes the frame planes (tags,
+        valid, dirty, fill position) and the corresponding
+        :class:`~repro.cache.block.CacheBlock` fields -- including the
+        recovered ``access_count`` / ``last_access_seq`` -- plus the
+        per-set ``tag -> way`` index.  Leaves the cache exactly as the
+        object kernel would have; statistics and policy state are
+        committed by the replay driver and the kernel respectively.
+
+        None of the eligible kernels predicts dead blocks, so the
+        predicted-dead plane stays zero and blocks keep their
+        ``False``; a future dead-block kernel must extend this pass.
+
+        Relies on the array path's cold-start eligibility: every frame
+        starts invalid, and :meth:`~repro.cache.block.CacheBlock.invalidate`
+        resets ``dirty`` / ``predicted_dead`` / ``meta``, so those fields
+        only need a write when the replay turned them on.
+        """
+        sets = cache.sets
+        cache_index = cache._tag_index
+        tag_positions = index.tag_positions
+        seq_is_position = index.seq_is_position
+        associativity = self.associativity
+        tags_plane = self.tags
+        valid = self.valid
+        dirty = self.dirty
+        fill_pos = self.fill_pos
+        fills = self._fills
+        next_write = self._next_write
+        sentinel = self._sentinel
+        for set_index, tag_to_way in enumerate(self.tag_index):
+            if tag_to_way is None:
+                continue
+            target = cache_index[set_index]
+            target.clear()
+            target.update(tag_to_way)
+            way_fill = fills[set_index]
+            per_tag = tag_positions[set_index]
+            blocks = sets[set_index]
+            base = set_index * associativity
+            for tag, way in tag_to_way.items():
+                frame = base + way
+                fill_position = way_fill[way]
+                tags_plane[frame] = tag
+                valid[frame] = 1
+                fill_pos[frame] = fill_position
+                positions = per_tag[tag]
+                # Never-evicted blocks (the common case) were filled at
+                # their tag's first position: skip the bisect.
+                if positions[0] == fill_position:
+                    first = 0
+                else:
+                    first = bisect_left(positions, fill_position)
+                last_position = positions[-1]
+                block = blocks[way]
+                block.valid = True
+                block.tag = tag
+                if next_write[fill_position] < sentinel:
+                    dirty[frame] = 1
+                    block.dirty = True
+                if seq_is_position:
+                    block.fill_seq = fill_position
+                    block.last_access_seq = last_position
+                else:
+                    block.fill_seq = accesses[fill_position].seq
+                    block.last_access_seq = accesses[last_position].seq
+                block.access_count = len(positions) - first

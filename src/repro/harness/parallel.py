@@ -238,6 +238,12 @@ def _run_cell_supervised(
             "store_hits": _WORKER_CACHE.stream_hits - hits_start,
             "store_misses": _WORKER_CACHE.stream_misses - misses_start,
         }
+        kernel = getattr(result, "kernel", None)
+        if kernel is not None:
+            timing["kernel"] = kernel
+        fallback = getattr(result, "kernel_fallback", None)
+        if fallback is not None:
+            timing["kernel_fallback"] = fallback
         return benchmark, technique_key, "ok", result, timing
     except DeadlineExceeded:
         return benchmark, technique_key, "timeout", f"exceeded {timeout}s", None
@@ -485,15 +491,19 @@ def parallel_single_thread_comparison(
                     result = _run_cell_on(workload_cache, cell)
                     record(cell, result)
                     if telemetry is not None:
-                        telemetry.cell_finished(
-                            cell_label(cell), "ok",
-                            timing={
-                                "wall_seconds": time.perf_counter() - wall_start,
-                                "cpu_seconds": time.process_time() - cpu_start,
-                                "store_hits": workload_cache.stream_hits - hits_start,
-                                "store_misses": workload_cache.stream_misses - misses_start,
-                            },
-                        )
+                        timing = {
+                            "wall_seconds": time.perf_counter() - wall_start,
+                            "cpu_seconds": time.process_time() - cpu_start,
+                            "store_hits": workload_cache.stream_hits - hits_start,
+                            "store_misses": workload_cache.stream_misses - misses_start,
+                        }
+                        kernel = getattr(result, "kernel", None)
+                        if kernel is not None:
+                            timing["kernel"] = kernel
+                        fallback = getattr(result, "kernel_fallback", None)
+                        if fallback is not None:
+                            timing["kernel_fallback"] = fallback
+                        telemetry.cell_finished(cell_label(cell), "ok", timing=timing)
                 if manifest is not None and streams is not None:
                     manifest.stream_store = {
                         "root": os.fspath(streams.root),

@@ -222,7 +222,11 @@ class ExperimentScheduler:
             "dedup_inflight_hits": 0,
             "stream_hits": 0,
             "stream_misses": 0,
+            "kernel_array_cells": 0,
+            "kernel_object_cells": 0,
         }
+        #: Per-reason tally of array-kernel fallbacks across all cells.
+        self.kernel_fallbacks: Dict[str, int] = {}
 
         self._resume_from_store()
         self._dispatcher = threading.Thread(
@@ -517,6 +521,11 @@ class ExperimentScheduler:
                     "hits": self.counters["stream_hits"],
                     "misses": self.counters["stream_misses"],
                 },
+                "replay_kernel": {
+                    "array_cells": self.counters["kernel_array_cells"],
+                    "object_cells": self.counters["kernel_object_cells"],
+                    "fallbacks": dict(self.kernel_fallbacks),
+                },
             }
 
     # ------------------------------------------------------------------
@@ -625,8 +634,18 @@ class ExperimentScheduler:
         def record(cell: Cell, result: RunResult, timing=None) -> None:
             entry = by_cell[cell]
             self.checkpoint.store(config, cell[0], cell[1], result)
+            kernel = getattr(result, "kernel", None)
+            fallback = getattr(result, "kernel_fallback", None)
             with self._lock:
                 entry.timing = timing
+                if kernel == "array":
+                    self.counters["kernel_array_cells"] += 1
+                elif kernel is not None:
+                    self.counters["kernel_object_cells"] += 1
+                    if fallback is not None:
+                        self.kernel_fallbacks[fallback] = (
+                            self.kernel_fallbacks.get(fallback, 0) + 1
+                        )
                 self._finish_cell(entry, "done")
 
         workers = min(self.worker_count, len(cells))

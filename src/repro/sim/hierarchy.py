@@ -136,20 +136,39 @@ class PreparedStream:
     policy or predictor mutates them.
     """
 
-    __slots__ = ("accesses", "set_indices", "tags")
+    __slots__ = ("accesses", "set_indices", "tags", "writes", "_replay_index")
 
     def __init__(
         self,
         accesses: List[CacheAccess],
         set_indices: List[int],
         tags: List[int],
+        writes: Optional[List[bool]] = None,
     ) -> None:
         self.accesses = accesses
         self.set_indices = set_indices
         self.tags = tags
+        self.writes = writes
+        self._replay_index = None
 
     def __len__(self) -> int:
         return len(self.accesses)
+
+    def replay_index(self, num_sets: int):
+        """The stream's :class:`~repro.cache.soa.ReplayIndex`, built on
+        first use and cached.  A PreparedStream is per-geometry, so one
+        cached index serves every technique of a sweep -- the same
+        amortization contract as the ``(set_index, tag)`` decomposition.
+        """
+        index = self._replay_index
+        if index is None or index.num_sets != num_sets:
+            from repro.cache.soa import ReplayIndex
+
+            index = ReplayIndex.build(
+                self.accesses, self.set_indices, self.tags, self.writes, num_sets
+            )
+            self._replay_index = index
+        return index
 
     def __repr__(self) -> str:
         return f"PreparedStream({len(self.accesses)} LLC accesses)"
@@ -183,14 +202,14 @@ def prepare_stream(
         map(CacheAccess, addresses, pcs, writes, range(count), repeat(core, count))
     )
     if set_indices is not None:
-        return PreparedStream(accesses, set_indices, tags)
+        return PreparedStream(accesses, set_indices, tags, writes)
     offset_bits = geometry.offset_bits
     index_bits = geometry.index_bits
     index_mask = geometry.num_sets - 1
     blocks = [address >> offset_bits for address in addresses]
     derived_sets = [block & index_mask for block in blocks]
     derived_tags = [block >> index_bits for block in blocks]
-    return PreparedStream(accesses, derived_sets, derived_tags)
+    return PreparedStream(accesses, derived_sets, derived_tags, writes)
 
 
 class FilteredTrace:

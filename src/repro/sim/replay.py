@@ -30,6 +30,15 @@ semantically equivalent to the reference loop:
 If a policy raises mid-replay, the locally accumulated counters for the
 partial replay are not committed to ``cache.stats``.
 
+Array path: when the policy registered a batched array kernel and the
+replay is eligible (exact :class:`~repro.cache.cache.Cache`, cold, no
+observers/probe/paranoid, precomputed decomposition), the stream is
+replayed on the structure-of-arrays substrate instead
+(:mod:`repro.sim.replay_array`) under the same transparency contract;
+``REPRO_ARRAY_KERNEL=0`` forces the object kernel.  The kernel actually
+used and any fallback reason are recorded on the cache as
+``last_replay_kernel`` / ``last_replay_fallback``.
+
 Telemetry: when the cache carries an enabled probe
 (:mod:`repro.telemetry.probe`), the stream is replayed in epoch-sized
 slices through the *same* inlined kernel, with the probe notified at
@@ -47,6 +56,7 @@ from typing import List, Optional, Sequence
 
 from repro.cache.cache import Cache, CacheAccess
 from repro.replacement.base import ReplacementPolicy
+from repro.sim.replay_array import maybe_replay_array
 
 __all__ = ["replay"]
 
@@ -56,6 +66,7 @@ def replay(
     accesses: Sequence[CacheAccess],
     set_indices: Optional[Sequence[int]] = None,
     tags: Optional[Sequence[int]] = None,
+    stream=None,
 ) -> List[bool]:
     """Replay an LLC access stream; returns the per-access hit vector.
 
@@ -68,6 +79,10 @@ def replay(
             derived inline -- still faster than per-access method calls,
             but sharing one precomputed decomposition across techniques is
             the point of :class:`~repro.sim.hierarchy.PreparedStream`.
+        stream: the owning :class:`~repro.sim.hierarchy.PreparedStream`,
+            when the caller has one.  Lets the array kernels reuse the
+            stream's cached per-geometry :class:`~repro.cache.soa.ReplayIndex`
+            instead of rebuilding it per technique.
     """
     if (set_indices is None) != (tags is None):
         raise ValueError("set_indices and tags must be provided together")
@@ -83,6 +98,10 @@ def replay(
     if type(cache) is not Cache or cache.has_observers:
         # Reference path: subclass access overrides and observer
         # notifications must keep their exact semantics.
+        cache.last_replay_kernel = "object"
+        cache.last_replay_fallback = (
+            "cache-subclass" if type(cache) is not Cache else "observers"
+        )
         cache_access = cache.access
         if not probe.enabled:
             return [cache_access(access) for access in accesses]
@@ -99,16 +118,28 @@ def replay(
         return hits
 
     if not probe.enabled:
+        array_hits = maybe_replay_array(cache, accesses, set_indices, tags, stream)
+        if array_hits is not None:
+            return array_hits
         return _replay_fast(cache, accesses, set_indices, tags)
 
     # Probe path over the fast kernel: replay epoch-sized slices through
     # the unchanged inlined loop.  Stats commits are additive, so the
-    # per-slice commits sum to exactly the single-commit totals.
+    # per-slice commits sum to exactly the single-commit totals.  The
+    # array kernels commit statistics (and policy/block state) only once
+    # at the end of a whole-stream run, so epoch boundaries would observe
+    # nothing; probe replays stay on the object kernel.
+    cache.last_replay_kernel = "object"
+    cache.last_replay_fallback = "probe"
     total = len(accesses)
     epoch = probe.resolve_epoch(total)
     probe.begin_run(cache, total)
     hits = []
     start = 0
+    # The binding (geometry constants, elided policy callbacks, paranoid
+    # hooks) is loop-invariant across epoch slices; compute it once here
+    # instead of once per slice.
+    binding = _bind(cache)
     while start < total:
         stop = min(start + epoch, total)
         hits.extend(
@@ -117,6 +148,7 @@ def replay(
                 accesses[start:stop],
                 None if set_indices is None else set_indices[start:stop],
                 None if tags is None else tags[start:stop],
+                binding,
             )
         )
         probe.on_epoch(cache, stop)
@@ -125,63 +157,81 @@ def replay(
     return hits
 
 
+def _bind(cache: Cache):
+    """Snapshot the loop-invariant kernel inputs for ``_replay_fast``.
+
+    Geometry constants, the per-set containers, the policy callbacks
+    with base-class no-ops elided, and the paranoid hooks.  Computed
+    once per replay; the probe path reuses one binding across all of its
+    epoch slices.
+    """
+    geometry = cache.geometry
+    policy = cache.policy
+    policy_type = type(policy)
+    # Callbacks a policy left as the base-class no-op are skipped outright;
+    # the base ``should_bypass`` always answers False, so skipping it is
+    # equivalent to never bypassing.
+    return (
+        geometry.offset_bits,
+        geometry.index_bits,
+        geometry.num_sets - 1,
+        geometry.associativity,
+        cache.sets,
+        cache._tag_index,
+        policy.choose_victim,
+        policy.on_hit if policy_type.on_hit is not ReplacementPolicy.on_hit else None,
+        policy.on_fill
+        if policy_type.on_fill is not ReplacementPolicy.on_fill
+        else None,
+        policy.on_miss
+        if policy_type.on_miss is not ReplacementPolicy.on_miss
+        else None,
+        policy.should_bypass
+        if policy_type.should_bypass is not ReplacementPolicy.should_bypass
+        else None,
+        policy.on_evict
+        if policy_type.on_evict is not ReplacementPolicy.on_evict
+        else None,
+        # Paranoid mode keeps the fast path (that is the code under test)
+        # but machine-checks the touched set's invariants after every
+        # access and the statistics identity after the final commit.
+        cache.paranoid,
+        cache.check_invariants,
+    )
+
+
 def _replay_fast(
     cache: Cache,
     accesses: Sequence[CacheAccess],
     set_indices: Optional[Sequence[int]],
     tags: Optional[Sequence[int]],
+    binding=None,
 ) -> List[bool]:
     """The inlined replay kernel: exactly :class:`Cache`, zero observers.
 
     Commits its local counters to ``cache.stats`` on return, so calling
     it over consecutive slices of a stream accumulates the same totals
-    as one call over the whole stream.
+    as one call over the whole stream (the probe path passes the shared
+    ``binding`` so slices skip re-deriving it).
     """
-    geometry = cache.geometry
-    offset_bits = geometry.offset_bits
-    index_bits = geometry.index_bits
-    index_mask = geometry.num_sets - 1
-    associativity = geometry.associativity
-
-    sets = cache.sets
-    tag_index = cache._tag_index
-    policy = cache.policy
-    policy_type = type(policy)
-    choose_victim = policy.choose_victim
-    # Callbacks a policy left as the base-class no-op are skipped outright;
-    # the base ``should_bypass`` always answers False, so skipping it is
-    # equivalent to never bypassing.
-    on_hit = (
-        policy.on_hit
-        if policy_type.on_hit is not ReplacementPolicy.on_hit
-        else None
-    )
-    on_fill = (
-        policy.on_fill
-        if policy_type.on_fill is not ReplacementPolicy.on_fill
-        else None
-    )
-    on_miss = (
-        policy.on_miss
-        if policy_type.on_miss is not ReplacementPolicy.on_miss
-        else None
-    )
-    should_bypass = (
-        policy.should_bypass
-        if policy_type.should_bypass is not ReplacementPolicy.should_bypass
-        else None
-    )
-    on_evict = (
-        policy.on_evict
-        if policy_type.on_evict is not ReplacementPolicy.on_evict
-        else None
-    )
-
-    # Paranoid mode keeps the fast path (that is the code under test)
-    # but machine-checks the touched set's invariants after every access
-    # and the statistics identity after the final commit.
-    paranoid = cache.paranoid
-    check_set = cache.check_invariants
+    if binding is None:
+        binding = _bind(cache)
+    (
+        offset_bits,
+        index_bits,
+        index_mask,
+        associativity,
+        sets,
+        tag_index,
+        choose_victim,
+        on_hit,
+        on_fill,
+        on_miss,
+        should_bypass,
+        on_evict,
+        paranoid,
+        check_set,
+    ) = binding
 
     hits: List[bool] = []
     hits_append = hits.append
@@ -241,7 +291,7 @@ def _replay_fast(
             way = choose_victim(set_index, access)
             if not 0 <= way < associativity:
                 raise ValueError(
-                    f"policy {policy!r} chose invalid victim way {way}"
+                    f"policy {cache.policy!r} chose invalid victim way {way}"
                 )
         block = blocks[way]
         if block.valid:

@@ -1,0 +1,793 @@
+"""Array-native batched replay kernels.
+
+The inlined object kernel (:func:`repro.sim.replay._replay_fast`) still
+pays ~15 interpreted operations and up to three bound-method calls per
+access: per-hit :class:`~repro.cache.block.CacheBlock` attribute writes,
+per-fill seven-field block updates, and policy callbacks.  The kernels
+here simulate on the structure-of-arrays substrate
+(:mod:`repro.cache.soa`) instead: residency dicts over precomputed
+block keys, compact recency encodings, and flat frame planes, with
+every policy decision inlined into the loop.  Per-block bookkeeping the
+figures never read during the replay -- ``access_count``,
+``last_access_seq``, and the dirty bit -- is dropped from the hot loop
+entirely and recovered at eviction/commit time from the shared
+:class:`~repro.cache.soa.ReplayIndex` (see that module's docstring for
+why the recovery is exact).
+
+Result transparency is the same contract the object kernel pins: the
+same hit vector, the same :class:`~repro.cache.stats.CacheStats`, the
+same final block contents and policy state as the reference loop
+``[cache.access(a) for a in accesses]``.
+``tests/test_replay_array.py`` holds the golden and property tests.
+
+Loop shape notes (all measured on real filtered LLC streams):
+
+* **Miss marking.**  The hit vector is prefilled ``True`` and flipped
+  at misses, so the hit path -- the common case -- writes nothing.
+* **Per-set batched** (LRU, tree PLRU, SRRIP): these policies keep no
+  cross-set state, so the stream is replayed one set at a time with the
+  set's recency state bound to locals -- the grouping comes precomputed
+  from the :class:`~repro.cache.soa.ReplayIndex`.  LRU recency is the
+  iteration order of an :class:`~collections.OrderedDict` (``tag ->
+  way``), so a promote is one C ``move_to_end`` and a victim is one C
+  ``popitem``; the policy's recency stacks are reconstructed from the
+  dict order at the end of each set.  PLRU trees are packed into a
+  single int so a touch is two precomputed bit masks.
+* **Stream-order** (random, BIP, DIP, BRRIP, DRRIP): a global RNG
+  stream, fill throttle, or PSEL counter makes cross-set access order
+  semantically relevant, so these walk the stream in order -- but over
+  ONE global residency dict keyed by the precomputed block key
+  (``tag << index_bits | set_index``), which is cheaper than a per-set
+  dict-of-dicts lookup, plus flat frame-indexed planes
+  (``frame = set_index * associativity + way``).
+* **RRIP victims.**  RRPVs never exceed the maximum, so the object
+  path's scan-and-age loop reduces to: if a max-RRPV way exists (the
+  common case under mostly-distant insertion), take the first by C
+  ``list.index``; otherwise age by the deficit in one slice-assign.
+
+Eligibility and fallback: a policy opts in by registering a kernel on
+its *exact* class
+(:meth:`repro.replacement.base.ReplacementPolicy.register_array_kernel`);
+everything else -- sampler/CDBP/TDBP, SHiP, TADIP, optimal, the VVC
+cache subclass, observer-attached or probe-enabled or paranoid replays
+-- falls through to the object kernel, which stays the bit-identity
+oracle.  ``REPRO_ARRAY_KERNEL=0`` disables the array path globally.
+The chosen kernel and any fallback reason are recorded on the cache
+(``last_replay_kernel`` / ``last_replay_fallback``) for run manifests
+and the service's ``/stats``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.cache.soa import ReplayIndex, SoACache
+from repro.replacement.dip import BIPPolicy, DIPPolicy
+from repro.replacement.lru import LRUPolicy
+from repro.replacement.plru import TreePLRUPolicy
+from repro.replacement.random_policy import RandomPolicy
+from repro.replacement.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+
+__all__ = ["array_kernel_enabled", "maybe_replay_array", "select_kernel"]
+
+_FALSY = ("0", "false", "no", "off")
+
+_MASK64 = (1 << 64) - 1
+_XORSHIFT_MULT = 0x2545F4914F6CDD1D
+
+
+def array_kernel_enabled() -> bool:
+    """``REPRO_ARRAY_KERNEL`` knob; unset defaults to enabled."""
+    return os.environ.get("REPRO_ARRAY_KERNEL", "1").strip().lower() not in _FALSY
+
+
+def select_kernel(cache, set_indices) -> Tuple[Optional[object], Optional[str]]:
+    """Pick the array kernel for a replay, or the fallback reason.
+
+    The caller (:func:`repro.sim.replay.replay`) has already routed
+    subclassed caches, observers, and enabled probes to the reference /
+    object paths; this checks everything else the array path requires.
+    """
+    if not array_kernel_enabled():
+        return None, "disabled"
+    if cache.paranoid:
+        return None, "paranoid"
+    if set_indices is None:
+        return None, "no-decomposition"
+    if any(cache._tag_index):
+        # Kernels assume a cold frame array (fills allocate ways densely
+        # from zero); a warm cache replays on the object substrate.
+        return None, "warm-cache"
+    geometry = cache.geometry
+    if len(set_indices) < geometry.num_sets * geometry.associativity:
+        # The array path pays O(frames) for plane setup and commit-time
+        # materialization; a stream shorter than the frame count cannot
+        # amortize it (measured slower than the object kernel).
+        return None, "small-stream"
+    policy = cache.policy
+    kernel = policy.array_kernel()
+    if kernel is None:
+        return None, f"policy:{type(policy).__name__}"
+    reason = kernel.supports(cache, policy)
+    if reason is not None:
+        return None, reason
+    return kernel, None
+
+
+def maybe_replay_array(
+    cache, accesses, set_indices, tags, stream=None
+) -> Optional[List[bool]]:
+    """Replay on the array substrate when eligible; else return None.
+
+    On success the cache is left bit-identical to an object-kernel
+    replay (blocks, tag index, statistics, policy state) and
+    ``cache.last_replay_kernel`` is ``"array"``; on decline the fallback
+    reason is recorded and the caller runs the object kernel.
+    """
+    kernel, reason = select_kernel(cache, set_indices)
+    if kernel is None:
+        cache.last_replay_kernel = "object"
+        cache.last_replay_fallback = reason
+        return None
+    num_sets = cache.geometry.num_sets
+    if stream is not None and hasattr(stream, "replay_index"):
+        index = stream.replay_index(num_sets)
+    else:
+        index = ReplayIndex.build(accesses, set_indices, tags, None, num_sets)
+    soa = SoACache.for_run(cache, index)
+    hits, counters = kernel.run(
+        cache, cache.policy, accesses, set_indices, tags, index, soa
+    )
+    soa.to_cache(cache, accesses, index)
+    hit_count, miss_count, fill_count, evict_count, writeback_count = counters
+    stats = cache.stats
+    stats.accesses += len(accesses)
+    stats.hits += hit_count
+    stats.misses += miss_count
+    stats.fills += fill_count
+    stats.evictions += evict_count
+    stats.writebacks += writeback_count
+    cache.last_replay_kernel = "array"
+    cache.last_replay_fallback = None
+    return hits
+
+
+def _finish(hits, filled_total, writeback_total):
+    """Derive the replay counters from the hit vector and final
+    occupancy: the eligible policies never bypass, so fills == misses
+    and evictions are the fills that displaced a resident block."""
+    hit_total = hits.count(True)
+    misses = len(hits) - hit_total
+    return hits, (hit_total, misses, misses, misses - filled_total, writeback_total)
+
+
+# ----------------------------------------------------------------------
+# per-set batched kernels
+# ----------------------------------------------------------------------
+class _LRUKernel:
+    """True LRU, one set at a time.  The per-set OrderedDict is both the
+    residency lookup and the recency order (front = LRU, back = MRU), so
+    a hit is a containment check plus ``move_to_end`` and an eviction is
+    ``popitem(last=False)``.  The policy's recency stack is rebuilt from
+    the dict order afterwards; LRU always inserts/promotes to MRU, so
+    never-filled ways stay at the stack tail in their original order --
+    exactly the object path's final state."""
+
+    name = "lru"
+
+    def supports(self, cache, policy) -> Optional[str]:
+        return None
+
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+        associativity = cache.geometry.associativity
+        stacks = policy._stacks
+        set_tags = index.set_tags
+        next_write = index.next_write
+        commit_set = soa.commit_set
+        hits = [True] * len(accesses)
+        filled_total = 0
+        writeback_total = 0
+        for set_index, positions in enumerate(index.set_positions):
+            if not positions:
+                continue
+            od: "OrderedDict[int, int]" = OrderedDict()
+            od_move = od.move_to_end
+            od_pop = od.popitem
+            way_fill = [0] * associativity
+            filled = 0
+            for position, tag in zip(positions, set_tags[set_index]):
+                if tag in od:
+                    od_move(tag)
+                    continue
+                hits[position] = False
+                if filled < associativity:
+                    way = filled
+                    filled += 1
+                else:
+                    way = od_pop(False)[1]
+                    if next_write[way_fill[way]] < position:
+                        writeback_total += 1
+                od[tag] = way
+                way_fill[way] = position
+            filled_total += filled
+            stack = list(od.values())
+            stack.reverse()
+            if filled < associativity:
+                stack.extend(range(filled, associativity))
+            stacks[set_index] = stack
+            commit_set(set_index, od, way_fill, filled)
+        return _finish(hits, filled_total, writeback_total)
+
+
+class _PLRUKernel:
+    """Tree PLRU, one set at a time, with the tree packed into one int:
+    touching a way is ``tree & and_mask | or_mask`` with masks
+    precomputed per way, and only a victim walk reads the tree bit by
+    bit."""
+
+    name = "plru"
+
+    def supports(self, cache, policy) -> Optional[str]:
+        return None
+
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+        associativity = cache.geometry.associativity
+        levels = policy._levels
+        tree_bits = associativity - 1
+        trees = policy._trees
+        and_masks = []
+        or_masks = []
+        for way in range(associativity):
+            node = 0
+            and_mask = -1
+            or_mask = 0
+            for level in range(levels - 1, -1, -1):
+                went_right = (way >> level) & 1
+                if went_right:
+                    and_mask &= ~(1 << node)
+                else:
+                    or_mask |= 1 << node
+                node = 2 * node + 1 + went_right
+            and_masks.append(and_mask)
+            or_masks.append(or_mask)
+        set_tags = index.set_tags
+        next_write = index.next_write
+        commit_set = soa.commit_set
+        hits = [True] * len(accesses)
+        filled_total = 0
+        writeback_total = 0
+        for set_index, positions in enumerate(index.set_positions):
+            if not positions:
+                continue
+            tree_list = trees[set_index]
+            tree = 0
+            for node, bit in enumerate(tree_list):
+                if bit:
+                    tree |= 1 << node
+            lookup = {}
+            lookup_get = lookup.get
+            way_tags = [0] * associativity
+            way_fill = [0] * associativity
+            filled = 0
+            for position, tag in zip(positions, set_tags[set_index]):
+                way = lookup_get(tag)
+                if way is not None:
+                    tree = tree & and_masks[way] | or_masks[way]
+                    continue
+                hits[position] = False
+                if filled < associativity:
+                    way = filled
+                    filled += 1
+                else:
+                    node = 0
+                    way = 0
+                    for _ in range(levels):
+                        bit = (tree >> node) & 1
+                        way = (way << 1) | bit
+                        node = 2 * node + 1 + bit
+                    if next_write[way_fill[way]] < position:
+                        writeback_total += 1
+                    del lookup[way_tags[way]]
+                lookup[tag] = way
+                way_tags[way] = tag
+                way_fill[way] = position
+                tree = tree & and_masks[way] | or_masks[way]
+            filled_total += filled
+            tree_list[:] = [(tree >> node) & 1 for node in range(tree_bits)]
+            commit_set(set_index, lookup, way_fill, filled)
+        return _finish(hits, filled_total, writeback_total)
+
+
+class _SRRIPKernel:
+    """Static RRIP (hit-priority), one set at a time, mutating the
+    policy's live per-set RRPV lists with the guarded C-op victim."""
+
+    name = "srrip"
+
+    def supports(self, cache, policy) -> Optional[str]:
+        return None
+
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+        associativity = cache.geometry.associativity
+        rrpv_max = policy.rrpv_max
+        long_insert = rrpv_max - 1
+        all_rrpv = policy._rrpv
+        set_tags = index.set_tags
+        next_write = index.next_write
+        commit_set = soa.commit_set
+        hits = [True] * len(accesses)
+        filled_total = 0
+        writeback_total = 0
+        for set_index, positions in enumerate(index.set_positions):
+            if not positions:
+                continue
+            rrpv = all_rrpv[set_index]
+            rrpv_index = rrpv.index
+            lookup = {}
+            lookup_get = lookup.get
+            way_tags = [0] * associativity
+            way_fill = [0] * associativity
+            filled = 0
+            for position, tag in zip(positions, set_tags[set_index]):
+                way = lookup_get(tag)
+                if way is not None:
+                    rrpv[way] = 0
+                    continue
+                hits[position] = False
+                if filled < associativity:
+                    way = filled
+                    filled += 1
+                else:
+                    # RRPVs never exceed rrpv_max, so scan-and-age is
+                    # index-if-present, else age by the deficit; the
+                    # except arm only fires when aging is needed.
+                    try:
+                        way = rrpv_index(rrpv_max)
+                    except ValueError:
+                        deficit = rrpv_max - max(rrpv)
+                        rrpv[:] = [value + deficit for value in rrpv]
+                        way = rrpv_index(rrpv_max)
+                    if next_write[way_fill[way]] < position:
+                        writeback_total += 1
+                    del lookup[way_tags[way]]
+                lookup[tag] = way
+                way_tags[way] = tag
+                way_fill[way] = position
+                rrpv[way] = long_insert
+            filled_total += filled
+            commit_set(set_index, lookup, way_fill, filled)
+        return _finish(hits, filled_total, writeback_total)
+
+
+# ----------------------------------------------------------------------
+# stream-order kernels (global policy state)
+# ----------------------------------------------------------------------
+def _commit_flat(soa, index, way_keys, way_fill, filled_by_set, associativity):
+    """Commit the flat frame planes of a stream-order kernel: rebuild
+    each touched set's ``tag -> way`` dict from the stored block keys
+    (``tag = key >> index_bits``) and hand it to the substrate."""
+    index_bits = index.index_bits
+    commit_set = soa.commit_set
+    filled_total = 0
+    for set_index, filled in enumerate(filled_by_set):
+        if not filled:
+            continue
+        filled_total += filled
+        base = set_index * associativity
+        tag_to_way = {
+            way_keys[base + way] >> index_bits: way for way in range(filled)
+        }
+        commit_set(
+            set_index, tag_to_way, way_fill[base : base + associativity], filled
+        )
+    return filled_total
+
+
+class _RandomKernel:
+    """Random replacement in stream order (the victim RNG draw sequence
+    is global), with the xorshift64* step inlined and the generator
+    state written back at the end."""
+
+    name = "random"
+
+    def supports(self, cache, policy) -> Optional[str]:
+        return None
+
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+        associativity = cache.geometry.associativity
+        next_write = index.next_write
+        way_keys = [0] * (index.num_sets * associativity)
+        way_fill = [0] * (index.num_sets * associativity)
+        filled_by_set = [0] * index.num_sets
+        lookup = {}
+        rng_state = policy._rng._state
+        hits = [True] * len(accesses)
+        writeback_total = 0
+        for position, key in enumerate(index.block_keys):
+            if key in lookup:
+                continue
+            hits[position] = False
+            set_index = set_indices[position]
+            base = set_index * associativity
+            filled = filled_by_set[set_index]
+            if filled < associativity:
+                frame = base + filled
+                filled_by_set[set_index] = filled + 1
+            else:
+                x = rng_state
+                x ^= (x << 13) & _MASK64
+                x ^= x >> 7
+                x ^= (x << 17) & _MASK64
+                rng_state = x
+                frame = base + (((x * _XORSHIFT_MULT) & _MASK64) >> 11) % associativity
+                if next_write[way_fill[frame]] < position:
+                    writeback_total += 1
+                del lookup[way_keys[frame]]
+            lookup[key] = frame
+            way_keys[frame] = key
+            way_fill[frame] = position
+        policy._rng._state = rng_state
+        filled_total = _commit_flat(
+            soa, index, way_keys, way_fill, filled_by_set, associativity
+        )
+        return _finish(hits, filled_total, writeback_total)
+
+
+class _BIPKernel:
+    """Bimodal insertion in stream order (the 1/epsilon fill throttle is
+    a global counter).
+
+    Recency runs on per-set OrderedDicts over *all* ways (front = LRU,
+    back = MRU), seeded lazily from the live stack on a set's first
+    touch: a recency move is then one O(1) relink instead of the
+    stack's O(associativity) ``list.remove``.  Because every way is in
+    the dict -- including never-filled ones -- the order maps exactly
+    onto the object stack (reversed), so BIP's LRU-position inserts
+    stay faithful and the final stacks are rebuilt per touched set.
+    """
+
+    name = "bip"
+
+    def supports(self, cache, policy) -> Optional[str]:
+        return None
+
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+        associativity = cache.geometry.associativity
+        epsilon = policy.epsilon_inverse
+        fill_count = policy._fill_count
+        stacks = policy._stacks
+        next_write = index.next_write
+        num_sets = index.num_sets
+        way_keys = [0] * (num_sets * associativity)
+        way_fill = [0] * (num_sets * associativity)
+        filled_by_set = [0] * num_sets
+        ods: List[Optional["OrderedDict[int, None]"]] = [None] * num_sets
+        movers: List = [None] * num_sets
+        lookup = {}
+        lookup_get = lookup.get
+        hits = [True] * len(accesses)
+        writeback_total = 0
+        for position, key in enumerate(index.block_keys):
+            way = lookup_get(key)
+            if way is not None:
+                # Promote to MRU (object: remove + insert at stack head).
+                movers[set_indices[position]](way)
+                continue
+            hits[position] = False
+            set_index = set_indices[position]
+            od = ods[set_index]
+            if od is None:
+                od = OrderedDict()
+                for entry in reversed(stacks[set_index]):
+                    od[entry] = None
+                ods[set_index] = od
+                movers[set_index] = od.move_to_end
+            base = set_index * associativity
+            filled = filled_by_set[set_index]
+            if filled < associativity:
+                way = filled
+                filled_by_set[set_index] = filled + 1
+            else:
+                way = next(iter(od))  # front = LRU = object stack[-1]
+                frame = base + way
+                if next_write[way_fill[frame]] < position:
+                    writeback_total += 1
+                del lookup[way_keys[frame]]
+            frame = base + way
+            lookup[key] = way
+            way_keys[frame] = key
+            way_fill[frame] = position
+            fill_count += 1
+            if fill_count % epsilon == 0:
+                movers[set_index](way)  # MRU insert
+            else:
+                movers[set_index](way, False)  # LRU-position insert
+        policy._fill_count = fill_count
+        for set_index, od in enumerate(ods):
+            if od is not None:
+                stack = list(od)
+                stack.reverse()
+                stacks[set_index][:] = stack
+        filled_total = _commit_flat(
+            soa, index, way_keys, way_fill, filled_by_set, associativity
+        )
+        return _finish(hits, filled_total, writeback_total)
+
+
+class _DIPKernel:
+    """DIP set dueling in stream order (the PSEL counter and the BIP
+    fill throttle are global), on the same per-set OrderedDict recency
+    structure as :class:`_BIPKernel`."""
+
+    name = "dip"
+
+    def supports(self, cache, policy) -> Optional[str]:
+        return None
+
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+        associativity = cache.geometry.associativity
+        lru_leader = policy._LRU_LEADER
+        bip_leader = policy._BIP_LEADER
+        roles = policy._set_role
+        psel = policy.psel
+        psel_max = policy.psel_max
+        psel_half = psel_max // 2
+        epsilon = policy.epsilon_inverse
+        fill_count = policy._fill_count
+        stacks = policy._stacks
+        next_write = index.next_write
+        num_sets = index.num_sets
+        way_keys = [0] * (num_sets * associativity)
+        way_fill = [0] * (num_sets * associativity)
+        filled_by_set = [0] * num_sets
+        ods: List[Optional["OrderedDict[int, None]"]] = [None] * num_sets
+        movers: List = [None] * num_sets
+        lookup = {}
+        lookup_get = lookup.get
+        hits = [True] * len(accesses)
+        writeback_total = 0
+        for position, key in enumerate(index.block_keys):
+            way = lookup_get(key)
+            if way is not None:
+                movers[set_indices[position]](way)
+                continue
+            hits[position] = False
+            set_index = set_indices[position]
+            od = ods[set_index]
+            if od is None:
+                od = OrderedDict()
+                for entry in reversed(stacks[set_index]):
+                    od[entry] = None
+                ods[set_index] = od
+                movers[set_index] = od.move_to_end
+            role = roles[set_index]
+            if role == lru_leader:
+                if psel < psel_max:
+                    psel += 1
+            elif role == bip_leader:
+                if psel > 0:
+                    psel -= 1
+            base = set_index * associativity
+            filled = filled_by_set[set_index]
+            if filled < associativity:
+                way = filled
+                filled_by_set[set_index] = filled + 1
+            else:
+                way = next(iter(od))  # front = LRU = object stack[-1]
+                frame = base + way
+                if next_write[way_fill[frame]] < position:
+                    writeback_total += 1
+                del lookup[way_keys[frame]]
+            frame = base + way
+            lookup[key] = way
+            way_keys[frame] = key
+            way_fill[frame] = position
+            if role == lru_leader:
+                insert_mru = True
+            elif role == bip_leader or psel > psel_half:
+                fill_count += 1
+                insert_mru = fill_count % epsilon == 0
+            else:
+                insert_mru = True
+            if insert_mru:
+                movers[set_index](way)
+            else:
+                movers[set_index](way, False)
+        policy.psel = psel
+        policy._fill_count = fill_count
+        for set_index, od in enumerate(ods):
+            if od is not None:
+                stack = list(od)
+                stack.reverse()
+                stacks[set_index][:] = stack
+        filled_total = _commit_flat(
+            soa, index, way_keys, way_fill, filled_by_set, associativity
+        )
+        return _finish(hits, filled_total, writeback_total)
+
+
+class _BRRIPKernel:
+    """Bimodal RRIP in stream order (global fill throttle) over a flat
+    RRPV plane; the policy's live per-set lists are refreshed from the
+    plane at the end."""
+
+    name = "brrip"
+
+    def supports(self, cache, policy) -> Optional[str]:
+        return None
+
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+        associativity = cache.geometry.associativity
+        rrpv_max = policy.rrpv_max
+        long_insert = rrpv_max - 1
+        epsilon = policy.epsilon_inverse
+        fill_count = policy._fill_count
+        all_rrpv = policy._rrpv
+        flat_rrpv: List[int] = []
+        for values in all_rrpv:
+            flat_rrpv.extend(values)
+        flat_index = flat_rrpv.index
+        next_write = index.next_write
+        way_keys = [0] * (index.num_sets * associativity)
+        way_fill = [0] * (index.num_sets * associativity)
+        filled_by_set = [0] * index.num_sets
+        lookup = {}
+        lookup_get = lookup.get
+        hits = [True] * len(accesses)
+        writeback_total = 0
+        for position, key in enumerate(index.block_keys):
+            frame = lookup_get(key)
+            if frame is not None:
+                flat_rrpv[frame] = 0
+                continue
+            hits[position] = False
+            set_index = set_indices[position]
+            base = set_index * associativity
+            filled = filled_by_set[set_index]
+            if filled < associativity:
+                frame = base + filled
+                filled_by_set[set_index] = filled + 1
+            else:
+                # Bounded index over the flat plane -- no slice copy on
+                # the common path; the except arm only fires when the
+                # whole set needs aging (no RRPV at the maximum).
+                try:
+                    frame = flat_index(rrpv_max, base, base + associativity)
+                except ValueError:
+                    hi = base + associativity
+                    segment = flat_rrpv[base:hi]
+                    deficit = rrpv_max - max(segment)
+                    segment = [value + deficit for value in segment]
+                    flat_rrpv[base:hi] = segment
+                    frame = base + segment.index(rrpv_max)
+                if next_write[way_fill[frame]] < position:
+                    writeback_total += 1
+                del lookup[way_keys[frame]]
+            lookup[key] = frame
+            way_keys[frame] = key
+            way_fill[frame] = position
+            fill_count += 1
+            flat_rrpv[frame] = (
+                long_insert if fill_count % epsilon == 0 else rrpv_max
+            )
+        policy._fill_count = fill_count
+        for set_index, filled in enumerate(filled_by_set):
+            if filled:
+                base = set_index * associativity
+                all_rrpv[set_index][:] = flat_rrpv[base : base + associativity]
+        filled_total = _commit_flat(
+            soa, index, way_keys, way_fill, filled_by_set, associativity
+        )
+        return _finish(hits, filled_total, writeback_total)
+
+
+class _DRRIPKernel:
+    """Single-core DRRIP set dueling in stream order over a flat RRPV
+    plane.  The thread-aware variant consults per-access core ids
+    against per-core PSELs; ``supports`` declines it so multicore runs
+    keep the object kernel."""
+
+    name = "drrip"
+
+    def supports(self, cache, policy) -> Optional[str]:
+        if policy.num_cores > 1:
+            return "thread-aware-drrip"
+        return None
+
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+        associativity = cache.geometry.associativity
+        rrpv_max = policy.rrpv_max
+        long_insert = rrpv_max - 1
+        epsilon = policy.epsilon_inverse
+        fill_count = policy._fill_count
+        psel = policy.psels[0]
+        psel_max = policy.psel_max
+        psel_half = psel_max // 2
+        follower = policy._FOLLOWER
+        leader_owner = policy._leader_owner
+        leader_is_brrip = policy._leader_is_brrip
+        all_rrpv = policy._rrpv
+        flat_rrpv: List[int] = []
+        for values in all_rrpv:
+            flat_rrpv.extend(values)
+        flat_index = flat_rrpv.index
+        next_write = index.next_write
+        way_keys = [0] * (index.num_sets * associativity)
+        way_fill = [0] * (index.num_sets * associativity)
+        filled_by_set = [0] * index.num_sets
+        lookup = {}
+        lookup_get = lookup.get
+        hits = [True] * len(accesses)
+        writeback_total = 0
+        for position, key in enumerate(index.block_keys):
+            frame = lookup_get(key)
+            if frame is not None:
+                flat_rrpv[frame] = 0
+                continue
+            hits[position] = False
+            set_index = set_indices[position]
+            owner = leader_owner[set_index]
+            is_brrip_leader = owner != follower and leader_is_brrip[set_index]
+            if owner != follower:
+                if is_brrip_leader:
+                    if psel > 0:
+                        psel -= 1
+                elif psel < psel_max:
+                    psel += 1
+            base = set_index * associativity
+            filled = filled_by_set[set_index]
+            if filled < associativity:
+                frame = base + filled
+                filled_by_set[set_index] = filled + 1
+            else:
+                # Bounded index over the flat plane -- no slice copy on
+                # the common path; the except arm only fires when the
+                # whole set needs aging (no RRPV at the maximum).
+                try:
+                    frame = flat_index(rrpv_max, base, base + associativity)
+                except ValueError:
+                    hi = base + associativity
+                    segment = flat_rrpv[base:hi]
+                    deficit = rrpv_max - max(segment)
+                    segment = [value + deficit for value in segment]
+                    flat_rrpv[base:hi] = segment
+                    frame = base + segment.index(rrpv_max)
+                if next_write[way_fill[frame]] < position:
+                    writeback_total += 1
+                del lookup[way_keys[frame]]
+            lookup[key] = frame
+            way_keys[frame] = key
+            way_fill[frame] = position
+            if is_brrip_leader or (owner == follower and psel > psel_half):
+                fill_count += 1
+                value = long_insert if fill_count % epsilon == 0 else rrpv_max
+            else:
+                value = long_insert
+            flat_rrpv[frame] = value
+        policy.psels[0] = psel
+        policy._fill_count = fill_count
+        for set_index, filled in enumerate(filled_by_set):
+            if filled:
+                base = set_index * associativity
+                all_rrpv[set_index][:] = flat_rrpv[base : base + associativity]
+        filled_total = _commit_flat(
+            soa, index, way_keys, way_fill, filled_by_set, associativity
+        )
+        return _finish(hits, filled_total, writeback_total)
+
+
+# The Figure 4-8 baseline families opt in here; everything else falls
+# back to the object kernel.  Registration is exact-type (see
+# ReplacementPolicy.register_array_kernel), so e.g. TADIPPolicy (an
+# LRUPolicy subclass) and SHiPPolicy (an SRRIP derivative) are NOT
+# covered by their parents' kernels.
+LRUPolicy.register_array_kernel(_LRUKernel())
+TreePLRUPolicy.register_array_kernel(_PLRUKernel())
+SRRIPPolicy.register_array_kernel(_SRRIPKernel())
+RandomPolicy.register_array_kernel(_RandomKernel())
+BIPPolicy.register_array_kernel(_BIPKernel())
+DIPPolicy.register_array_kernel(_DIPKernel())
+BRRIPPolicy.register_array_kernel(_BRRIPKernel())
+DRRIPPolicy.register_array_kernel(_DRRIPKernel())

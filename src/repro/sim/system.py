@@ -51,6 +51,12 @@ class RunResult:
     llc_hits: List[bool]
     cache: Optional[Cache] = None
     observers: Sequence[CacheObserver] = ()
+    #: Replay kernel used for the LLC stream ("array" or "object") and,
+    #: for the object kernel, why the array path was not taken.  Strictly
+    #: observational (manifests, /stats) -- never part of exported figure
+    #: data, which stays bit-identical across kernels.
+    kernel: Optional[str] = None
+    kernel_fallback: Optional[str] = None
 
     @property
     def mpki(self) -> float:
@@ -145,7 +151,9 @@ class SingleCoreSystem:
                 instructions=filtered.instructions,
                 llc_accesses=len(stream.accesses),
             )
-        llc_hits = replay(cache, stream.accesses, stream.set_indices, stream.tags)
+        llc_hits = replay(
+            cache, stream.accesses, stream.set_indices, stream.tags, stream=stream
+        )
         timing = self._core.run(filtered, llc_hits) if compute_timing else None
         return RunResult(
             workload=filtered.name,
@@ -156,4 +164,6 @@ class SingleCoreSystem:
             llc_hits=llc_hits,
             cache=cache,
             observers=observers,
+            kernel=cache.last_replay_kernel,
+            kernel_fallback=cache.last_replay_fallback,
         )

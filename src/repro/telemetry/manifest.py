@@ -142,6 +142,8 @@ class RunManifest:
                         "cpu_seconds",
                         "store_hits",
                         "store_misses",
+                        "kernel",
+                        "kernel_fallback",
                     )
                     if key in timing
                 }

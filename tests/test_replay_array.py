@@ -1,0 +1,351 @@
+"""The array-native replay kernels: equivalence, eligibility, fallback.
+
+The array path (:mod:`repro.sim.replay_array` over the
+:mod:`repro.cache.soa` substrate) promises *result transparency*: for
+every registered policy, a replay on the flat planes leaves behind the
+same hit vector, the same :class:`CacheStats`, the same block contents,
+the same per-set tag index, and the same policy-internal state (recency
+stacks, PLRU trees, RRPV arrays, PSEL counters, RNG position) as the
+object kernel.  These tests pin that promise three ways:
+
+* golden equivalence on a deterministic mixed stream, full-state deep
+  compare, for all eight registered policies;
+* a hypothesis property test over random streams and policies;
+* end-to-end sweep bit-identity with the kernel toggled on/off across
+  the serial and parallel (shared-memory) harness paths.
+
+Plus the eligibility matrix: every documented fallback reason must be
+reported (and the object kernel actually used) for the replay shapes
+the array path declines.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache, CacheAccess, CacheObserver
+from repro.cache.geometry import CacheGeometry
+from repro.replacement import (
+    BIPPolicy,
+    BRRIPPolicy,
+    DIPPolicy,
+    DRRIPPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    SHiPPolicy,
+    SRRIPPolicy,
+    TreePLRUPolicy,
+)
+from repro.sim.replay import replay
+from repro.utils.rng import XorShift64
+from repro.vvc.cache import VictimRelocationCache
+
+GEOMETRY = CacheGeometry(size_bytes=16 * 4 * 64, associativity=4, block_bytes=64)
+
+#: Every policy with a registered array kernel; fresh instance per path.
+ARRAY_POLICIES = {
+    "lru": lambda: LRUPolicy(),
+    "plru": lambda: TreePLRUPolicy(),
+    "srrip": lambda: SRRIPPolicy(rrpv_bits=2),
+    "random": lambda: RandomPolicy(seed=0xDEADBEEF),
+    "bip": lambda: BIPPolicy(epsilon_inverse=4),
+    "dip": lambda: DIPPolicy(epsilon_inverse=4),
+    "brrip": lambda: BRRIPPolicy(rrpv_bits=2, epsilon_inverse=4),
+    "drrip": lambda: DRRIPPolicy(rrpv_bits=2, epsilon_inverse=4),
+}
+
+
+def make_stream(geometry, length=4000, write_frac=0.3, seed=7, seq_offset=0):
+    """Deterministic mixed stream: reuse skew, conflicts, writes."""
+    rng = XorShift64(seed)
+    footprint = geometry.num_sets * geometry.associativity * 3
+    accesses = []
+    for position in range(length):
+        block = rng.randrange(footprint)
+        if rng.random() < 0.5:
+            block = rng.randrange(max(1, footprint // 8))
+        accesses.append(
+            CacheAccess(
+                address=block * geometry.block_bytes,
+                pc=block & 0xFFFF,
+                is_write=rng.random() < write_frac,
+                seq=position + seq_offset,
+                core=0,
+            )
+        )
+    return accesses
+
+
+def decompose(geometry, accesses):
+    offset_bits = geometry.offset_bits
+    index_mask = geometry.num_sets - 1
+    set_indices = [(a.address >> offset_bits) & index_mask for a in accesses]
+    tags = [(a.address >> offset_bits) >> geometry.index_bits for a in accesses]
+    return set_indices, tags
+
+
+def policy_state(policy):
+    """Every array-kernel-touched policy internal, repr-compared."""
+    state = {}
+    for attr in (
+        "_stacks", "_trees", "_rrpv", "psel", "psels", "_fill_count",
+        "_set_role", "_leader_owner", "_leader_is_brrip",
+    ):
+        if hasattr(policy, attr):
+            state[attr] = repr(getattr(policy, attr))
+    rng = getattr(policy, "_rng", None)
+    if rng is not None:
+        state["_rng"] = rng._state
+    return state
+
+
+def block_state(cache):
+    return [
+        (
+            block.valid, block.tag, block.dirty, block.predicted_dead,
+            block.fill_seq, block.last_access_seq, block.access_count,
+            dict(block.meta) if block.meta else {},
+        )
+        for blocks in cache.sets
+        for block in blocks
+    ]
+
+
+def replay_both(policy_factory, geometry, accesses, monkeypatch):
+    """Replay on the object then the array kernel; return both sides."""
+    set_indices, tags = decompose(geometry, accesses)
+    results = {}
+    for mode in ("0", "1"):
+        monkeypatch.setenv("REPRO_ARRAY_KERNEL", mode)
+        cache = Cache(geometry, policy_factory())
+        hits = replay(cache, accesses, set_indices, tags)
+        results[mode] = (hits, cache)
+    return results["0"], results["1"]
+
+
+def assert_equivalent(object_side, array_side):
+    object_hits, object_cache = object_side
+    array_hits, array_cache = array_side
+    assert array_cache.last_replay_kernel == "array", (
+        f"array kernel declined: {array_cache.last_replay_fallback}"
+    )
+    assert object_cache.last_replay_kernel == "object"
+    assert array_hits == object_hits
+    assert array_cache.stats.snapshot() == object_cache.stats.snapshot()
+    assert array_cache._tag_index == object_cache._tag_index
+    assert block_state(array_cache) == block_state(object_cache)
+    assert policy_state(array_cache.policy) == policy_state(object_cache.policy)
+
+
+# ----------------------------------------------------------------------
+# golden equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("write_frac", [0.0, 0.3])
+@pytest.mark.parametrize("name", sorted(ARRAY_POLICIES))
+def test_array_kernel_matches_object_kernel(name, write_frac, monkeypatch):
+    accesses = make_stream(GEOMETRY, write_frac=write_frac)
+    object_side, array_side = replay_both(
+        ARRAY_POLICIES[name], GEOMETRY, accesses, monkeypatch
+    )
+    assert_equivalent(object_side, array_side)
+    # The stream must actually exercise hits, evictions, and (when
+    # writing) writebacks, or the equivalence is vacuous.
+    stats = array_side[1].stats
+    assert stats.hits > 0 and stats.misses > 0 and stats.evictions > 0
+    if write_frac:
+        assert stats.writebacks > 0
+
+
+@pytest.mark.parametrize("name", ["lru", "drrip"])
+def test_array_kernel_handles_stream_seq_offsets(name, monkeypatch):
+    """seq != position streams hit the materializer's slow seq branch."""
+    accesses = make_stream(GEOMETRY, length=2000, seq_offset=10_000)
+    object_side, array_side = replay_both(
+        ARRAY_POLICIES[name], GEOMETRY, accesses, monkeypatch
+    )
+    assert_equivalent(object_side, array_side)
+    resident = [b for b in block_state(array_side[1]) if b[0]]
+    assert resident and all(b[4] >= 10_000 for b in resident)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    length=st.integers(64, 600),
+    write_frac=st.sampled_from([0.0, 0.2, 0.6]),
+    name=st.sampled_from(sorted(ARRAY_POLICIES)),
+)
+@settings(max_examples=60, deadline=None)
+def test_array_kernel_equivalence_property(seed, length, write_frac, name):
+    """Random streams, every policy: the kernels never diverge."""
+    geometry = CacheGeometry(size_bytes=8 * 2 * 64, associativity=2)
+    accesses = make_stream(
+        geometry, length=length, write_frac=write_frac, seed=seed | 1
+    )
+    monkeypatch = pytest.MonkeyPatch()
+    try:
+        object_side, array_side = replay_both(
+            ARRAY_POLICIES[name], geometry, accesses, monkeypatch
+        )
+    finally:
+        monkeypatch.undo()
+    assert_equivalent(object_side, array_side)
+
+
+# ----------------------------------------------------------------------
+# eligibility and fallback attribution
+# ----------------------------------------------------------------------
+STREAM = make_stream(GEOMETRY)
+SET_INDICES, TAGS = decompose(GEOMETRY, STREAM)
+
+
+def expect_fallback(cache, reason, accesses=STREAM,
+                    set_indices=SET_INDICES, tags=TAGS):
+    object_cache = Cache(GEOMETRY, LRUPolicy())
+    expected = replay(object_cache, accesses, set_indices, tags)
+    hits = replay(cache, accesses, set_indices, tags)
+    assert cache.last_replay_kernel == "object"
+    assert cache.last_replay_fallback == reason
+    return hits, expected
+
+
+def test_fallback_env_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "0")
+    cache = Cache(GEOMETRY, LRUPolicy())
+    hits, expected = expect_fallback(cache, "disabled")
+    assert hits == expected
+
+
+def test_fallback_paranoid(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    cache = Cache(GEOMETRY, LRUPolicy(), paranoid=True)
+    hits, expected = expect_fallback(cache, "paranoid")
+    assert hits == expected
+
+
+def test_fallback_no_decomposition(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    cache = Cache(GEOMETRY, LRUPolicy())
+    hits, expected = expect_fallback(
+        cache, "no-decomposition", set_indices=None, tags=None
+    )
+    assert hits == expected
+
+
+def test_fallback_warm_cache(monkeypatch):
+    """The first replay runs on the planes; a second one is warm."""
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    cache = Cache(GEOMETRY, LRUPolicy())
+    replay(cache, STREAM, SET_INDICES, TAGS)
+    assert cache.last_replay_kernel == "array"
+    replay(cache, STREAM, SET_INDICES, TAGS)
+    assert cache.last_replay_kernel == "object"
+    assert cache.last_replay_fallback == "warm-cache"
+
+    object_cache = Cache(GEOMETRY, LRUPolicy())
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "0")
+    replay(object_cache, STREAM, SET_INDICES, TAGS)
+    replay(object_cache, STREAM, SET_INDICES, TAGS)
+    assert cache.stats.snapshot() == object_cache.stats.snapshot()
+    assert block_state(cache) == block_state(object_cache)
+
+
+def test_fallback_small_stream(monkeypatch):
+    """Streams shorter than the frame count can't amortize the planes."""
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    short = STREAM[: GEOMETRY.num_sets * GEOMETRY.associativity - 1]
+    cache = Cache(GEOMETRY, LRUPolicy())
+    hits, expected = expect_fallback(
+        cache, "small-stream", accesses=short,
+        set_indices=SET_INDICES[: len(short)], tags=TAGS[: len(short)],
+    )
+    assert hits == expected
+
+
+def test_fallback_unregistered_policy(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    cache = Cache(GEOMETRY, SHiPPolicy())
+    replay(cache, STREAM, SET_INDICES, TAGS)
+    assert cache.last_replay_kernel == "object"
+    assert cache.last_replay_fallback == "policy:SHiPPolicy"
+
+
+def test_fallback_thread_aware_drrip(monkeypatch):
+    """The DRRIP kernel registers but declines multicore set dueling."""
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    cache = Cache(GEOMETRY, DRRIPPolicy(num_cores=2))
+    replay(cache, STREAM, SET_INDICES, TAGS)
+    assert cache.last_replay_kernel == "object"
+    assert cache.last_replay_fallback == "thread-aware-drrip"
+
+
+class _NullObserver(CacheObserver):
+    pass
+
+
+def test_fallback_observers(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    cache = Cache(GEOMETRY, LRUPolicy())
+    cache.add_observer(_NullObserver())
+    replay(cache, STREAM, SET_INDICES, TAGS)
+    assert cache.last_replay_kernel == "object"
+    assert cache.last_replay_fallback == "observers"
+
+
+def test_fallback_cache_subclass(monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    cache = VictimRelocationCache(GEOMETRY, LRUPolicy())
+    replay(cache, STREAM, SET_INDICES, TAGS)
+    assert cache.last_replay_kernel == "object"
+    assert cache.last_replay_fallback == "cache-subclass"
+
+
+def test_fallback_probe(monkeypatch):
+    from repro.telemetry.probe import IntervalRecorder
+
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    cache = Cache(GEOMETRY, LRUPolicy(), probe=IntervalRecorder(epochs=4))
+    hits = replay(cache, STREAM, SET_INDICES, TAGS)
+    assert cache.last_replay_kernel == "object"
+    assert cache.last_replay_fallback == "probe"
+
+    object_cache = Cache(GEOMETRY, LRUPolicy())
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "0")
+    assert hits == replay(object_cache, STREAM, SET_INDICES, TAGS)
+
+
+# ----------------------------------------------------------------------
+# end-to-end sweep bit-identity, kernel on vs off
+# ----------------------------------------------------------------------
+SWEEP_BENCHMARKS = ("mcf",)
+SWEEP_TECHNIQUES = ("lru", "rrip")
+
+
+def run_sweep(monkeypatch, array_kernel, **kwargs):
+    from repro.harness.export import to_dict
+    from repro.harness.parallel import parallel_single_thread_comparison
+    from repro.harness.runner import ExperimentConfig
+
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1" if array_kernel else "0")
+    config = ExperimentConfig(instructions=30_000)
+    comparison = parallel_single_thread_comparison(
+        config, SWEEP_TECHNIQUES, SWEEP_BENCHMARKS, **kwargs
+    )
+    return to_dict(comparison)
+
+
+def test_sweep_bit_identity_array_on_off_serial(monkeypatch):
+    assert run_sweep(monkeypatch, True, jobs=1) == run_sweep(
+        monkeypatch, False, jobs=1
+    )
+
+
+@pytest.mark.faults
+def test_sweep_bit_identity_array_on_parallel_shm(monkeypatch):
+    """Array kernel inside spawn workers with shared-memory streams must
+    match the kernel-off serial sweep bit for bit.  (Workers inherit
+    ``REPRO_ARRAY_KERNEL`` through ``os.environ`` at spawn.)"""
+    parallel = run_sweep(monkeypatch, True, jobs=2, shared_memory=True)
+    serial = run_sweep(monkeypatch, False, jobs=1)
+    assert parallel == serial
