@@ -5,7 +5,7 @@ PYTHON ?= python
 # Let every target run from a fresh clone, installed or not.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-faults test-service lint check bench bench-smoke serve-smoke figures figures-fast results clean clean-cache help
+.PHONY: install test test-faults test-service test-fleet lint check bench bench-smoke serve-smoke fleet-smoke figures figures-fast results clean clean-cache help
 
 # The compiled workload store (see docs/performance.md).  `make clean`
 # leaves it alone -- warm starts are the point; `make clean-cache`
@@ -17,11 +17,13 @@ help:
 	@echo "test         run the unit/property test suite"
 	@echo "test-faults  fault-injection / supervision tests only (hard per-test deadlines)"
 	@echo "test-service experiment-service tests only (hard per-test deadlines)"
+	@echo "test-fleet   worker-fleet tests only: leases, heartbeats, re-dispatch, chaos (hard per-test deadlines)"
 	@echo "lint         ruff check (skips with a notice when ruff is not installed)"
-	@echo "check        lint + test suite + fault tests + bench-smoke + serve-smoke (the default pre-commit gate)"
+	@echo "check        lint + test suite + fault tests + bench-smoke + serve-smoke + fleet-smoke (the default pre-commit gate)"
 	@echo "bench        measure replay-engine throughput -> BENCH_PR1.json"
 	@echo "bench-smoke  tiny-budget bench harness validation -> BENCH_SMOKE.json"
 	@echo "serve-smoke  boot the job service, run a sweep through the client SDK, assert bit-identity with serial"
+	@echo "fleet-smoke  chaos gate: fleet server + 2 workers, one chaos-killed mid-lease; re-dispatch must yield a bit-identical sweep"
 	@echo "figures      regenerate every paper table and figure"
 	@echo "figures-fast quick figure pass (scale 1/32, short traces)"
 	@echo "results      show the rendered experiment tables"
@@ -46,6 +48,12 @@ test-faults:
 test-service:
 	$(PYTHON) -m pytest tests/ -m service
 
+# The fleet tests exercise lease-based dispatch, heartbeat expiry,
+# journal recovery, and chaos injection against real worker code; same
+# hard per-test deadlines as the other liveness-sensitive suites.
+test-fleet:
+	$(PYTHON) -m pytest tests/ -m fleet
+
 # Lint config lives in pyproject.toml ([tool.ruff]).  Ruff is optional --
 # environments without it (e.g. the hermetic CI container) skip the gate
 # with a notice rather than failing the whole check.
@@ -58,7 +66,7 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff to enable)"; \
 	fi
 
-check: lint test test-faults bench-smoke serve-smoke
+check: lint test test-faults bench-smoke serve-smoke fleet-smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_throughput.py
@@ -72,6 +80,13 @@ bench-smoke:
 # hard SIGALRM deadline so a wedged server fails the gate loudly.
 serve-smoke:
 	$(PYTHON) -m repro.service.smoke
+
+# Boots a fleet-mode server plus two real `repro worker` subprocesses,
+# chaos-kills one mid-lease (REPRO_CHAOS=kill:1@1), and requires the
+# re-dispatched sweep to come out bit-identical to the serial run with
+# the re-dispatch/dedup counters visible in /v1/stats.
+fleet-smoke:
+	$(PYTHON) -m repro.service.smoke_fleet
 
 figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

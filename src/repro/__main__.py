@@ -17,7 +17,12 @@ Commands:
 * ``cache`` -- inspect or prune the compiled workload store
   (``--footprint`` / ``--evict`` / ``--clear``).
 * ``storage`` / ``power`` -- print Tables I and II.
-* ``serve`` -- run the experiment job service (docs/service.md).
+* ``serve`` -- run the experiment job service (docs/service.md); with
+  ``--fleet``, dispatch cells to remote ``repro worker`` processes under
+  time-bounded leases instead of a local process pool.
+* ``worker`` -- join a fleet-mode service: pull leased cell batches,
+  execute them, post results; survives server restarts and its own
+  crashes (the lease re-dispatches).
 * ``submit`` -- submit a cell or sweep to a running service and
   optionally wait for / stream / export its result.
 * ``jobs`` -- list, inspect, or cancel service jobs; show ``/v1/stats``.
@@ -418,7 +423,37 @@ def _cmd_serve(args) -> int:
         shared_memory=args.shm or None,
         jobs=args.jobs,
         queue_depth=args.queue_depth,
+        fleet=args.fleet,
+        lease_ttl=args.lease_ttl,
+        heartbeat_seconds=args.heartbeat_sec,
+        lease_cells=args.lease_cells,
     )
+
+
+def _cmd_worker(args) -> int:
+    import signal as _signal
+
+    from repro.service.worker import FleetWorker
+
+    worker = FleetWorker(
+        args.connect,
+        name=args.name or None,
+        stream_cache=args.stream_cache,
+        max_cells=args.max_cells,
+        once=args.once,
+        poll_seconds=args.poll,
+    )
+    for signum in (_signal.SIGTERM, _signal.SIGINT):
+        _signal.signal(signum, lambda *_: worker.stop())
+    code = worker.run()
+    print(
+        f"worker {worker.name} exiting: "
+        f"{worker.stats['cells_completed']} cells completed, "
+        f"{worker.stats['cells_failed']} failed, "
+        f"{worker.stats['leases_processed']} leases",
+        flush=True,
+    )
+    return code
 
 
 def _service_client(args):
@@ -690,6 +725,52 @@ def main(argv=None) -> int:
         "--queue-depth", type=int, default=256,
         help="max queued cells before submissions get 429 (default: 256)",
     )
+    serve_parser.add_argument(
+        "--fleet", action="store_true",
+        help="dispatch cells to remote `repro worker` processes under "
+             "time-bounded leases instead of a local process pool",
+    )
+    serve_parser.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="lease time-to-live before re-dispatch "
+             "(default: REPRO_LEASE_TTL or 60)",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-sec", type=float, default=None, metavar="SECONDS",
+        help="worker heartbeat interval "
+             "(default: REPRO_HEARTBEAT_SEC or 5)",
+    )
+    serve_parser.add_argument(
+        "--lease-cells", type=int, default=None,
+        help="max cells per lease (default: 4)",
+    )
+    worker_parser = subparsers.add_parser(
+        "worker", help="join a fleet-mode service as a worker"
+    )
+    worker_parser.add_argument(
+        "--connect", "--url", dest="connect", required=True,
+        metavar="URL", help="fleet-mode service base URL",
+    )
+    worker_parser.add_argument(
+        "--name", default=None, help="worker name (default: host-pid)"
+    )
+    worker_parser.add_argument(
+        "--stream-cache", default=None, metavar="DIR",
+        help="local compiled workload store "
+             "(default: REPRO_STREAM_CACHE or in-memory only)",
+    )
+    worker_parser.add_argument(
+        "--max-cells", type=int, default=None,
+        help="cap cells per lease (default: server's lease size)",
+    )
+    worker_parser.add_argument(
+        "--once", action="store_true",
+        help="exit when the fleet has no queued or leased cells left",
+    )
+    worker_parser.add_argument(
+        "--poll", type=float, default=None, metavar="SECONDS",
+        help="idle re-poll interval (default: server's hint)",
+    )
     submit_parser = subparsers.add_parser(
         "submit", help="submit a cell or sweep to a running service"
     )
@@ -741,6 +822,7 @@ def main(argv=None) -> int:
         "profile": _cmd_profile,
         "cache": _cmd_cache,
         "serve": _cmd_serve,
+        "worker": _cmd_worker,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "storage": _cmd_storage,

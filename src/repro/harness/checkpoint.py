@@ -49,9 +49,49 @@ from typing import Optional, Union
 from repro.harness.runner import ExperimentConfig
 from repro.sim.system import RunResult
 
-__all__ = ["CheckpointStore", "resolve_checkpoint_dir"]
+__all__ = [
+    "CheckpointStore",
+    "resolve_checkpoint_dir",
+    "result_from_wire",
+    "result_to_wire",
+]
 
 _FORMAT = "v1"
+
+
+def result_to_wire(result: RunResult) -> bytes:
+    """Serialize one cell result for transport (fleet completions).
+
+    Strips the cache and observers exactly as :meth:`CheckpointStore.store`
+    does -- the wire carries stats, timing, and hit vectors, never live
+    simulator state -- so a result that crossed the fleet protocol is
+    byte-for-byte the result a local checkpoint write would have stored.
+    """
+    stripped = copy.copy(result)
+    stripped.cache = None
+    stripped.observers = ()
+    return pickle.dumps(stripped, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def result_from_wire(data: bytes) -> RunResult:
+    """Decode a :func:`result_to_wire` payload.
+
+    Raises ValueError on anything that does not decode to a
+    :class:`RunResult` -- a torn transfer or a confused sender must
+    surface as a protocol error, never land in the checkpoint store.
+    """
+    try:
+        payload = pickle.loads(data)
+    except Exception as exc:
+        raise ValueError(
+            f"undecodable result payload: {type(exc).__name__}: {exc}"
+        ) from None
+    if not isinstance(payload, RunResult):
+        raise ValueError(
+            f"result payload decoded to {type(payload).__name__}, "
+            "expected RunResult"
+        )
+    return payload
 
 
 def resolve_checkpoint_dir(

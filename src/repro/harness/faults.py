@@ -36,6 +36,19 @@ sleeps until its deadline), ``raise`` (the worker raises a transient
 exception).  Whether a given (cell, attempt) pair faults is a pure hash
 of the mode, cell identity, and attempt number, so injected failure
 patterns are reproducible and retries can deterministically succeed.
+
+The fleet dispatch path (docs/service.md) has its own chaos harness,
+``REPRO_CHAOS``, extending the same deterministic-draw idea across the
+service: ``REPRO_CHAOS=kill:1@1,heartbeat:0.5,slow:0.2,blob:1``.
+Modes: ``kill`` (a fleet worker ``os._exit``\\ s before executing a
+leased cell), ``heartbeat`` (the worker silently skips heartbeat
+sends), ``slow`` (the worker stalls past its lease TTL before a cell,
+forcing expiry and split-brain re-dispatch while still computing), and
+``blob`` (the *server* truncates a stream-blob transfer so the client
+exercises torn-transfer detection).  Each mode takes an optional
+``@N`` attempt cap: ``kill:1@1`` fires only on a cell's first dispatch
+attempt, so the re-dispatch deterministically survives.  See
+:class:`ChaosSpec`.
 """
 
 from __future__ import annotations
@@ -53,11 +66,14 @@ __all__ = [
     "CellCrashed",
     "CellError",
     "CellTimeout",
+    "ChaosRule",
+    "ChaosSpec",
     "FaultPolicy",
     "SweepAborted",
     "cell_label",
     "drain_cleanup_hooks",
     "maybe_inject_fault",
+    "parse_chaos_spec",
     "parse_fault_spec",
     "run_cells_supervised",
 ]
@@ -293,6 +309,114 @@ def maybe_inject_fault(
             f"injected transient fault ({cell_label((benchmark, technique_key))}, "
             f"attempt {attempt})"
         )
+
+
+# ----------------------------------------------------------------------
+# fleet chaos harness (REPRO_CHAOS)
+# ----------------------------------------------------------------------
+_CHAOS_MODES = ("kill", "heartbeat", "slow", "blob")
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One chaos mode's firing rule.
+
+    ``probability`` is the per-draw chance; ``max_attempt`` (when set)
+    limits firing to dispatch attempts ``<= max_attempt``, which is how
+    ``kill:1@1`` kills a worker on a cell's first dispatch while the
+    re-dispatched attempt deterministically survives.
+    """
+
+    probability: float
+    max_attempt: Optional[int] = None
+
+
+def parse_chaos_spec(text: Optional[str]) -> Dict[str, ChaosRule]:
+    """Parse ``"kill:1@1,heartbeat:0.5,blob"`` into ``{mode: rule}``.
+
+    Syntax per entry: ``mode[:probability][@max_attempt]``; probability
+    defaults to 1.0.  Raises ValueError on unknown modes, probabilities
+    outside [0, 1], or non-positive attempt caps.
+    """
+    spec: Dict[str, ChaosRule] = {}
+    if not text or not text.strip():
+        return spec
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        body, _, cap_text = part.partition("@")
+        mode, _, prob_text = body.partition(":")
+        mode = mode.strip()
+        if mode not in _CHAOS_MODES:
+            raise ValueError(
+                f"unknown chaos mode {mode!r} "
+                f"(valid: {', '.join(_CHAOS_MODES)})"
+            )
+        try:
+            probability = float(prob_text) if prob_text.strip() else 1.0
+        except ValueError:
+            raise ValueError(
+                f"bad chaos probability {prob_text!r} for mode {mode!r}"
+            ) from None
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(
+                f"chaos probability must be in [0, 1], got {probability}"
+            )
+        max_attempt: Optional[int] = None
+        if cap_text.strip():
+            try:
+                max_attempt = int(cap_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad chaos attempt cap {cap_text!r} for mode {mode!r}"
+                ) from None
+            if max_attempt < 1:
+                raise ValueError(
+                    f"chaos attempt cap must be >= 1, got {max_attempt}"
+                )
+        spec[mode] = ChaosRule(probability, max_attempt)
+    return spec
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """The parsed ``REPRO_CHAOS`` harness for one process.
+
+    Firing is a pure function of ``(mode, identity, attempt)`` -- the
+    same sha256 draw scheme as ``REPRO_FAULT_INJECT`` -- so a chaos run
+    is exactly reproducible: the same worker processing the same cell
+    on the same dispatch attempt always makes the same draw, while a
+    re-dispatch (higher attempt) redraws.
+    """
+
+    rules: Tuple[Tuple[str, ChaosRule], ...] = ()
+
+    @classmethod
+    def from_env(cls, explicit: Optional[str] = None) -> "ChaosSpec":
+        text = explicit if explicit is not None else os.environ.get("REPRO_CHAOS")
+        return cls(rules=tuple(sorted(parse_chaos_spec(text).items())))
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def rule(self, mode: str) -> Optional[ChaosRule]:
+        for name, rule in self.rules:
+            if name == mode:
+                return rule
+        return None
+
+    def fires(self, mode: str, identity: str, attempt: int = 1) -> bool:
+        """Whether ``mode`` fires for this (identity, attempt) draw."""
+        rule = self.rule(mode)
+        if rule is None:
+            return False
+        if rule.max_attempt is not None and attempt > rule.max_attempt:
+            return False
+        text = f"chaos|{mode}|{identity}|{attempt}"
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return draw < rule.probability
 
 
 # ----------------------------------------------------------------------

@@ -19,7 +19,12 @@ turns the same machinery into a long-lived, multi-tenant dispatcher:
   HTTP/1.1 front end (``POST /v1/jobs``, streamed NDJSON progress,
   ``/v1/stats``, ...).
 * :mod:`repro.service.client` -- the blocking client SDK behind
-  ``repro submit`` / ``repro jobs`` / ``repro serve``.
+  ``repro submit`` / ``repro jobs`` / ``repro serve``, with bounded
+  retry (exponential backoff + jitter) on transient failures.
+* :mod:`repro.service.fleet` / :mod:`repro.service.worker` -- the
+  fault-tolerant worker fleet (``repro serve --fleet`` + ``repro
+  worker``): lease-based dispatch with heartbeats, expiry re-dispatch,
+  a write-ahead lease journal, and digest-addressed blob transfer.
 
 Results served through the service are bit-identical to ``make``-driven
 sweeps; ``tests/test_service_http.py`` pins the golden equality and
@@ -28,13 +33,17 @@ See docs/service.md.
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.fleet import FleetCoordinator
 from repro.service.jobs import Job, JobStore, QueueFull, cell_key
 from repro.service.scheduler import ExperimentScheduler
 from repro.service.server import ExperimentServer, serve
+from repro.service.worker import FleetWorker
 
 __all__ = [
     "ExperimentScheduler",
     "ExperimentServer",
+    "FleetCoordinator",
+    "FleetWorker",
     "Job",
     "JobStore",
     "QueueFull",

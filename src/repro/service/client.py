@@ -3,8 +3,9 @@
 A thin, dependency-free wrapper over :mod:`http.client` (stdlib) that
 speaks the ``/v1`` API: submit jobs, poll or stream their progress,
 fetch results, cancel, and read server stats.  This is the library the
-``repro submit`` / ``repro jobs`` CLI commands are built on, and the
-one the golden bit-identity smoke test drives.
+``repro submit`` / ``repro jobs`` CLI commands are built on, the one
+the golden bit-identity smoke tests drive, and -- via the ``fleet_*``
+methods -- the transport layer of every fleet worker.
 
     client = ServiceClient("http://127.0.0.1:8035")
     job = client.submit(benchmarks=["mcf"], techniques=["sampler"], sweep=True)
@@ -14,18 +15,30 @@ one the golden bit-identity smoke test drives.
 
 Every HTTP error surfaces as :class:`ServiceError` carrying the status
 code and the server's message; 429 backpressure additionally carries
-``retry_after`` so callers can back off and resubmit.
+``retry_after``.
+
+Transient failures are retried *inside* the client: connection resets
+and refusals, torn responses, and 429/503 answers are retried up to
+``max_retries`` times with exponential backoff plus jitter (a server's
+``Retry-After`` hint, when present, overrides the computed delay, capped
+at ``backoff_cap``).  Other 4xx/5xx statuses are never retried -- they
+are answers, not weather.  Construct with ``max_retries=0`` to disable
+retries entirely and see every failure raw (the backpressure tests and
+the fleet blob fetch path, which runs its own attempt loop, do this).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 import urllib.parse
 from typing import Dict, Iterator, List, Optional, Sequence
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+_RETRYABLE_STATUSES = (429, 503)
 
 
 class ServiceError(Exception):
@@ -39,9 +52,27 @@ class ServiceError(Exception):
 
 
 class ServiceClient:
-    """Blocking client bound to one service base URL."""
+    """Blocking client bound to one service base URL.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    Args:
+        base_url: ``http://host:port`` (scheme optional).
+        timeout: per-request socket timeout, seconds.
+        max_retries: extra attempts after a retryable failure (429/503
+            or a transport error); 0 disables retrying.
+        backoff: base delay before the first retry, seconds; doubles per
+            attempt with jitter in ``[0.5, 1.0]`` of the computed delay.
+        backoff_cap: upper bound on any single delay, including one a
+            ``Retry-After`` header asks for.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        max_retries: int = 3,
+        backoff: float = 0.1,
+        backoff_cap: float = 2.0,
+    ) -> None:
         parsed = urllib.parse.urlsplit(base_url)
         if parsed.scheme not in ("http", ""):
             raise ValueError(f"unsupported scheme {parsed.scheme!r} (http only)")
@@ -50,11 +81,15 @@ class ServiceClient:
         self.host = host or "127.0.0.1"
         self.port = int(port) if port else 80
         self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.retries_performed = 0  # observability: total retries, all calls
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _request(
+    def _request_once(
         self, method: str, path: str, body: Optional[Dict] = None
     ) -> Dict:
         connection = http.client.HTTPConnection(
@@ -77,6 +112,39 @@ class ServiceClient:
             return data
         finally:
             connection.close()
+
+    def _retry_delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        """Delay before retry number ``attempt`` (1-based); the server's
+        ``Retry-After``, when given, wins -- capped, never amplified."""
+        if retry_after is not None:
+            return min(max(retry_after, 0.0), self.backoff_cap)
+        delay = min(self.backoff_cap, self.backoff * (2.0 ** (attempt - 1)))
+        return delay * (0.5 + random.random() / 2.0)
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> Dict:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as exc:
+                if (
+                    exc.status not in _RETRYABLE_STATUSES
+                    or attempt >= self.max_retries
+                ):
+                    raise
+                delay = self._retry_delay(attempt + 1, exc.retry_after)
+            except (OSError, http.client.HTTPException):
+                # Connection refused/reset, timeout, torn response --
+                # the request may or may not have landed; every /v1
+                # mutation is idempotent or dedup'd, so retrying is safe.
+                if attempt >= self.max_retries:
+                    raise
+                delay = self._retry_delay(attempt + 1, None)
+            attempt += 1
+            self.retries_performed += 1
+            time.sleep(delay)
 
     # ------------------------------------------------------------------
     # API surface
@@ -179,3 +247,87 @@ class ServiceClient:
         """Submit, wait for terminal state, and return the final job."""
         job = self.submit(**submit_kwargs)
         return self.wait(job["id"], timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # fleet protocol (workers)
+    # ------------------------------------------------------------------
+    def fleet_register(
+        self, name: str = "", pid: Optional[int] = None, host: str = ""
+    ) -> Dict:
+        return self._request(
+            "POST",
+            "/v1/fleet/register",
+            {"name": name, "pid": pid, "host": host},
+        )
+
+    def fleet_lease(
+        self, worker_id: str, max_cells: Optional[int] = None
+    ) -> Dict:
+        body: Dict = {"worker_id": worker_id}
+        if max_cells is not None:
+            body["max_cells"] = int(max_cells)
+        return self._request("POST", "/v1/fleet/lease", body)
+
+    def fleet_heartbeat(
+        self, worker_id: str, lease_ids: Sequence[str]
+    ) -> Dict:
+        return self._request(
+            "POST",
+            "/v1/fleet/heartbeat",
+            {"worker_id": worker_id, "leases": list(lease_ids)},
+        )
+
+    def fleet_complete(
+        self,
+        worker_id: str,
+        lease_id: str,
+        key: str,
+        status: str,
+        result: Optional[str] = None,
+        error: str = "",
+        timing: Optional[Dict[str, float]] = None,
+    ) -> Dict:
+        body: Dict = {
+            "worker_id": worker_id,
+            "lease_id": lease_id,
+            "key": key,
+            "status": status,
+            "error": error,
+        }
+        if result is not None:
+            body["result"] = result
+        if timing is not None:
+            body["timing"] = dict(timing)
+        return self._request("POST", "/v1/fleet/complete", body)
+
+    def fleet_deregister(self, worker_id: str) -> Dict:
+        return self._request(
+            "POST", "/v1/fleet/deregister", {"worker_id": worker_id}
+        )
+
+    def fetch_blob(self, digest: str, attempt: int = 1) -> bytes:
+        """Raw stream-blob bytes by digest.
+
+        Deliberately *not* auto-retried: the worker runs its own attempt
+        loop so it can verify each transfer (decode + digest) before
+        trusting it, and so chaos blob-truncation draws see true attempt
+        numbers.
+        """
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                "GET", f"/v1/blobs/{digest}?attempt={int(attempt)}"
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            if response.status >= 400:
+                try:
+                    message = json.loads(raw.decode("utf-8")).get("error", "")
+                except Exception:
+                    message = raw.decode("utf-8", "replace")
+                raise ServiceError(response.status, message)
+            return raw
+        finally:
+            connection.close()

@@ -27,12 +27,20 @@ server leaves either the old record or the new, never a torn one, and a
 restarted server resumes from the store: ``queued`` jobs re-enqueue,
 ``running`` jobs fall back to ``queued`` (their already-completed cells
 come out of the checkpoint store as instant dedup hits).
+
+A record that does not parse -- torn by a crash mid-rename on an odd
+filesystem, truncated by a full disk, or hand-edited into nonsense --
+is *quarantined* on resume: moved aside into ``<jobs>/corrupt/`` with a
+warning, so it can neither crash the server on every restart nor be
+silently deleted before a human looks at it.  The quarantine count is
+surfaced in ``/healthz``.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 import uuid
 from dataclasses import dataclass, field
@@ -266,6 +274,35 @@ class JobStore:
     def path(self, job_id: str) -> Path:
         return self._jobs / f"{job_id}.json"
 
+    @property
+    def corrupt_dir(self) -> Path:
+        """Where unparseable job records are moved (may not exist yet)."""
+        return self._jobs / "corrupt"
+
+    @property
+    def quarantined_count(self) -> int:
+        """How many corrupt records have been quarantined (``/healthz``)."""
+        try:
+            return sum(1 for _ in self.corrupt_dir.glob("job-*.json"))
+        except OSError:
+            return 0
+
+    def quarantine(self, path: Path) -> None:
+        """Move one unreadable record into ``corrupt/``, loudly."""
+        self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+        target = self.corrupt_dir / path.name
+        try:
+            os.replace(path, target)
+        except OSError:
+            return  # racing writer revived or removed it; leave it be
+        print(
+            f"[jobs] warning: quarantined unreadable job record "
+            f"{path.name} -> {target} (torn write or corruption; "
+            "inspect or delete manually)",
+            file=sys.stderr,
+            flush=True,
+        )
+
     def save(self, job: Job, progress: Optional[Dict[str, int]] = None) -> Path:
         """Persist one job atomically (old record or new, never torn)."""
         path = self.path(job.id)
@@ -285,13 +322,20 @@ class JobStore:
         except Exception:
             return None  # torn or corrupt record: absent, never wrong
 
-    def load_all(self) -> List[Job]:
-        """Every readable job record, in submission (seq) order."""
+    def load_all(self, quarantine: bool = False) -> List[Job]:
+        """Every readable job record, in submission (seq) order.
+
+        With ``quarantine=True``, records that exist but do not parse
+        are moved into ``corrupt/`` (see :meth:`quarantine`) instead of
+        being skipped silently.
+        """
         jobs = []
         for path in sorted(self._jobs.glob("job-*.json")):
             job = self.load(path.stem)
             if job is not None:
                 jobs.append(job)
+            elif quarantine and path.exists():
+                self.quarantine(path)
         jobs.sort(key=lambda job: (job.seq, job.created_at, job.id))
         return jobs
 
@@ -299,8 +343,9 @@ class JobStore:
         """Jobs for a restarting server: non-terminal jobs come back as
         ``queued`` (a job caught ``running`` by a crash re-enqueues; its
         finished cells are checkpoint-store dedup hits) and are
-        re-persisted in that state."""
-        jobs = self.load_all()
+        re-persisted in that state.  Unparseable records are quarantined
+        rather than re-tripped-over on every restart."""
+        jobs = self.load_all(quarantine=True)
         for job in jobs:
             if not job.is_terminal and job.state != "queued":
                 job.state = "queued"

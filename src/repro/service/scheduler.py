@@ -39,6 +39,16 @@ cell of which is already checkpointed), and persists job states.  A
 scheduler constructed over the same job store resumes: terminal jobs
 are served read-only, non-terminal jobs re-admit -- their finished
 cells come back as checkpoint dedup hits, so no work repeats.
+
+Fleet mode (``fleet=True``) replaces the local dispatcher with the
+lease-based worker-fleet protocol of :mod:`repro.service.fleet`:
+queued cells are checked out to registered ``repro worker`` processes
+under time-bounded leases, expired leases re-dispatch, and duplicate
+completions are dropped idempotently (see docs/service.md).  The
+queue, dedup registry, fair-share ordering, and job settlement are
+shared between the two modes -- `fleet_checkout` / `fleet_complete` /
+`fleet_fail` / `fleet_requeue` below are the fleet's entry points into
+the same state machine `_dispatch_loop` drives locally.
 """
 
 from __future__ import annotations
@@ -103,6 +113,7 @@ class _CellEntry:
     __slots__ = (
         "key", "config", "benchmark", "technique", "state",
         "jobs", "priority", "client", "seq", "detail", "timing",
+        "dispatches",
     )
 
     def __init__(
@@ -126,6 +137,7 @@ class _CellEntry:
         self.seq = seq
         self.detail = ""
         self.timing: Optional[Dict[str, float]] = None
+        self.dispatches = 0  # executions started (fleet: lease grants)
 
     @property
     def cell(self) -> Cell:
@@ -173,6 +185,10 @@ class ExperimentScheduler:
         queue_depth: int = 256,
         fault_policy: Optional[FaultPolicy] = None,
         start: bool = True,
+        fleet: bool = False,
+        lease_ttl: Optional[float] = None,
+        heartbeat_seconds: Optional[float] = None,
+        lease_cells: Optional[int] = None,
     ) -> None:
         self.job_store = (
             job_store if isinstance(job_store, JobStore) else JobStore(job_store)
@@ -232,7 +248,22 @@ class ExperimentScheduler:
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
         )
-        if start:
+        #: The fleet coordinator in fleet mode, else None.  In fleet
+        #: mode cells execute on remote `repro worker` processes under
+        #: time-bounded leases, so the local dispatcher thread never
+        #: starts -- the coordinator's monitor thread replaces it.
+        self.fleet = None
+        if fleet:
+            from repro.service.fleet import FleetCoordinator
+
+            self.fleet = FleetCoordinator(
+                self,
+                lease_ttl=lease_ttl,
+                heartbeat_seconds=heartbeat_seconds,
+                lease_cells=lease_cells,
+                start=start,
+            )
+        elif start:
             self._dispatcher.start()
 
     # ------------------------------------------------------------------
@@ -526,6 +557,10 @@ class ExperimentScheduler:
                     "object_cells": self.counters["kernel_object_cells"],
                     "fallbacks": dict(self.kernel_fallbacks),
                 },
+                **(
+                    {"fleet": self.fleet.stats()}
+                    if self.fleet is not None else {}
+                ),
             }
 
     # ------------------------------------------------------------------
@@ -563,9 +598,11 @@ class ExperimentScheduler:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def _pick_batch(self) -> Tuple[Optional[ExperimentConfig], List[_CellEntry]]:
-        """The next batch: all queued cells sharing the best cell's
-        config, in fair-share order (lock held)."""
+    def _pick_batch(
+        self, limit: Optional[int] = None
+    ) -> Tuple[Optional[ExperimentConfig], List[_CellEntry]]:
+        """The next batch: queued cells sharing the best cell's config,
+        in fair-share order, at most ``limit`` of them (lock held)."""
         if not self._queue:
             return None, []
 
@@ -580,9 +617,12 @@ class ExperimentScheduler:
             if self._cells[key].config == best.config
         ]
         batch.sort(key=lambda e: sort_key(e.key))
+        if limit is not None:
+            batch = batch[:limit]
         for entry in batch:
             self._queue.remove(entry.key)
             entry.state = "running"
+            entry.dispatches += 1
             self._served[entry.client] = self._served.get(entry.client, 0) + 1
             for job_id in entry.jobs:
                 job = self._jobs[job_id]
@@ -776,6 +816,131 @@ class ExperimentScheduler:
         # dedup against them in-memory; they are cheap (no results).
 
     # ------------------------------------------------------------------
+    # fleet integration (called by repro.service.fleet)
+    # ------------------------------------------------------------------
+    def fleet_checkout(
+        self, max_cells: Optional[int] = None
+    ) -> Tuple[Optional[ExperimentConfig], List[_CellEntry]]:
+        """Check out up to ``max_cells`` queued cells for a lease.
+
+        Same selection as the local dispatcher (`_pick_batch`): fair-share
+        order within the best cell's config.  Checked-out cells are
+        ``running`` with ``dispatches`` bumped -- the per-cell attempt
+        number the chaos harness draws against.
+        """
+        with self._lock:
+            config, batch = self._pick_batch(limit=max_cells)
+            for entry in batch:
+                for job_id in entry.jobs:
+                    telemetry = self._telemetry.get(job_id)
+                    if telemetry is not None:
+                        telemetry.cell_started(entry.label)
+            return config, batch
+
+    def fleet_requeue(self, keys: Sequence[str], reason: str = "") -> int:
+        """Return running cells to the queue (lease expiry, worker loss,
+        graceful deregistration).  Returns how many actually requeued;
+        cells already settled by a racing completion stay settled."""
+        requeued = 0
+        with self._lock:
+            for key in keys:
+                entry = self._cells.get(key)
+                if entry is None or entry.state != "running":
+                    continue
+                entry.state = "queued"
+                self._queue.append(key)
+                requeued += 1
+                for job_id in entry.jobs:
+                    telemetry = self._telemetry.get(job_id)
+                    if telemetry is not None:
+                        telemetry.cell_retried(
+                            entry.label, reason, entry.dispatches + 1
+                        )
+            if requeued:
+                self._wakeup.notify_all()
+        return requeued
+
+    def fleet_complete(
+        self,
+        key: str,
+        result: RunResult,
+        timing: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Settle one leased cell with a worker's result.
+
+        Outcomes: ``accepted`` (first completion), ``late`` (the cell
+        had expired back to the queue -- or even terminally failed --
+        before the original worker finished; the result is still taken,
+        because it is bit-identical to any other execution's),
+        ``duplicate`` (already done: the result is dropped), or
+        ``unknown`` (no such cell in the registry).  At-least-once
+        dispatch is safe precisely because this settlement is
+        idempotent: the checkpoint store is content-addressed and every
+        execution of a cell produces identical bytes.
+        """
+        with self._lock:
+            entry = self._cells.get(key)
+            if entry is None:
+                return "unknown"
+            if entry.state == "done":
+                return "duplicate"
+            config = entry.config
+        # Checkpoint outside the lock: a disk write must not stall
+        # admission or heartbeats.
+        self.checkpoint.store(config, entry.benchmark, entry.technique, result)
+        kernel = getattr(result, "kernel", None)
+        fallback = getattr(result, "kernel_fallback", None)
+        with self._lock:
+            if entry.state == "done":
+                return "duplicate"
+            if entry.state == "failed":
+                # The scheduler gave up on the cell before this result
+                # arrived; jobs already settled, but the checkpoint now
+                # exists, so future submissions dedup against it.
+                return "late"
+            late = entry.state == "queued"
+            if late:
+                try:
+                    self._queue.remove(key)
+                except ValueError:
+                    pass
+            entry.timing = timing
+            if kernel == "array":
+                self.counters["kernel_array_cells"] += 1
+            elif kernel is not None:
+                self.counters["kernel_object_cells"] += 1
+                if fallback is not None:
+                    self.kernel_fallbacks[fallback] = (
+                        self.kernel_fallbacks.get(fallback, 0) + 1
+                    )
+            self._finish_cell(entry, "done")
+            return "late" if late else "accepted"
+
+    def fleet_fail(self, key: str, detail: str) -> str:
+        """Record a worker-reported cell failure: requeue while dispatch
+        attempts remain (``max_retries`` + the first), else fail the
+        cell and its jobs.  Returns ``requeued``, ``failed``, or
+        ``unknown``."""
+        max_dispatches = self.fault_policy.max_retries + 1
+        with self._lock:
+            entry = self._cells.get(key)
+            if entry is None or entry.state != "running":
+                return "unknown"
+            if entry.dispatches < max_dispatches:
+                entry.state = "queued"
+                self._queue.append(key)
+                for job_id in entry.jobs:
+                    telemetry = self._telemetry.get(job_id)
+                    if telemetry is not None:
+                        telemetry.cell_retried(
+                            entry.label, detail, entry.dispatches + 1
+                        )
+                self._wakeup.notify_all()
+                return "requeued"
+            self._finish_cell(entry, "failed", detail=detail)
+            return "failed"
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -786,6 +951,11 @@ class ExperimentScheduler:
         with self._lock:
             self._draining = True
             self._wakeup.notify_all()
+        if self.fleet is not None:
+            # Fleet mode: stop granting leases, give in-flight leases a
+            # chance to complete (their results checkpoint); whatever
+            # remains leased stays journaled for the next server life.
+            self.fleet.drain(timeout=timeout)
         if self._dispatcher.is_alive():
             self._dispatcher.join(timeout=timeout)
         stopped = not self._dispatcher.is_alive()
@@ -796,6 +966,8 @@ class ExperimentScheduler:
 
     def close(self, timeout: Optional[float] = 30.0) -> None:
         self.drain(timeout=timeout)
+        if self.fleet is not None:
+            self.fleet.stop()
         with self._lock:
             self._closed = True
             self._wakeup.notify_all()

@@ -17,6 +17,21 @@ API (all request/response bodies are JSON unless noted)::
     GET    /v1/healthz           liveness                      200
     GET    /v1/stats             queue/dedup/worker/store      200
 
+Fleet-mode servers (``--fleet``) additionally speak the worker
+protocol (404 on every route below when fleet mode is off)::
+
+    POST   /v1/fleet/register    join the fleet                200
+    POST   /v1/fleet/lease       pull a leased cell batch      200 / 404
+    POST   /v1/fleet/heartbeat   renew leases                  200 / 404
+    POST   /v1/fleet/complete    report one cell result        200 / 400 / 404
+    POST   /v1/fleet/deregister  graceful leave (requeues)     200 / 404
+    GET    /v1/blobs/{digest}    raw compiled-workload blob    200 / 404
+                                 (octet-stream; ``?attempt=N``
+                                 feeds chaos truncation draws)
+
+A 404 on lease/heartbeat means the server does not know the worker
+(typically a server restart): the worker re-registers and carries on.
+
 Submission body::
 
     {"benchmark": "mcf", "technique": "sampler",          # one cell, or
@@ -52,6 +67,7 @@ import time
 from typing import Dict, Optional, Tuple
 
 from repro import __version__
+from repro.harness.faults import ChaosSpec
 from repro.service.jobs import QueueFull, config_from_dict
 from repro.service.scheduler import ExperimentScheduler
 
@@ -235,11 +251,21 @@ class ExperimentServer:
         writer: asyncio.StreamWriter,
     ) -> None:
         if path == "/v1/healthz" and method == "GET":
-            await self._respond_json(writer, 200, {
+            loop = asyncio.get_running_loop()
+            quarantined = await loop.run_in_executor(
+                None, lambda: self.scheduler.job_store.quarantined_count
+            )
+            health = {
                 "status": "ok",
                 "version": __version__,
                 "uptime_seconds": round(time.time() - self._started_at, 3),
-            })
+                "quarantined_jobs": quarantined,
+            }
+            if self.scheduler.fleet is not None:
+                health["fleet_workers_alive"] = (
+                    self.scheduler.fleet.alive_workers()
+                )
+            await self._respond_json(writer, 200, health)
             return
         if path == "/v1/stats" and method == "GET":
             await self._respond_json(writer, 200, self.scheduler.stats())
@@ -253,6 +279,12 @@ class ExperimentServer:
                 for job in self.scheduler.list_jobs()
             ]
             await self._respond_json(writer, 200, {"jobs": jobs})
+            return
+        if path.startswith("/v1/fleet/") and method == "POST":
+            await self._fleet_route(path[len("/v1/fleet/"):], body, writer)
+            return
+        if path.startswith("/v1/blobs/") and method == "GET":
+            await self._serve_blob(path[len("/v1/blobs/"):], query, writer)
             return
         if path.startswith("/v1/jobs/"):
             rest = path[len("/v1/jobs/"):]
@@ -369,6 +401,96 @@ class ExperimentServer:
                 return
             await asyncio.sleep(_EVENT_POLL_SECONDS)
             events, done = self.scheduler.events_since(job_id, sent)
+
+    # ------------------------------------------------------------------
+    # fleet protocol
+    # ------------------------------------------------------------------
+    def _fleet_coordinator(self):
+        coordinator = self.scheduler.fleet
+        if coordinator is None:
+            raise _HttpError(
+                404, "fleet mode disabled (start the server with --fleet)"
+            )
+        return coordinator
+
+    async def _fleet_route(
+        self, action: str, body: Optional[Dict], writer: asyncio.StreamWriter
+    ) -> None:
+        coordinator = self._fleet_coordinator()
+        if body is None:
+            body = {}
+        if not isinstance(body, dict):
+            raise _HttpError(400, "fleet request body must be a JSON object")
+
+        def call() -> Dict:
+            if action == "register":
+                return coordinator.register(
+                    name=str(body.get("name", "")),
+                    pid=body.get("pid"),
+                    host=str(body.get("host", "")),
+                )
+            worker_id = str(body.get("worker_id", ""))
+            if action == "lease":
+                return coordinator.lease(
+                    worker_id, max_cells=body.get("max_cells")
+                )
+            if action == "heartbeat":
+                leases = body.get("leases") or []
+                if not isinstance(leases, list):
+                    raise ValueError("'leases' must be a list of lease ids")
+                return coordinator.heartbeat(
+                    worker_id, [str(lease) for lease in leases]
+                )
+            if action == "complete":
+                return coordinator.complete(
+                    worker_id,
+                    str(body.get("lease_id", "")),
+                    str(body.get("key", "")),
+                    str(body.get("status", "")),
+                    result_b64=body.get("result"),
+                    error=str(body.get("error", "")),
+                    timing=body.get("timing"),
+                )
+            if action == "deregister":
+                return coordinator.deregister(worker_id)
+            raise _HttpError(404, f"no fleet action {action!r}")
+
+        loop = asyncio.get_running_loop()
+        try:
+            # Coordinator calls take the scheduler lock and may touch
+            # the checkpoint store; keep them off the event loop thread.
+            response = await loop.run_in_executor(None, call)
+        except KeyError as exc:
+            # Unknown/forgotten worker: the worker re-registers on 404.
+            raise _HttpError(404, str(exc.args[0] if exc.args else exc)) from None
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, str(exc)) from None
+        await self._respond_json(writer, 200, response)
+
+    async def _serve_blob(
+        self, digest: str, query: Dict[str, str], writer: asyncio.StreamWriter
+    ) -> None:
+        coordinator = self._fleet_coordinator()
+        store = self.scheduler.stream_store
+        if store is None:
+            raise _HttpError(
+                404, "no stream store attached; workers compile locally"
+            )
+        try:
+            attempt = int(query.get("attempt", "1") or 1)
+        except ValueError:
+            raise _HttpError(400, "attempt must be an integer") from None
+        loop = asyncio.get_running_loop()
+        data = await loop.run_in_executor(None, lambda: store.load_raw(digest))
+        if data is None:
+            raise _HttpError(404, f"no blob with digest {digest!r}")
+        truncated = ChaosSpec.from_env().fires("blob", digest, attempt)
+        if truncated:
+            # Chaos: a torn transfer.  The worker's decode+digest check
+            # must catch this and retry (next attempt draws fresh).
+            data = data[: max(1, len(data) // 3)]
+        coordinator.record_blob_served(len(data), truncated=truncated)
+        await self._respond(writer, 200, data, "application/octet-stream")
 
     # ------------------------------------------------------------------
     # embedding (tests, `make serve-smoke`)

@@ -558,9 +558,62 @@ class StreamStore:
             f"|llc={_geometry_token(machine.llc)}"
         )
 
+    @staticmethod
+    def digest_for_key(key: str) -> str:
+        """The sha256 content address of a key -- the blob's on-disk
+        name and the identity the fleet protocol ships blobs under."""
+        return hashlib.sha256(key.encode("ascii")).hexdigest()
+
     def path_for_key(self, key: str) -> Path:
-        digest = hashlib.sha256(key.encode("ascii")).hexdigest()
+        return self._dir / f"{self.digest_for_key(key)}.rsc"
+
+    def path_for_digest(self, digest: str) -> Optional[Path]:
+        """The blob path for a digest, or None for a malformed digest.
+
+        The digest doubles as a file name, so anything but 64 hex
+        characters is rejected here -- the HTTP blob route must never
+        turn a request path into directory traversal.
+        """
+        digest = digest.strip().lower()
+        if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+            return None
         return self._dir / f"{digest}.rsc"
+
+    def load_raw(self, digest: str) -> Optional[bytes]:
+        """Raw blob bytes by digest (the fleet blob-serving path);
+        missing or malformed digests read as None."""
+        path = self.path_for_digest(digest)
+        if path is None:
+            return None
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def store_raw(self, blob: bytes, digest: str) -> CompiledWorkload:
+        """Verify and persist a transferred blob under its digest.
+
+        The blob must decode (:meth:`CompiledWorkload.from_buffer`
+        raises ValueError on torn or truncated bytes) and its embedded
+        key must hash to ``digest`` -- only then is it written, so a
+        fetched blob in the local store is exactly as trustworthy as a
+        locally compiled one.  Returns the decoded workload.
+        """
+        compiled = CompiledWorkload.from_buffer(blob)
+        if self.digest_for_key(compiled.key) != digest:
+            raise ValueError(
+                f"blob key digest mismatch: decoded key {compiled.key!r} "
+                f"does not hash to {digest!r} (torn or mislabeled transfer)"
+            )
+        path = self.path_for_key(compiled.key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_bytes(bytes(blob))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        return compiled
 
     # ------------------------------------------------------------------
     # persistence

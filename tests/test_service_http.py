@@ -37,7 +37,11 @@ def serve(tmp_path, **scheduler_kwargs):
     scheduler_kwargs.setdefault("jobs", 1)
     scheduler = ExperimentScheduler(tmp_path / "service", **scheduler_kwargs)
     handle = ExperimentServer(scheduler, port=0).start_in_thread()
-    return handle, ServiceClient(f"http://127.0.0.1:{handle.port}")
+    # max_retries=0: backpressure tests assert on raw 429/503 answers,
+    # which the client's retry policy would otherwise absorb.
+    return handle, ServiceClient(
+        f"http://127.0.0.1:{handle.port}", max_retries=0
+    )
 
 
 class TestEndpoints:
