@@ -5,7 +5,7 @@ PYTHON ?= python
 # Let every target run from a fresh clone, installed or not.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-faults test-service test-fleet lint check bench bench-smoke serve-smoke fleet-smoke figures figures-fast results clean clean-cache help
+.PHONY: install test test-faults test-service test-fleet test-workloads lint check bench bench-smoke serve-smoke fleet-smoke pattern-smoke figures figures-fast results clean clean-cache help
 
 # The compiled workload store (see docs/performance.md).  `make clean`
 # leaves it alone -- warm starts are the point; `make clean-cache`
@@ -18,12 +18,14 @@ help:
 	@echo "test-faults  fault-injection / supervision tests only (hard per-test deadlines)"
 	@echo "test-service experiment-service tests only (hard per-test deadlines)"
 	@echo "test-fleet   worker-fleet tests only: leases, heartbeats, re-dispatch, chaos (hard per-test deadlines)"
+	@echo "test-workloads pattern-generator and trace-replay tests only (hard per-test deadlines)"
 	@echo "lint         ruff check (skips with a notice when ruff is not installed)"
-	@echo "check        lint + test suite + fault tests + bench-smoke + serve-smoke + fleet-smoke (the default pre-commit gate)"
+	@echo "check        lint + test suite + fault tests + bench-smoke + serve-smoke + fleet-smoke + pattern-smoke (the default pre-commit gate)"
 	@echo "bench        measure replay-engine throughput -> BENCH_PR1.json"
 	@echo "bench-smoke  tiny-budget bench harness validation -> BENCH_SMOKE.json"
 	@echo "serve-smoke  boot the job service, run a sweep through the client SDK, assert bit-identity with serial"
 	@echo "fleet-smoke  chaos gate: fleet server + 2 workers, one chaos-killed mid-lease; re-dispatch must yield a bit-identical sweep"
+	@echo "pattern-smoke tiny Zipf-skew sweep through the service; must be bit-identical to serial, dedup fully, and 400 bad specs"
 	@echo "figures      regenerate every paper table and figure"
 	@echo "figures-fast quick figure pass (scale 1/32, short traces)"
 	@echo "results      show the rendered experiment tables"
@@ -54,6 +56,11 @@ test-service:
 test-fleet:
 	$(PYTHON) -m pytest tests/ -m fleet
 
+# Pattern-generator and trace-replay tests: spec grammar, hypothesis
+# determinism, library round-trips, content-addressed key regressions.
+test-workloads:
+	$(PYTHON) -m pytest tests/ -m workloads
+
 # Lint config lives in pyproject.toml ([tool.ruff]).  Ruff is optional --
 # environments without it (e.g. the hermetic CI container) skip the gate
 # with a notice rather than failing the whole check.
@@ -66,7 +73,7 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff to enable)"; \
 	fi
 
-check: lint test test-faults bench-smoke serve-smoke fleet-smoke
+check: lint test test-faults bench-smoke serve-smoke fleet-smoke pattern-smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_throughput.py
@@ -87,6 +94,13 @@ serve-smoke:
 # the re-dispatch/dedup counters visible in /v1/stats.
 fleet-smoke:
 	$(PYTHON) -m repro.service.smoke_fleet
+
+# Runs a tiny two-point Zipf-skew sweep through a live server (parallel
+# workers + stream store + shm) and requires bit-identity with the
+# serial harness, full dedup on resubmission, and a 400 with a
+# closest-match suggestion for a misspelled pattern family.
+pattern-smoke:
+	$(PYTHON) -m repro.service.smoke_patterns
 
 figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

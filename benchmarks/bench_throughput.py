@@ -675,6 +675,73 @@ def _measure_end_to_end(config, technique_keys, benchmarks, jobs) -> Dict:
     }
 
 
+#: Every simple pattern family, timed at the bench instruction budget.
+PATTERN_BENCH_FAMILIES = ("zipf", "hotspot", "bursty", "seq", "uniform")
+
+
+def _measure_patterns(config) -> Dict:
+    """Pattern-generation plus trace import/replay throughput.
+
+    Generation times each family's ``generate`` (records emitted per
+    second); import times the full :class:`TraceLibrary` round-trip on
+    the zipf trace (parse, canonical re-serialization, gzip blob
+    write); replay times ``TraceReplayWorkload.generate`` off the warm
+    library.  Records/sec, so numbers are comparable across budgets.
+    """
+    from repro.sim.traceio import save_trace
+    from repro.workloads import TraceLibrary, TraceReplayWorkload, resolve_workload
+
+    llc_bytes = WorkloadCache(config).machine.llc.size_bytes
+    per_family: Dict[str, Dict] = {}
+    generate_seconds = 0.0
+    total_records = 0
+    sample = None
+    for family in PATTERN_BENCH_FAMILIES:
+        generator = resolve_workload(family, seed=config.seed)
+        start = time.perf_counter()
+        trace = generator.generate(config.instructions, llc_bytes)
+        elapsed = time.perf_counter() - start
+        per_family[family] = {
+            "records": len(trace.records),
+            "seconds": elapsed,
+            "rec_per_sec": len(trace.records) / elapsed,
+        }
+        generate_seconds += elapsed
+        total_records += len(trace.records)
+        if family == "zipf":
+            sample = trace
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-trace-") as tmp:
+        path = Path(tmp) / "bench.trace.gz"
+        save_trace(sample, path)
+        library = TraceLibrary(Path(tmp) / "lib")
+        start = time.perf_counter()
+        entry = library.import_file(path, name="bench")
+        import_seconds = time.perf_counter() - start
+
+        workload = TraceReplayWorkload("bench", library=library)
+        start = time.perf_counter()
+        replayed = workload.generate(sample.instructions, llc_bytes)
+        replay_seconds = time.perf_counter() - start
+        if replayed.records != sample.records:
+            raise SystemExit("TRACE REPLAY DIVERGENCE in the bench round-trip")
+
+    return {
+        "families": list(PATTERN_BENCH_FAMILIES),
+        "per_family": per_family,
+        "total": {
+            "records": total_records,
+            "generate_seconds": generate_seconds,
+            "generate_rec_per_sec": total_records / generate_seconds,
+            "import_records": int(entry["records"]),
+            "import_seconds": import_seconds,
+            "import_rec_per_sec": int(entry["records"]) / import_seconds,
+            "replay_seconds": replay_seconds,
+            "replay_rec_per_sec": len(replayed.records) / replay_seconds,
+        },
+    }
+
+
 def _print_report(report: Dict) -> None:
     substrate = report["substrate"]
     print(f"\nsubstrate throughput ({len(substrate['benchmarks'])} benchmarks):")
@@ -733,6 +800,24 @@ def _print_report(report: Dict) -> None:
         f"{store['cold_seconds']:.2f}s, warm {store['warm_seconds']:.2f}s "
         f"({store['warm_speedup']:.1f}x), shm {store['shm_seconds']:.2f}s "
         f"({store['shm_speedup']:.1f}x)"
+    )
+    patterns = report["patterns"]
+    print(f"\npattern workloads ({len(patterns['families'])} families):")
+    print(f"  {'family':14s} {'records':>10s} {'rec/s':>14s}")
+    for family, cell in patterns["per_family"].items():
+        print(
+            f"  {family:14s} {cell['records']:>10,d} "
+            f"{cell['rec_per_sec']:>14,.0f}"
+        )
+    pattern_total = patterns["total"]
+    print(
+        f"  {'TOTAL':14s} {pattern_total['records']:>10,d} "
+        f"{pattern_total['generate_rec_per_sec']:>14,.0f}"
+    )
+    print(
+        f"  trace import {pattern_total['import_rec_per_sec']:,.0f} rec/s, "
+        f"replay {pattern_total['replay_rec_per_sec']:,.0f} rec/s "
+        f"({pattern_total['import_records']} records round-tripped)"
     )
     end_to_end = report["end_to_end"]
     line = (
@@ -807,6 +892,11 @@ def main(argv=None) -> int:
         help="where to write the array-kernel section on its own "
         "(default BENCH_PR6.json; not written with --smoke)",
     )
+    parser.add_argument(
+        "--patterns-output", type=Path, default=None,
+        help="where to write the pattern-workload section on its own "
+        "(default BENCH_PR8.json; not written with --smoke)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -844,6 +934,7 @@ def main(argv=None) -> int:
         ),
         "telemetry": _measure_telemetry_overhead(workload_cache, benchmarks),
         "store": _measure_store(config, benchmarks),
+        "patterns": _measure_patterns(config),
         "end_to_end": _measure_end_to_end(
             config,
             [k for k in technique_keys if k != "lru"],
@@ -895,6 +986,24 @@ def main(argv=None) -> int:
             json.dumps(array_report, indent=2, sort_keys=True) + "\n"
         )
         print(f"array-kernel report written to {array_output}")
+
+    # The pattern-workload section stands alone as the PR 8 baseline;
+    # smoke runs keep it inside BENCH_SMOKE.json only.
+    patterns_output = args.patterns_output
+    if patterns_output is None and not args.smoke:
+        patterns_output = REPO_ROOT / "BENCH_PR8.json"
+    if patterns_output is not None:
+        patterns_report = {
+            "schema": "repro-bench-patterns/1",
+            "unix_time": report["unix_time"],
+            "smoke": args.smoke,
+            "config": report["config"],
+            "patterns": report["patterns"],
+        }
+        patterns_output.write_text(
+            json.dumps(patterns_report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"pattern-workload report written to {patterns_output}")
 
     # Probes-off guard: with telemetry disabled (the default), the replay
     # kernel must still beat the frozen in-file legacy substrate by the

@@ -81,10 +81,17 @@ def _cmd_info(args) -> int:
           f"Last-Level Caches (MICRO-43, 2010)")
     print(f"configuration: {config.describe()}")
     print()
+    from repro.workloads import PATTERN_FAMILIES
+
     print(f"benchmarks ({len(ALL_BENCHMARKS)}): {', '.join(ALL_BENCHMARKS)}")
     print(f"single-thread subset ({len(SINGLE_THREAD_SUBSET)}): "
           f"{', '.join(SINGLE_THREAD_SUBSET)}")
-    print(f"multicore mixes: {', '.join(MIXES)}")
+    print(f"pattern families ({len(PATTERN_FAMILIES)}): "
+          f"{', '.join(sorted(PATTERN_FAMILIES))} "
+          "-- parameterized specs like 'zipf(a=1.2,seed=7)' work "
+          "anywhere a benchmark name does (docs/workloads.md)")
+    print(f"multicore mixes: {', '.join(MIXES)} "
+          "(or ad-hoc: 'mcf+hmmer+zipf(a=1.4)+seq')")
     print()
     print("techniques (Table V):")
     for technique in TECHNIQUES.values():
@@ -146,22 +153,28 @@ def _restrict(comparison, benchmarks):
 
 
 def _parse_techniques(names) -> list:
+    from repro.harness.techniques import validate_techniques
+
     keys = list(names) or list(SINGLE_THREAD_TECHNIQUES)
-    unknown = [key for key in keys if key not in TECHNIQUES]
-    if unknown:
-        raise SystemExit(
-            f"unknown techniques: {', '.join(unknown)} "
-            f"(known: {', '.join(TECHNIQUES)})"
-        )
+    bad = validate_techniques(keys)
+    if bad:
+        raise SystemExit("; ".join(bad))
     return keys
 
 
+def _check_workload(name: str) -> str:
+    """Validate a workload name / pattern spec, exiting with the
+    registry and a closest-match suggestion when it does not resolve."""
+    from repro.workloads import validate_workloads
+
+    bad = validate_workloads([name])
+    if bad:
+        raise SystemExit("; ".join(bad))
+    return name
+
+
 def _cmd_run(args) -> int:
-    if args.benchmark not in ALL_BENCHMARKS:
-        raise SystemExit(
-            f"unknown benchmark {args.benchmark!r} "
-            f"(known: {', '.join(ALL_BENCHMARKS)})"
-        )
+    _check_workload(args.benchmark)
     return _comparison(
         ExperimentConfig.from_env(),
         _parse_techniques(args.techniques),
@@ -199,16 +212,8 @@ def _cmd_suite(args) -> int:
 def _timeseries(config, benchmark, technique_key, epochs, accuracy=True):
     from repro.harness import timeseries_experiment
 
-    if benchmark not in ALL_BENCHMARKS:
-        raise SystemExit(
-            f"unknown benchmark {benchmark!r} "
-            f"(known: {', '.join(ALL_BENCHMARKS)})"
-        )
-    if technique_key not in TECHNIQUES:
-        raise SystemExit(
-            f"unknown technique {technique_key!r} "
-            f"(known: {', '.join(TECHNIQUES)})"
-        )
+    _check_workload(benchmark)
+    _parse_techniques([technique_key])
     cache = WorkloadCache(config)
     return timeseries_experiment(
         cache, benchmark, technique_key, epochs=epochs, accuracy=accuracy
@@ -287,6 +292,50 @@ def _render_bench_baselines() -> int:
                 f"({shown} over the object kernel on eligible cells, "
                 f"{array_kernel['accesses']} accesses)"
             )
+        patterns = (report.get("patterns") or {}).get("total")
+        if patterns:
+            print(
+                "    pattern workloads: "
+                f"generate {patterns['generate_rec_per_sec'] / 1e6:.2f}M rec/s, "
+                f"trace import {patterns['import_rec_per_sec'] / 1e6:.2f}M rec/s, "
+                f"replay {patterns['replay_rec_per_sec'] / 1e6:.2f}M rec/s "
+                f"({patterns['records']} records)"
+            )
+    return 0
+
+
+def _cmd_pattern_sweep(args) -> int:
+    """``report --pattern-sweep``: DBRB on/off along a workload axis."""
+    from repro.harness import pattern_axis, pattern_sweep_experiment, zipf_skew_axis
+
+    if args.benchmarks:
+        specs = [_check_workload(name) for name in args.benchmarks]
+    elif args.param or args.family != "zipf":
+        values = []
+        for raw in (args.values or "0.6,0.9,1.2,1.5").split(","):
+            raw = raw.strip()
+            try:
+                values.append(int(raw) if "." not in raw else float(raw))
+            except ValueError:
+                raise SystemExit(f"--values: not a number: {raw!r}")
+        specs = pattern_axis(args.family, args.param or "a", values)
+        for spec in specs:
+            _check_workload(spec)
+    else:
+        raw_values = args.values
+        if raw_values:
+            values = [float(v) for v in raw_values.split(",")]
+            specs = zipf_skew_axis(values)
+        else:
+            specs = zipf_skew_axis()
+    config = ExperimentConfig.from_env()
+    print(f"pattern sweep on {config.describe()}")
+    result = pattern_sweep_experiment(WorkloadCache(config), specs)
+    rows = result.rows()
+    print(format_table(
+        rows[0], rows[1:],
+        title="DBRB (sampler) vs LRU along the workload axis",
+    ))
     return 0
 
 
@@ -295,9 +344,11 @@ def _cmd_report(args) -> int:
 
     if args.bench:
         return _render_bench_baselines()
+    if args.pattern_sweep:
+        return _cmd_pattern_sweep(args)
     if not args.timeseries:
         raise SystemExit(
-            "report: pass --timeseries or --bench (the only reports so far)"
+            "report: pass --timeseries, --bench, or --pattern-sweep"
         )
     config = ExperimentConfig.from_env()
     benchmarks = args.benchmarks or list(SINGLE_THREAD_SUBSET[:3])
@@ -315,11 +366,7 @@ def _cmd_profile(args) -> int:
     from repro.analysis import profile_trace
     from repro.workloads import build_trace
 
-    if args.benchmark not in ALL_BENCHMARKS:
-        raise SystemExit(
-            f"unknown benchmark {args.benchmark!r} "
-            f"(known: {', '.join(ALL_BENCHMARKS)})"
-        )
+    _check_workload(args.benchmark)
     config = ExperimentConfig.from_env()
     machine = config.machine()
     trace = build_trace(
@@ -334,6 +381,49 @@ def _cmd_profile(args) -> int:
     llc_blocks = machine.llc.num_blocks
     print(f"est. fully-assoc. LRU hit fraction @ LLC capacity "
           f"({llc_blocks:,} blocks): {profile.hit_fraction(llc_blocks):.1%}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """``trace import FILE`` / ``trace list``: the external trace library."""
+    from repro.workloads import TraceLibrary
+
+    library = TraceLibrary(args.lib)
+    if args.trace_command == "import":
+        try:
+            entry = library.import_file(args.file, name=args.name)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"trace import: {error}")
+        name = args.name
+        if name is None:
+            # import_file keyed the entry by the trace's embedded name.
+            name = next(
+                n for n, e in library.entries().items()
+                if e["digest"] == entry["digest"] and e["source"] == entry["source"]
+            )
+        print(f"imported {args.file} into {library.root}")
+        print(f"  name:         {name}")
+        print(f"  digest:       {entry['digest']}")
+        print(f"  records:      {entry['records']}")
+        print(f"  instructions: {entry['instructions']}")
+        print(f"  replay spec:  trace({name})   "
+              f"(loops: trace({name},loop=true))")
+        return 0
+    try:
+        entries = library.entries()
+    except ValueError as error:
+        raise SystemExit(f"trace list: {error}")
+    if not entries:
+        print(f"trace library {library.root} is empty "
+              "(populate it with `repro trace import FILE`)")
+        return 0
+    print(f"trace library {library.root} ({len(entries)} traces):")
+    for name in sorted(entries):
+        entry = entries[name]
+        print(f"  {name:24s} {str(entry['digest'])[:16]}  "
+              f"{entry['records']:>9} records  "
+              f"{entry['instructions']:>10} instr  <- {entry['source']}")
+        print(f"    replay spec: trace({name})")
     return 0
 
 
@@ -663,6 +753,25 @@ def main(argv=None) -> int:
         help="tabulate the committed BENCH_PR*.json performance baselines",
     )
     report_parser.add_argument(
+        "--pattern-sweep", action="store_true",
+        help="miss rate / coverage / false positives with DBRB on vs off "
+             "along a pattern-parameter axis (default: Zipf skew "
+             "a=0.6,0.9,1.2,1.5); positional args override the axis with "
+             "explicit workload specs",
+    )
+    report_parser.add_argument(
+        "--family", default="zipf",
+        help="pattern family to sweep (default: zipf)",
+    )
+    report_parser.add_argument(
+        "--param", default=None,
+        help="family parameter to sweep (default: the Zipf skew 'a')",
+    )
+    report_parser.add_argument(
+        "--values", default=None, metavar="V1,V2,...",
+        help="comma-separated axis values (default: 0.6,0.9,1.2,1.5)",
+    )
+    report_parser.add_argument(
         "--technique", default="sampler",
         help="technique to replay (default: sampler)",
     )
@@ -809,6 +918,29 @@ def main(argv=None) -> int:
     jobs_parser.add_argument("--cancel", default=None, metavar="JOB_ID")
     jobs_parser.add_argument("--stats", action="store_true",
                              help="print GET /v1/stats")
+    trace_parser = subparsers.add_parser(
+        "trace", help="manage the content-addressed external trace library"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_import = trace_sub.add_parser(
+        "import", help="bring an external trace file under the library"
+    )
+    trace_import.add_argument("file", help="trace file (text or .gz)")
+    trace_import.add_argument(
+        "--name", default=None,
+        help="library name (default: the trace's embedded name)",
+    )
+    trace_import.add_argument(
+        "--lib", default=None, metavar="DIR",
+        help="library root (default: REPRO_TRACE_LIB or .repro-traces)",
+    )
+    trace_list = trace_sub.add_parser(
+        "list", help="list imported traces and their replay specs"
+    )
+    trace_list.add_argument(
+        "--lib", default=None, metavar="DIR",
+        help="library root (default: REPRO_TRACE_LIB or .repro-traces)",
+    )
     subparsers.add_parser("storage", help="print Table I")
     subparsers.add_parser("power", help="print Table II")
 
@@ -825,6 +957,7 @@ def main(argv=None) -> int:
         "worker": _cmd_worker,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
+        "trace": _cmd_trace,
         "storage": _cmd_storage,
         "power": _cmd_power,
     }

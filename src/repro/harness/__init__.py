@@ -30,6 +30,7 @@ from repro.harness.experiments import (
     AccuracyResult,
     EfficiencyResult,
     MulticoreComparison,
+    PatternSweepResult,
     SingleThreadComparison,
     TimeseriesResult,
     ablation_experiment,
@@ -37,8 +38,11 @@ from repro.harness.experiments import (
     characterization_table,
     efficiency_experiment,
     multicore_comparison,
+    pattern_axis,
+    pattern_sweep_experiment,
     single_thread_comparison,
     timeseries_experiment,
+    zipf_skew_axis,
 )
 from repro.harness.faults import (
     CellCrashed,
@@ -60,6 +64,9 @@ from repro.harness.techniques import (
     SINGLE_THREAD_TECHNIQUES,
     TECHNIQUES,
     Technique,
+    UnknownTechniqueError,
+    resolve_technique,
+    validate_techniques,
 )
 
 __all__ = [
@@ -74,6 +81,7 @@ __all__ = [
     "MULTICORE_LRU_TECHNIQUES",
     "MULTICORE_RANDOM_TECHNIQUES",
     "MulticoreComparison",
+    "PatternSweepResult",
     "RANDOM_DEFAULT_TECHNIQUES",
     "SINGLE_THREAD_TECHNIQUES",
     "SingleThreadComparison",
@@ -81,6 +89,7 @@ __all__ = [
     "TECHNIQUES",
     "Technique",
     "TimeseriesResult",
+    "UnknownTechniqueError",
     "WorkloadCache",
     "ablation_experiment",
     "accuracy_experiment",
@@ -89,8 +98,13 @@ __all__ = [
     "format_table",
     "multicore_comparison",
     "parallel_single_thread_comparison",
+    "pattern_axis",
+    "pattern_sweep_experiment",
     "resolve_checkpoint_dir",
     "resolve_jobs",
+    "resolve_technique",
     "single_thread_comparison",
     "timeseries_experiment",
+    "validate_techniques",
+    "zipf_skew_axis",
 ]

@@ -42,6 +42,7 @@ __all__ = [
     "AccuracyResult",
     "EfficiencyResult",
     "MulticoreComparison",
+    "PatternSweepResult",
     "SingleThreadComparison",
     "TimeseriesResult",
     "ablation_experiment",
@@ -49,8 +50,11 @@ __all__ = [
     "characterization_table",
     "efficiency_experiment",
     "multicore_comparison",
+    "pattern_axis",
+    "pattern_sweep_experiment",
     "single_thread_comparison",
     "timeseries_experiment",
+    "zipf_skew_axis",
 ]
 
 
@@ -282,6 +286,117 @@ def accuracy_experiment(
             false_positive[name][benchmark] = observer.false_positive_rate
     return AccuracyResult(
         predictors=tuple(_ACCURACY_PREDICTORS),
+        coverage=coverage,
+        false_positive=false_positive,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pattern-parameter sweeps (beyond the paper: the workload space axis)
+# ----------------------------------------------------------------------
+@dataclass
+class PatternSweepResult:
+    """DBRB behaviour along one workload-parameter axis.
+
+    For every workload spec on the axis: the LRU baseline miss rate
+    (DBRB off), the sampler-DBRB miss rate (DBRB on), and the sampler's
+    prediction coverage and false-positive rate.  ``rows()`` renders in
+    axis order for the report table.
+    """
+
+    specs: Tuple[str, ...]
+    lru_miss_rate: Dict[str, float]
+    dbrb_miss_rate: Dict[str, float]
+    coverage: Dict[str, float]
+    false_positive: Dict[str, float]
+
+    def normalized_misses(self, spec: str) -> float:
+        """DBRB misses relative to LRU (< 1.0 means DBRB helps)."""
+        base = self.lru_miss_rate[spec]
+        return self.dbrb_miss_rate[spec] / base if base > 0 else 0.0
+
+    def rows(self) -> List[List[str]]:
+        rows = [
+            ["workload", "LRU miss", "DBRB miss", "norm. misses",
+             "coverage", "false pos"]
+        ]
+        for spec in self.specs:
+            rows.append([
+                spec,
+                f"{self.lru_miss_rate[spec]:.4f}",
+                f"{self.dbrb_miss_rate[spec]:.4f}",
+                f"{self.normalized_misses(spec):.3f}",
+                f"{self.coverage[spec]:.3f}",
+                f"{self.false_positive[spec]:.3f}",
+            ])
+        return rows
+
+
+def _axis_value(value) -> str:
+    if isinstance(value, float):
+        text = repr(value)
+        return text[:-2] if text.endswith(".0") else text
+    return str(value)
+
+
+def pattern_axis(
+    family: str,
+    param: str,
+    values: Sequence,
+    base: str = "",
+) -> List[str]:
+    """Spec strings sweeping one parameter of a pattern family.
+
+    ``base`` carries fixed parameters (``"footprint=2,gap=2"``); the
+    swept parameter is appended per value.
+    """
+    prefix = f"{base}," if base else ""
+    return [f"{family}({prefix}{param}={_axis_value(v)})" for v in values]
+
+
+def zipf_skew_axis(values: Sequence[float] = (0.6, 0.9, 1.2, 1.5)) -> List[str]:
+    """The default report axis: Zipfian skew from near-uniform to hot."""
+    return pattern_axis("zipf", "a", values)
+
+
+def pattern_sweep_experiment(
+    cache: WorkloadCache,
+    specs: Sequence[str],
+) -> PatternSweepResult:
+    """Miss rate / coverage / false positives along a workload axis.
+
+    Runs each spec under plain LRU (DBRB off) and under sampler-driven
+    DBRB with an accuracy observer (DBRB on).  Any workload name
+    resolvable by :func:`repro.workloads.build_trace` works -- pattern
+    specs, trace replays, or suite benchmarks.
+    """
+    lru = TECHNIQUES["lru"]
+    lru_miss: Dict[str, float] = {}
+    dbrb_miss: Dict[str, float] = {}
+    coverage: Dict[str, float] = {}
+    false_positive: Dict[str, float] = {}
+    for spec in specs:
+        filtered = cache.filtered(spec)
+        base = cache.system.run(
+            filtered, lambda g, a: lru.build(g, a), technique_name="lru",
+            compute_timing=False,
+        )
+        result = cache.system.run(
+            filtered,
+            lambda g, a: DBRBPolicy(LRUPolicy(), SamplingDeadBlockPredictor()),
+            technique_name="sampler",
+            observer_factories=[AccuracyObserver],
+            compute_timing=False,
+        )
+        observer: AccuracyObserver = result.observers[0]
+        lru_miss[spec] = base.llc_stats.miss_rate
+        dbrb_miss[spec] = result.llc_stats.miss_rate
+        coverage[spec] = observer.coverage
+        false_positive[spec] = observer.false_positive_rate
+    return PatternSweepResult(
+        specs=tuple(specs),
+        lru_miss_rate=lru_miss,
+        dbrb_miss_rate=dbrb_miss,
         coverage=coverage,
         false_positive=false_positive,
     )

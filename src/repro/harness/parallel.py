@@ -78,7 +78,7 @@ from repro.harness.faults import (
     run_cells_supervised,
 )
 from repro.harness.runner import ExperimentConfig, WorkloadCache
-from repro.harness.techniques import TECHNIQUES
+from repro.harness.techniques import TECHNIQUES, validate_techniques
 from repro.sim.streamstore import (
     SharedStreamExport,
     StreamManifest,
@@ -390,12 +390,9 @@ def parallel_single_thread_comparison(
         SweepAborted: when cells fail unrecoverably and partial results
             are not allowed.
     """
-    unknown = [key for key in technique_keys if key not in TECHNIQUES]
-    if unknown:
-        raise ValueError(
-            f"unknown techniques: {', '.join(map(repr, unknown))} "
-            f"(valid: {', '.join(TECHNIQUES)})"
-        )
+    bad_techniques = validate_techniques(technique_keys)
+    if bad_techniques:
+        raise ValueError("; ".join(bad_techniques))
 
     if isinstance(cache, ExperimentConfig):
         config, workload_cache = cache, None

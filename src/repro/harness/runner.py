@@ -60,7 +60,7 @@ from repro.sim.streamstore import (
     stream_compile_required,
 )
 from repro.sim.system import SingleCoreSystem
-from repro.workloads import build_mix_traces, build_trace
+from repro.workloads import build_mix_traces, build_trace, workload_spec_digest
 
 __all__ = ["ExperimentConfig", "WorkloadCache"]
 
@@ -145,11 +145,23 @@ class WorkloadCache:
         self.stream_misses = 0
         self._filtered: Dict[Tuple[str, int], FilteredTrace] = {}
         self._mixes: Dict[Tuple[str, int], PreparedMix] = {}
+        self._spec_digests: Dict[str, str] = {}
 
     def workload_key(self, benchmark: str, budget: int) -> str:
-        """The store key for one of this cache's workloads."""
+        """The store key for one of this cache's workloads.
+
+        Folds the workload's canonical spec digest into the key, so two
+        parameterized patterns that *render* alike but differ in content
+        (a re-imported trace, a changed family default) can never share
+        a blob.  Digests are memoized per benchmark name -- for trace
+        workloads computing one means hashing the trace file.
+        """
+        digest = self._spec_digests.get(benchmark)
+        if digest is None:
+            digest = workload_spec_digest(benchmark, self.config.seed)
+            self._spec_digests[benchmark] = digest
         return StreamStore.workload_key(
-            benchmark, budget, self.config.seed, self.machine
+            benchmark, budget, self.config.seed, self.machine, spec_digest=digest
         )
 
     def filtered(self, benchmark: str, instructions: int = 0) -> FilteredTrace:

@@ -37,6 +37,9 @@ __all__ = [
     "SINGLE_THREAD_TECHNIQUES",
     "TECHNIQUES",
     "Technique",
+    "UnknownTechniqueError",
+    "resolve_technique",
+    "validate_techniques",
 ]
 
 PolicyBuilder = Callable[
@@ -212,3 +215,41 @@ MULTICORE_RANDOM_TECHNIQUES: Tuple[str, ...] = (
     "random_cdbp",
     "random_sampler",
 )
+
+
+class UnknownTechniqueError(KeyError):
+    """An unregistered technique key, with a closest-match suggestion."""
+
+    def __str__(self) -> str:  # KeyError reprs its arg; we want prose.
+        return self.args[0] if self.args else ""
+
+
+def resolve_technique(key: str) -> Technique:
+    """Look up a technique by key, failing with actionable context.
+
+    Raises:
+        UnknownTechniqueError: the key is not registered; the message
+            carries the sorted registry and a difflib suggestion.
+    """
+    technique = TECHNIQUES.get(key)
+    if technique is None:
+        import difflib
+
+        matches = difflib.get_close_matches(key, list(TECHNIQUES), n=1)
+        hint = f"; did you mean {matches[0]!r}?" if matches else ""
+        raise UnknownTechniqueError(
+            f"unknown technique {key!r}{hint} "
+            f"(registered: {', '.join(sorted(TECHNIQUES))})"
+        )
+    return technique
+
+
+def validate_techniques(keys) -> list:
+    """Per-key error messages for the unresolvable members of ``keys``."""
+    bad = []
+    for key in keys:
+        try:
+            resolve_technique(key)
+        except UnknownTechniqueError as error:
+            bad.append(str(error))
+    return bad

@@ -74,7 +74,7 @@ from repro.harness.parallel import (
     resolve_jobs,
 )
 from repro.harness.runner import ExperimentConfig, WorkloadCache
-from repro.harness.techniques import TECHNIQUES
+from repro.harness.techniques import validate_techniques
 from repro.sim.streamstore import SharedStreamExport, StreamStore
 from repro.sim.system import RunResult
 from repro.telemetry.events import SweepTelemetry
@@ -85,7 +85,7 @@ from repro.service.jobs import (
     QueueFull,
     cell_key,
 )
-from repro.workloads import ALL_BENCHMARKS, SINGLE_THREAD_SUBSET
+from repro.workloads import SINGLE_THREAD_SUBSET, validate_workloads
 
 __all__ = ["ExperimentScheduler"]
 
@@ -294,18 +294,15 @@ class ExperimentScheduler:
         """
         benchmarks = list(benchmarks)
         techniques = list(techniques)
-        unknown = [b for b in benchmarks if b not in ALL_BENCHMARKS]
-        if unknown:
-            raise ValueError(
-                f"unknown benchmark(s): {', '.join(map(repr, unknown))} "
-                f"(known: {', '.join(ALL_BENCHMARKS)})"
-            )
-        unknown = [t for t in techniques if t not in TECHNIQUES]
-        if unknown:
-            raise ValueError(
-                f"unknown technique(s): {', '.join(map(repr, unknown))} "
-                f"(known: {', '.join(TECHNIQUES)})"
-            )
+        # Spec-aware validation: suite names, pattern specs ("zipf(a=1.2)"),
+        # and trace replays all resolve here; anything else 400s with a
+        # closest-match suggestion (the server maps ValueError -> 400).
+        bad = validate_workloads(benchmarks)
+        if bad:
+            raise ValueError("; ".join(bad))
+        bad = validate_techniques(techniques)
+        if bad:
+            raise ValueError("; ".join(bad))
         if sweep:
             if not benchmarks:
                 benchmarks = list(SINGLE_THREAD_SUBSET)

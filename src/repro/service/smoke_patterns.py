@@ -1,0 +1,150 @@
+"""End-to-end smoke gate for pattern workloads (``make pattern-smoke``).
+
+The workload-subsystem promise: a parameterized pattern spec like
+``zipf(a=1.2)`` is a benchmark name everywhere -- ``repro submit``, the
+scheduler's cell grid, the stream store, shared-memory fan-out -- with
+results **bit-identical** to the serial harness path.  This gate proves
+it end-to-end on a real server:
+
+1. run a tiny two-point Zipf-skew sweep serially through the harness;
+2. submit the same sweep over HTTP (parallel workers + stream store +
+   shm) and require an identical result body;
+3. re-submit and require full dedup (the spec's canonical identity is
+   stable across submissions);
+4. submit a misspelled family and require HTTP 400 with a closest-match
+   suggestion (the service-side error satellite).
+
+Sits under a hard ``SIGALRM`` deadline so a wedged server fails the
+gate loudly instead of hanging ``make check``.
+
+Exit status: 0 on success, 1 on any mismatch or failure.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.harness.export import to_dict
+from repro.harness.parallel import parallel_single_thread_comparison
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import ExperimentScheduler
+from repro.service.server import ExperimentServer
+
+HARD_DEADLINE_SECONDS = 300.0
+BENCHMARKS = ("zipf(a=0.8)", "zipf(a=1.2)")
+TECHNIQUES = ("sampler",)
+CONFIG = ExperimentConfig(scale=32, instructions=20_000, seed=1)
+
+
+def _fail(message: str) -> int:
+    print(f"pattern-smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    if hasattr(signal, "SIGALRM"):
+        def _on_alarm(signum, frame):
+            raise TimeoutError(
+                f"pattern-smoke exceeded its {HARD_DEADLINE_SECONDS}s deadline"
+            )
+
+        signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, HARD_DEADLINE_SECONDS)
+
+    with tempfile.TemporaryDirectory(prefix="repro-pattern-smoke-") as tmp:
+        root = Path(tmp)
+
+        # Reference: the same pattern cells exactly as `repro run` would
+        # execute them, serially, no store.
+        serial = parallel_single_thread_comparison(
+            WorkloadCache(CONFIG), list(TECHNIQUES), BENCHMARKS, jobs=1
+        )
+        expected = to_dict(serial)
+
+        scheduler = ExperimentScheduler(
+            job_store=root / "service",
+            stream_cache=root / "streams",
+            shared_memory=True,
+            jobs=2,
+        )
+        handle = ExperimentServer(scheduler, port=0).start_in_thread()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{handle.port}")
+            health = client.healthz()
+            if health.get("status") != "ok":
+                return _fail(f"healthz: {health}")
+
+            spec = dict(
+                benchmarks=list(BENCHMARKS), techniques=list(TECHNIQUES),
+                sweep=True,
+                config={
+                    "scale": CONFIG.scale,
+                    "instructions": CONFIG.instructions,
+                    "seed": CONFIG.seed,
+                    "cores": CONFIG.num_cores,
+                },
+            )
+            job = client.submit(client="pattern-smoke", **spec)
+            final = client.wait(job["id"], timeout=HARD_DEADLINE_SECONDS)
+            if final["state"] != "done":
+                return _fail(
+                    f"job finished {final['state']}: {final.get('error', '')}"
+                )
+            got = client.result(job["id"])
+            if got != expected:
+                return _fail(
+                    "pattern sweep over the service is not bit-identical to "
+                    "the serial sweep:\n"
+                    f"service: {json.dumps(got, sort_keys=True)[:2000]}\n"
+                    f"serial : {json.dumps(expected, sort_keys=True)[:2000]}"
+                )
+
+            # The canonical spec is the dedup identity: an identical
+            # resubmission must execute nothing.
+            repeat = client.submit(client="pattern-smoke-again", **spec)
+            if repeat["state"] != "done":
+                repeat = client.wait(repeat["id"], timeout=10.0)
+            if repeat["state"] != "done":
+                return _fail(f"dedup resubmission finished {repeat['state']}")
+            if repeat["dedup_cells"] != len(repeat["cells"]):
+                return _fail(
+                    "dedup resubmission executed cells: "
+                    f"{repeat['dedup_cells']}/{len(repeat['cells'])} deduped"
+                )
+            if client.result(repeat["id"]) != expected:
+                return _fail("dedup result differs from the original")
+
+            # Unknown family -> 400 with a suggestion, not a 500.
+            try:
+                client.submit(
+                    client="pattern-smoke-bad",
+                    benchmarks=["zipg(a=1.2)"], techniques=["sampler"],
+                    sweep=True,
+                )
+            except ServiceError as error:
+                if getattr(error, "status", None) != 400:
+                    return _fail(f"bad spec gave status {error}")
+                if "zipf" not in str(error):
+                    return _fail(
+                        f"400 body lacks the closest-match suggestion: {error}"
+                    )
+            else:
+                return _fail("misspelled family was accepted")
+        finally:
+            handle.stop()
+
+        print(
+            "pattern-smoke: OK -- zipf sweep over the service bit-identical "
+            "to serial (store + shm), dedup total, bad spec 400s with a "
+            "suggestion"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

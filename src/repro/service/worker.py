@@ -373,16 +373,24 @@ class FleetWorker:
         if cache is None:
             cache = WorkloadCache(config, stream_store=self.stream_store)
             self._caches[config] = cache
-        machine = cache.machine
         for benchmark, digest in blobs.items():
             if benchmark in cache.compiled_streams:
                 continue
-            local_key = StreamStore.workload_key(
-                benchmark, config.instructions, config.seed, machine
-            )
-            if StreamStore.digest_for_key(local_key) != digest:
-                continue  # geometry/format skew: compile locally
-            if self.stream_store is not None:
+            # Derive the key exactly as the coordinator did (v2 format,
+            # canonical-spec digest folded in).  A spec that cannot
+            # resolve on this machine (e.g. a trace(...) workload with
+            # no local trace library) still fetches by digest below --
+            # store_raw verifies content against the digest itself.
+            try:
+                local_key = cache.workload_key(benchmark, config.instructions)
+            except Exception:
+                local_key = None
+            if (
+                local_key is not None
+                and StreamStore.digest_for_key(local_key) != digest
+            ):
+                continue  # geometry/format/content skew: compile locally
+            if self.stream_store is not None and local_key is not None:
                 local = self.stream_store.load(local_key)
                 if local is not None:
                     self.stats["blob_local_hits"] += 1

@@ -98,6 +98,10 @@ __all__ = [
 
 _MAGIC = b"RPSTRM01"
 _FORMAT = 1
+# The *key* format is versioned separately from the blob layout: v2 added
+# the workload-spec digest token (parameterized pattern workloads), which
+# invalidates every v1 key without touching how blobs decode.
+_KEY_FORMAT = 2
 _ALIGN = 8
 _TRUTHY = ("1", "true", "yes", "on")
 
@@ -542,20 +546,27 @@ class StreamStore:
         instructions: int,
         seed: int,
         machine: MachineConfig,
+        spec_digest: str = "",
     ) -> str:
         """Canonical key over everything that determines a compiled blob.
 
         Trace generation depends on (benchmark, budget, LLC capacity,
         seed); filtering on the L1/L2 geometries; the baked-in stream on
-        the LLC geometry.  The leading format token versions the blob
-        layout itself: bumping ``_FORMAT`` invalidates every entry.
+        the LLC geometry.  ``spec_digest`` is the workload's canonical
+        spec digest (:func:`repro.workloads.suite.workload_spec_digest`),
+        which distinguishes parameterized patterns whose *name* text may
+        vary (or collide) while their content differs -- e.g. a
+        re-imported ``trace(...)`` workload.  The leading format token
+        versions the key schema; bumping ``_KEY_FORMAT`` invalidates
+        every entry (blob layout is versioned separately by ``_FORMAT``).
         """
         return (
-            f"rstream-v{_FORMAT}|benchmark={benchmark}"
+            f"rstream-v{_KEY_FORMAT}|benchmark={benchmark}"
             f"|instructions={instructions}|seed={seed}"
             f"|l1={_geometry_token(machine.l1)}"
             f"|l2={_geometry_token(machine.l2)}"
             f"|llc={_geometry_token(machine.llc)}"
+            f"|spec={spec_digest}"
         )
 
     @staticmethod

@@ -21,7 +21,7 @@ from typing import List, Union
 
 from repro.sim.trace import Trace, TraceRecord
 
-__all__ = ["load_trace", "save_trace"]
+__all__ = ["load_trace", "save_trace", "trace_lines"]
 
 _MAGIC = "# repro-trace v1"
 
@@ -36,17 +36,29 @@ def _open(path: Path, mode: str):
     return open(path, mode, encoding="ascii")
 
 
+def trace_lines(trace: Trace):
+    """Yield the canonical serialized lines of ``trace`` (with newlines).
+
+    This is *the* byte representation of a trace: :func:`save_trace`
+    writes exactly these lines, and the trace library's content digests
+    hash them -- so a plain-text file and its gzip variant share one
+    digest.
+    """
+    yield f"{_MAGIC} name={trace.name}\n"
+    for record in trace.records:
+        yield (
+            f"{record.pc:x} {record.address:x} "
+            f"{'W' if record.is_write else 'R'} {record.gap} "
+            f"{'D' if record.depends else '-'}\n"
+        )
+
+
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     """Write ``trace`` to ``path`` (gzip if the name ends in .gz)."""
     path = Path(path)
     with _open(path, "w") as stream:
-        stream.write(f"{_MAGIC} name={trace.name}\n")
-        for record in trace.records:
-            stream.write(
-                f"{record.pc:x} {record.address:x} "
-                f"{'W' if record.is_write else 'R'} {record.gap} "
-                f"{'D' if record.depends else '-'}\n"
-            )
+        for line in trace_lines(trace):
+            stream.write(line)
 
 
 def load_trace(path: Union[str, Path]) -> Trace:

@@ -28,31 +28,78 @@ from repro.workloads.generators import (
     ThrashGenerator,
     UnpredictableGenerator,
 )
-from repro.workloads.mixes import MIX_NAMES, MIXES, build_mix_traces
+from repro.workloads.mixes import MIX_NAMES, MIXES, build_mix_traces, mix_members
+from repro.workloads.patterns import (
+    PATTERN_FAMILIES,
+    BurstyPattern,
+    ComposedPattern,
+    HotspotPattern,
+    PatternWorkload,
+    SequentialPattern,
+    UniformRandomPattern,
+    WorkloadSpecError,
+    ZipfianPattern,
+    compose,
+    parse_workload_spec,
+    register_pattern_family,
+)
+from repro.workloads.replay import (
+    TraceLibrary,
+    TraceReplayWorkload,
+    default_trace_library,
+    trace_content_digest,
+)
 from repro.workloads.suite import (
     ALL_BENCHMARKS,
     SINGLE_THREAD_SUBSET,
+    UnknownWorkloadError,
     build_trace,
     generator_for,
+    resolve_workload,
+    validate_workloads,
+    workload_spec,
+    workload_spec_digest,
 )
 
 __all__ = [
     "ALL_BENCHMARKS",
+    "BurstyPattern",
+    "ComposedPattern",
     "HotColdGenerator",
+    "HotspotPattern",
     "MIXES",
     "MIX_NAMES",
     "MixedPhaseGenerator",
+    "PATTERN_FAMILIES",
+    "PatternWorkload",
     "PointerChaseGenerator",
     "SINGLE_THREAD_SUBSET",
     "ScanReuseGenerator",
+    "SequentialPattern",
     "SmallFootprintGenerator",
     "StencilGenerator",
     "StreamingGenerator",
     "ThrashGenerator",
     "TraceBuilder",
+    "TraceLibrary",
+    "TraceReplayWorkload",
+    "UniformRandomPattern",
+    "UnknownWorkloadError",
     "UnpredictableGenerator",
     "WorkloadGenerator",
+    "WorkloadSpecError",
+    "ZipfianPattern",
     "build_mix_traces",
     "build_trace",
+    "compose",
+    "default_trace_library",
     "generator_for",
+    "mix_members",
+    "parse_workload_spec",
+    "register_pattern_family",
+    "resolve_workload",
+    "trace_content_digest",
+    "validate_workloads",
+    "workload_spec",
+    "workload_spec_digest",
 ]

@@ -1,19 +1,25 @@
-"""The ten quad-core workload mixes of Table IV.
+"""The ten quad-core workload mixes of Table IV, plus ad-hoc mixes.
 
 Benchmark composition is taken verbatim from the paper's Table IV; each
 mix combines four single-thread benchmarks with a variety of cache
 sensitivities (streamers, thrash, pointer chase, compute-bound), which is
 what makes shared-LLC management interesting.
+
+Beyond Table IV, any ``+``-separated list of workload names is a valid
+ad-hoc mix -- ``mcf+hmmer+zipf(a=1.4)+seq(streams=8)`` -- one workload
+per core, resolved through :func:`repro.workloads.suite.build_trace` so
+suite benchmarks and pattern specs combine freely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import difflib
+from typing import Dict, List, Sequence, Tuple
 
 from repro.sim.trace import Trace
-from repro.workloads.suite import build_trace
+from repro.workloads.suite import build_trace, validate_workloads
 
-__all__ = ["MIXES", "MIX_NAMES", "build_mix_traces"]
+__all__ = ["MIXES", "MIX_NAMES", "build_mix_traces", "mix_members"]
 
 #: Table IV, verbatim.
 MIXES: Dict[str, Tuple[str, str, str, str]] = {
@@ -42,13 +48,57 @@ def build_mix_traces(
     one shared 8MB array), so single-thread and multi-core runs use
     identical traces for a given machine scale.
     """
-    try:
-        names = MIXES[mix_name]
-    except KeyError:
-        raise KeyError(
-            f"unknown mix {mix_name!r}; known: {', '.join(MIX_NAMES)}"
-        ) from None
+    names = mix_members(mix_name)
     return [
         build_trace(name, instructions_per_core, llc_bytes, seed=seed + core)
         for core, name in enumerate(names)
     ]
+
+
+def _split_plus(text: str) -> List[str]:
+    """Split an ad-hoc mix on ``+`` at parenthesis depth zero."""
+    pieces: List[str] = []
+    depth = 0
+    start = 0
+    for index, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(depth - 1, 0)
+        elif char == "+" and depth == 0:
+            pieces.append(text[start:index].strip())
+            start = index + 1
+    pieces.append(text[start:].strip())
+    return pieces
+
+
+def mix_members(mix_name: str) -> Sequence[str]:
+    """Resolve a mix name to its per-core workload names.
+
+    Table IV names resolve from :data:`MIXES`; names containing ``+``
+    are ad-hoc mixes whose members are validated individually.
+
+    Raises:
+        KeyError: unknown Table IV mix, with a closest-match suggestion.
+        ValueError: an ad-hoc mix with an unresolvable member.
+    """
+    names = MIXES.get(mix_name)
+    if names is not None:
+        return names
+    if "+" in mix_name:
+        members = _split_plus(mix_name)
+        if any(not member for member in members):
+            raise ValueError(f"ad-hoc mix {mix_name!r} has an empty member")
+        bad = validate_workloads(members)
+        if bad:
+            raise ValueError(
+                f"ad-hoc mix {mix_name!r} has unresolvable members: "
+                + "; ".join(bad)
+            )
+        return members
+    matches = difflib.get_close_matches(mix_name, MIX_NAMES, n=1)
+    hint = f"; did you mean {matches[0]!r}?" if matches else ""
+    raise KeyError(
+        f"unknown mix {mix_name!r}{hint} (known: {', '.join(MIX_NAMES)}; "
+        "ad-hoc mixes join workload names with '+')"
+    )

@@ -32,7 +32,9 @@ Parameter provenance, briefly:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+import difflib
+import hashlib
+from typing import Callable, Dict, List, Tuple
 
 from repro.sim.trace import Trace
 from repro.workloads.base import WorkloadGenerator
@@ -47,12 +49,23 @@ from repro.workloads.generators import (
     ThrashGenerator,
     UnpredictableGenerator,
 )
+from repro.workloads.patterns import (
+    PATTERN_FAMILIES,
+    WorkloadSpecError,
+    parse_workload_spec,
+)
+import repro.workloads.replay  # noqa: F401  (registers the "trace" family)
 
 __all__ = [
     "ALL_BENCHMARKS",
     "SINGLE_THREAD_SUBSET",
+    "UnknownWorkloadError",
     "build_trace",
     "generator_for",
+    "resolve_workload",
+    "validate_workloads",
+    "workload_spec",
+    "workload_spec_digest",
 ]
 
 GeneratorFactory = Callable[[int], WorkloadGenerator]
@@ -312,19 +325,103 @@ SINGLE_THREAD_SUBSET: Tuple[str, ...] = (
 )
 
 
+class UnknownWorkloadError(KeyError):
+    """An unresolvable workload name, with a closest-match suggestion.
+
+    Subclasses :class:`KeyError` for backward compatibility with callers
+    that catch the suite's historical error, but renders like a normal
+    message (``KeyError.__str__`` would repr-quote it).
+    """
+
+    def __str__(self) -> str:  # KeyError reprs its arg; we want prose.
+        return self.args[0] if self.args else ""
+
+
+def _unknown(name: str) -> UnknownWorkloadError:
+    candidates = list(ALL_BENCHMARKS) + sorted(PATTERN_FAMILIES)
+    matches = difflib.get_close_matches(name, candidates, n=1)
+    hint = f"; did you mean {matches[0]!r}?" if matches else ""
+    return UnknownWorkloadError(
+        f"unknown workload {name!r}{hint} (registered benchmarks: "
+        f"{', '.join(sorted(ALL_BENCHMARKS))}; pattern families: "
+        f"{', '.join(sorted(PATTERN_FAMILIES))} -- "
+        "parameterized specs look like 'zipf(a=1.2,seed=7)')"
+    )
+
+
+def resolve_workload(name: str, seed: int = 1) -> WorkloadGenerator:
+    """Resolve a workload name -- suite benchmark or pattern spec.
+
+    Plain names hit the 29-benchmark suite registry; names containing
+    ``(`` parse as pattern/trace specs (``zipf(a=1.2)``,
+    ``trace(name=foo)``).  ``seed`` seeds suite benchmarks directly and
+    is the default for specs that do not pin ``seed=`` themselves.
+
+    Raises:
+        UnknownWorkloadError: name matches neither, with the sorted
+            registry and a closest-match suggestion.
+        WorkloadSpecError: a spec that parses to an unknown family or
+            bad parameters.
+    """
+    factory = _FACTORIES.get(name)
+    if factory is not None:
+        return factory(seed)
+    if "(" in name:
+        return parse_workload_spec(name, seed=seed)
+    if name in PATTERN_FAMILIES:
+        # A bare family name is a valid all-defaults spec: "zipf".
+        return parse_workload_spec(name, seed=seed)
+    raise _unknown(name)
+
+
 def generator_for(name: str, seed: int = 1) -> WorkloadGenerator:
-    """Instantiate the generator for a benchmark name."""
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown benchmark {name!r}; known: {', '.join(ALL_BENCHMARKS)}"
-        ) from None
-    return factory(seed)
+    """Instantiate the generator for a benchmark name or pattern spec."""
+    return resolve_workload(name, seed)
+
+
+def validate_workloads(names) -> List[str]:
+    """The sub-list of ``names`` that do not resolve (parse-only check).
+
+    Used by the scheduler and CLI for fail-fast validation; trace specs
+    are *syntax*-checked only (the library lookup happens at build time,
+    possibly on another machine).
+    """
+    bad: List[str] = []
+    for name in names:
+        if name in _FACTORIES:
+            continue
+        try:
+            resolve_workload(name)
+        except WorkloadSpecError as error:
+            # Library misses are build-time concerns, not syntax errors.
+            if "not found in library" not in str(error):
+                bad.append(f"{name}: {error}")
+        except UnknownWorkloadError as error:
+            bad.append(str(error))
+        except (OSError, ValueError) as error:
+            bad.append(f"{name}: {error}")
+    return bad
+
+
+def workload_spec(name: str, seed: int = 1) -> str:
+    """The canonical identity of a workload name.
+
+    Suite benchmarks are their own identity (their generators are code,
+    versioned with the repo); pattern/trace workloads canonicalize to
+    the fully-explicit spec.
+    """
+    generator = resolve_workload(name, seed)
+    spec = getattr(generator, "spec", None)
+    return spec() if callable(spec) else f"suite|{name}"
+
+
+def workload_spec_digest(name: str, seed: int = 1) -> str:
+    """16-hex digest of :func:`workload_spec` (stream-store key input)."""
+    return hashlib.sha256(workload_spec(name, seed).encode("utf-8")).hexdigest()[:16]
 
 
 def build_trace(
     name: str, instructions: int, llc_bytes: int, seed: int = 1
 ) -> Trace:
     """Generate a benchmark trace sized against ``llc_bytes``."""
-    return generator_for(name, seed).generate(instructions, llc_bytes)
+    return resolve_workload(name, seed).generate(instructions, llc_bytes)

@@ -6,9 +6,11 @@ unit tests can state expectations exactly.  Everything is deterministic.
 Fault-injection tests (``@pytest.mark.faults``, run via ``make
 test-faults``) exercise worker crashes, hangs, and timeouts, and
 experiment-service tests (``@pytest.mark.service``, run via ``make
-test-service``) exercise a live job server, and fleet tests
+test-service``) exercise a live job server, fleet tests
 (``@pytest.mark.fleet``, run via ``make test-fleet``) exercise
-lease-based dispatch with real worker processes; a regression in any can
+lease-based dispatch with real worker processes, and workload tests
+(``@pytest.mark.workloads``, run via ``make test-workloads``) exercise
+pattern generators and trace replay; a regression in any can
 *wedge* rather than fail, so every marked test runs under a hard SIGALRM
 deadline (default 120s, override with
 ``@pytest.mark.faults(timeout=N)`` / ``@pytest.mark.service(timeout=N)``)
@@ -27,7 +29,7 @@ from repro.cache import Cache, CacheAccess, CacheGeometry
 _HARD_TEST_TIMEOUT = 120.0
 
 #: Markers whose tests run under a hard wall-clock deadline.
-_DEADLINE_MARKERS = ("faults", "service", "fleet")
+_DEADLINE_MARKERS = ("faults", "service", "fleet", "workloads")
 
 
 @pytest.hookimpl(hookwrapper=True)

@@ -118,10 +118,13 @@ class TestParallelComparison:
             assert result.llc_stats.accesses > 0
 
     def test_unknown_technique_rejected_up_front(self):
-        # Typos must fail before any replay begins, naming both the bad
-        # keys and the valid vocabulary -- not as a KeyError from inside
-        # a worker process minutes into the sweep.
-        with pytest.raises(ValueError, match=r"unknown techniques: 'sampelr'.*valid:.*sampler"):
+        # Typos must fail before any replay begins, with a closest-match
+        # suggestion and the valid vocabulary -- not as a KeyError from
+        # inside a worker process minutes into the sweep.
+        with pytest.raises(
+            ValueError,
+            match=r"unknown technique 'sampelr'.*did you mean 'sampler'.*registered:.*rrip",
+        ):
             parallel_single_thread_comparison(
                 SMALL, ("rrip", "sampelr"), BENCHMARKS, jobs=1
             )

@@ -1,0 +1,173 @@
+"""Pattern workloads end-to-end: golden bit-identity and the sweep axis.
+
+Parameterized specs must be plain benchmark names to every transport --
+serial harness, parallel spawn pools, stream store, shared memory, the
+experiment service.  The golden tests here mirror
+``test_streamstore_sweep.py`` with pattern specs in the benchmark slots;
+any divergence means a spec's canonical identity leaked somewhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import (
+    pattern_axis,
+    pattern_sweep_experiment,
+    single_thread_comparison,
+    zipf_skew_axis,
+)
+from repro.harness.parallel import parallel_single_thread_comparison
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.sim.streamstore import StreamStore
+
+pytestmark = pytest.mark.workloads
+
+TINY = ExperimentConfig(scale=32, instructions=20_000, seed=3)
+BENCHMARKS = ("zipf(a=1.2)", "blend(seq(streams=2),uniform,weights=2:1)")
+TECHNIQUE_KEYS = ("sampler",)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_store_env(monkeypatch):
+    for name in ("REPRO_STREAM_CACHE", "REPRO_SHM", "REPRO_STREAM_REQUIRE"):
+        monkeypatch.delenv(name, raising=False)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return single_thread_comparison(WorkloadCache(TINY), TECHNIQUE_KEYS, BENCHMARKS)
+
+
+def assert_bit_identical(reference, comparison):
+    for benchmark in BENCHMARKS:
+        assert (
+            reference.baseline[benchmark].llc_stats.snapshot()
+            == comparison.baseline[benchmark].llc_stats.snapshot()
+        )
+        assert reference.baseline[benchmark].ipc == comparison.baseline[benchmark].ipc
+        for key in TECHNIQUE_KEYS:
+            mine = reference.results[benchmark][key]
+            theirs = comparison.results[benchmark][key]
+            assert mine.llc_stats.snapshot() == theirs.llc_stats.snapshot()
+            assert mine.llc_hits == theirs.llc_hits
+            assert mine.ipc == theirs.ipc
+
+
+class TestGoldenBitIdentity:
+    def test_serial_store_cold_then_warm(self, reference, tmp_path, monkeypatch):
+        store = StreamStore(tmp_path / "store")
+        cold = parallel_single_thread_comparison(
+            TINY, TECHNIQUE_KEYS, BENCHMARKS, jobs=1, stream_cache=store
+        )
+        assert_bit_identical(reference, cold)
+        assert len(store) == len(BENCHMARKS)
+        # Warm re-run must come entirely off disk; REPRO_STREAM_REQUIRE
+        # turns any cold compile into a hard error.
+        monkeypatch.setenv("REPRO_STREAM_REQUIRE", "1")
+        warm = parallel_single_thread_comparison(
+            TINY, TECHNIQUE_KEYS, BENCHMARKS, jobs=1, stream_cache=store
+        )
+        assert_bit_identical(reference, warm)
+
+    def test_store_off_is_unchanged(self, reference):
+        comparison = parallel_single_thread_comparison(
+            TINY, TECHNIQUE_KEYS, BENCHMARKS, jobs=1
+        )
+        assert_bit_identical(reference, comparison)
+
+    @pytest.mark.faults
+    def test_parallel_store_bit_identical(self, reference, tmp_path):
+        store = StreamStore(tmp_path / "store")
+        comparison = parallel_single_thread_comparison(
+            TINY, TECHNIQUE_KEYS, BENCHMARKS, jobs=2, stream_cache=store
+        )
+        assert_bit_identical(reference, comparison)
+
+    @pytest.mark.faults
+    def test_parallel_shm_bit_identical(self, reference, tmp_path):
+        store = StreamStore(tmp_path / "store")
+        comparison = parallel_single_thread_comparison(
+            TINY, TECHNIQUE_KEYS, BENCHMARKS,
+            jobs=2, stream_cache=store, shared_memory=True,
+        )
+        assert_bit_identical(reference, comparison)
+
+
+class TestSweepAxis:
+    def test_zipf_skew_axis_defaults(self):
+        specs = zipf_skew_axis()
+        assert len(specs) >= 4
+        assert list(specs) == [
+            "zipf(a=0.6)", "zipf(a=0.9)", "zipf(a=1.2)", "zipf(a=1.5)",
+        ]
+
+    def test_pattern_axis_other_families(self):
+        assert list(pattern_axis("hotspot", "hot", (0.05, 0.2))) == [
+            "hotspot(hot=0.05)", "hotspot(hot=0.2)",
+        ]
+        assert list(pattern_axis("bursty", "burst", (32, 128), base="idle=100")) == [
+            "bursty(idle=100,burst=32)", "bursty(idle=100,burst=128)",
+        ]
+
+    def test_pattern_sweep_experiment_rows(self):
+        specs = ("zipf(a=0.8)", "zipf(a=1.4)")
+        result = pattern_sweep_experiment(WorkloadCache(TINY), specs)
+        assert result.specs == specs
+        for spec in specs:
+            assert 0.0 <= result.lru_miss_rate[spec] <= 1.0
+            assert 0.0 <= result.dbrb_miss_rate[spec] <= 1.0
+            assert 0.0 <= result.coverage[spec] <= 1.0
+            assert 0.0 <= result.false_positive[spec] <= 1.0
+        rows = result.rows()
+        assert rows[0][0] == "workload"
+        assert len(rows) == 1 + len(specs)
+
+    def test_sweep_is_deterministic(self):
+        specs = ("zipf(a=1.2)",)
+        first = pattern_sweep_experiment(WorkloadCache(TINY), specs)
+        second = pattern_sweep_experiment(WorkloadCache(TINY), specs)
+        assert first.lru_miss_rate == second.lru_miss_rate
+        assert first.dbrb_miss_rate == second.dbrb_miss_rate
+        assert first.coverage == second.coverage
+
+
+class TestServiceValidation:
+    def test_scheduler_accepts_pattern_specs(self, tmp_path):
+        from repro.service.scheduler import ExperimentScheduler
+
+        scheduler = ExperimentScheduler(tmp_path / "service", start=False)
+        job = scheduler.submit(TINY, ["zipf(a=1.2)"], ["sampler"], sweep=True)
+        assert job.state in ("queued", "running", "done")
+
+    def test_scheduler_rejects_misspellings_with_suggestions(self, tmp_path):
+        from repro.service.scheduler import ExperimentScheduler
+
+        scheduler = ExperimentScheduler(tmp_path / "service", start=False)
+        with pytest.raises(ValueError, match="hmmer"):
+            scheduler.submit(TINY, ["hmmr"], ["sampler"], sweep=True)
+        with pytest.raises(ValueError, match="sampler"):
+            scheduler.submit(TINY, ["mcf"], ["samplr"], sweep=True)
+        with pytest.raises(ValueError, match="zipf"):
+            scheduler.submit(TINY, ["zipg(a=1.2)"], ["sampler"], sweep=True)
+
+    @pytest.mark.service
+    def test_http_submit_maps_bad_spec_to_400_with_suggestion(self, tmp_path):
+        from repro.service.client import ServiceClient, ServiceError
+        from repro.service.scheduler import ExperimentScheduler
+        from repro.service.server import ExperimentServer
+
+        scheduler = ExperimentScheduler(tmp_path / "service", start=False)
+        handle = ExperimentServer(scheduler, port=0).start_in_thread()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{handle.port}", max_retries=0
+            )
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(
+                    benchmarks=["zipg(a=1.2)"], techniques=["sampler"], sweep=True
+                )
+            assert excinfo.value.status == 400
+            assert "zipf" in str(excinfo.value)
+        finally:
+            handle.stop()

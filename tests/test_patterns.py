@@ -1,0 +1,245 @@
+"""Pattern-generator family: determinism, spec grammar, and error UX.
+
+The workload subsystem's contract is *name-as-spec*: a canonical spec
+string fully determines the emitted trace, so checkpoint keys, stream
+store keys, and service dedup all work off the name alone.  These tests
+pin the contract with hypothesis over the parameter space of every
+family: same spec -> byte-identical records, different seed -> a
+different trace, and parse(spec()) is the identity.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    PATTERN_FAMILIES,
+    BurstyPattern,
+    ComposedPattern,
+    HotspotPattern,
+    SequentialPattern,
+    UniformRandomPattern,
+    UnknownWorkloadError,
+    WorkloadSpecError,
+    ZipfianPattern,
+    compose,
+    generator_for,
+    mix_members,
+    parse_workload_spec,
+    resolve_workload,
+    workload_spec,
+    workload_spec_digest,
+)
+
+pytestmark = pytest.mark.workloads
+
+INSTRUCTIONS = 6_000
+LLC_BYTES = 32 * 1024
+
+
+def trace_bytes(generator):
+    """A trace's full identity: every record field plus the accounting."""
+    trace = generator.generate(INSTRUCTIONS, LLC_BYTES)
+    return (trace.name, trace.instructions, tuple(trace.records))
+
+
+def spec_strategy():
+    """Random specs across every simple family (valid parameter values)."""
+    return st.one_of(
+        st.builds(
+            lambda a, gap, write, seed: (f"zipf(a={a},gap={gap},write={write})", seed),
+            st.sampled_from(["0.6", "0.9", "1.2", "1.5"]),
+            st.integers(min_value=1, max_value=8),
+            st.sampled_from(["0.0", "0.25", "0.5"]),
+            st.integers(min_value=1, max_value=5),
+        ),
+        st.builds(
+            lambda hot, p, seed: (f"hotspot(hot={hot},p={p})", seed),
+            st.sampled_from(["0.05", "0.1", "0.2"]),
+            st.sampled_from(["0.8", "0.9", "0.95"]),
+            st.integers(min_value=1, max_value=5),
+        ),
+        st.builds(
+            lambda burst, idle, seed: (f"bursty(burst={burst},idle={idle})", seed),
+            st.integers(min_value=8, max_value=128),
+            st.integers(min_value=10, max_value=400),
+            st.integers(min_value=1, max_value=5),
+        ),
+        st.builds(
+            lambda streams, seed: (f"seq(streams={streams})", seed),
+            st.integers(min_value=1, max_value=8),
+            st.integers(min_value=1, max_value=5),
+        ),
+        st.builds(
+            lambda footprint, seed: (f"uniform(footprint={footprint})", seed),
+            st.sampled_from(["0.5", "1.0", "2.0", "4.0"]),
+            st.integers(min_value=1, max_value=5),
+        ),
+    )
+
+
+class TestDeterminism:
+    @settings(max_examples=40, deadline=None)
+    @given(spec_strategy())
+    def test_same_spec_is_byte_identical(self, case):
+        text, seed = case
+        first = parse_workload_spec(text, seed=seed)
+        second = parse_workload_spec(text, seed=seed)
+        assert first.name == second.name
+        assert trace_bytes(first) == trace_bytes(second)
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec_strategy())
+    def test_distinct_seeds_give_distinct_traces(self, case):
+        text, seed = case
+        base = parse_workload_spec(text, seed=seed)
+        other = parse_workload_spec(text, seed=seed + 17)
+        assert base.name != other.name
+        assert trace_bytes(base) != trace_bytes(other)
+
+    @settings(max_examples=40, deadline=None)
+    @given(spec_strategy())
+    def test_parse_of_spec_is_identity(self, case):
+        text, seed = case
+        generator = parse_workload_spec(text, seed=seed)
+        reparsed = parse_workload_spec(generator.spec())
+        assert reparsed.name == generator.name
+        assert trace_bytes(reparsed) == trace_bytes(generator)
+
+    def test_every_family_constructs_with_defaults(self):
+        for family in sorted(PATTERN_FAMILIES):
+            if family in ("phased", "blend", "trace"):
+                continue  # compose needs parts; trace needs a source
+            generator = resolve_workload(family, seed=2)
+            trace = generator.generate(INSTRUCTIONS, LLC_BYTES)
+            assert trace.records, family
+            assert trace.instructions >= INSTRUCTIONS
+
+
+class TestCanonicalSpec:
+    def test_parameter_order_does_not_matter(self):
+        left = parse_workload_spec("zipf(seed=7,a=1.2)")
+        right = parse_workload_spec("zipf(a=1.2,seed=7)")
+        assert left.name == right.name
+        assert trace_bytes(left) == trace_bytes(right)
+
+    def test_defaults_are_filled_in(self):
+        implicit = parse_workload_spec("zipf", seed=1)
+        explicit = ZipfianPattern(seed=1)
+        assert implicit.name == explicit.name
+        assert "a=1.2" in implicit.name and "seed=1" in implicit.name
+
+    def test_float_valued_ints_render_as_ints(self):
+        generator = ZipfianPattern(footprint=4.0, seed=1)
+        assert "footprint=4," in generator.name
+
+    def test_spec_digest_tracks_parameters(self):
+        assert workload_spec("zipf(a=1.2)") != workload_spec("zipf(a=1.3)")
+        assert workload_spec_digest("zipf(a=1.2)") != workload_spec_digest(
+            "zipf(a=1.3)"
+        )
+        # Suite benchmarks keep a distinct (non-pattern) spec namespace.
+        assert workload_spec("mcf").startswith("suite|")
+
+    def test_seed_kwarg_is_overridden_by_explicit_seed(self):
+        generator = parse_workload_spec("zipf(a=1.2,seed=9)", seed=3)
+        assert "seed=9" in generator.name
+
+
+class TestCompose:
+    def test_phased_concatenates_parts(self):
+        generator = compose(
+            ZipfianPattern(a=1.2, seed=1), SequentialPattern(streams=2, seed=1),
+            weights=(2, 1), seed=4,
+        )
+        trace = generator.generate(INSTRUCTIONS, LLC_BYTES)
+        assert trace.instructions >= INSTRUCTIONS
+        assert generator.name.startswith("phased(")
+        assert "weights=2:1" in generator.name
+
+    def test_blend_interleaves_parts(self):
+        generator = parse_workload_spec(
+            "blend(zipf(a=1.4),uniform,weights=3:1)", seed=2
+        )
+        assert isinstance(generator, ComposedPattern)
+        trace = generator.generate(INSTRUCTIONS, LLC_BYTES)
+        zipf_pcs = {r.pc for r in generator.parts[0].generate(2_000, LLC_BYTES).records}
+        assert any(record.pc in zipf_pcs for record in trace.records)
+
+    def test_composed_spec_round_trips(self):
+        generator = parse_workload_spec(
+            "phased(zipf(a=1.2),seq(streams=2),weights=1:1)", seed=5
+        )
+        reparsed = parse_workload_spec(generator.spec())
+        assert reparsed.name == generator.name
+        assert trace_bytes(reparsed) == trace_bytes(generator)
+
+
+class TestErrorSuggestions:
+    def test_unknown_family_suggests_closest(self):
+        with pytest.raises(WorkloadSpecError) as excinfo:
+            resolve_workload("zipg(a=1.2)")
+        assert "did you mean 'zipf'" in str(excinfo.value)
+
+    def test_unknown_benchmark_suggests_closest(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            generator_for("hmmr")
+        message = str(excinfo.value)
+        assert "hmmer" in message
+        # The full sorted inventory is listed so users can self-serve.
+        assert "mcf" in message
+
+    def test_unknown_parameter_suggests_closest(self):
+        with pytest.raises(WorkloadSpecError) as excinfo:
+            parse_workload_spec("zipf(alpha=1.2)")
+        assert "a" in str(excinfo.value).split("did you mean")[-1]
+
+    def test_bad_parameter_type_is_rejected(self):
+        with pytest.raises(WorkloadSpecError):
+            parse_workload_spec("zipf(a=hot)")
+        with pytest.raises(WorkloadSpecError):
+            ZipfianPattern(a=-1.0)
+
+    def test_mix_members_accepts_pattern_specs(self):
+        members = mix_members("mcf+zipf(a=1.4)+seq(streams=8)")
+        assert list(members) == ["mcf", "zipf(a=1.4)", "seq(streams=8)"]
+        with pytest.raises(ValueError) as excinfo:
+            mix_members("mcf+zipg(a=1.4)")
+        assert "zipf" in str(excinfo.value)
+
+
+class TestFamilyShapes:
+    """Cheap sanity that each archetype produces its advertised shape."""
+
+    def test_hotspot_concentrates_accesses(self):
+        from collections import Counter
+
+        generator = HotspotPattern(hot=0.05, p=0.95, seed=1)
+        trace = generator.generate(INSTRUCTIONS, LLC_BYTES)
+        counts = sorted(
+            Counter(record.address for record in trace.records).values(),
+            reverse=True,
+        )
+        # The hot set (5% of blocks, 95% of accesses) dominates: the top
+        # half of distinct addresses must carry nearly all traffic, far
+        # beyond what the uniform family produces (~70%).
+        top_half = sum(counts[: max(len(counts) // 2, 1)])
+        assert top_half > sum(counts) * 0.85
+
+    def test_bursty_has_idle_gaps(self):
+        generator = BurstyPattern(burst=16, idle=300, seed=1)
+        trace = generator.generate(INSTRUCTIONS, LLC_BYTES)
+        assert trace.instructions > len(trace.records) * 5
+
+    def test_sequential_streams_ascend(self):
+        generator = SequentialPattern(streams=1, gap=1, seed=1)
+        records = generator.generate(2_000, LLC_BYTES).records
+        deltas = [b.address - a.address for a, b in zip(records, records[1:])]
+        assert all(delta >= 0 for delta in deltas[: len(deltas) // 2])
+
+    def test_uniform_spreads_accesses(self):
+        generator = UniformRandomPattern(footprint=2.0, seed=1)
+        records = generator.generate(INSTRUCTIONS, LLC_BYTES).records
+        assert len({record.address for record in records}) > len(records) // 4

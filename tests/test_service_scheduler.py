@@ -45,7 +45,7 @@ class TestAdmission:
     def test_unknown_benchmark_and_technique_rejected(self, tmp_path):
         scheduler = make_scheduler(tmp_path, start=False)
         try:
-            with pytest.raises(ValueError, match="unknown benchmark"):
+            with pytest.raises(ValueError, match="unknown workload"):
                 scheduler.submit(CONFIG, ["notabench"], [], sweep=True)
             with pytest.raises(ValueError, match="unknown technique"):
                 scheduler.submit(CONFIG, ["mcf"], ["notatech"], sweep=True)
