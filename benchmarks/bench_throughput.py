@@ -29,6 +29,16 @@ report (``BENCH_PR1.json`` by default):
   fallback.  A full run also writes the section to ``BENCH_PR6.json``,
   and ``--min-array-speedup`` (default 1.3) gates the aggregate in
   every mode.
+* **sampler_kernel**: the paper's headline cells -- DBRB over the
+  sampling predictor on the LRU and random defaults -- replayed
+  object-vs-array the same interleaved best-of-N way.  These cells are
+  *required* to run array-native (a decline aborts the run: the batched
+  DBRB kernel regressed its eligibility), and the array-kernel fallback
+  probe flips to an ineligible technique to keep witnessing the
+  automatic object fallback.  A full run also writes the section to
+  ``BENCH_PR9.json``, and ``--min-sampler-speedup`` (default 1.5) gates
+  the aggregate in every mode, including ``--smoke`` under ``make
+  check``.
 
 Usage::
 
@@ -94,6 +104,11 @@ SUBSTRATE_TECHNIQUES = ("lru",) + tuple(SINGLE_THREAD_TECHNIQUES)
 #: Figure 4-8 baseline families); the array_kernel section measures
 #: these cells object-vs-array.
 ARRAY_TECHNIQUES = ("lru", "dip", "rrip", "random")
+
+#: The paper's headline cells: DBRB over the sampling predictor, both
+#: default policies.  The sampler_kernel section measures these and
+#: *requires* the batched DBRB kernel to take them.
+SAMPLER_TECHNIQUES = ("sampler", "random_sampler")
 
 #: Interleaved trials per array-kernel cell; the best of each side is
 #: kept (single-vCPU boxes jitter absolute rates, ratios stay stable).
@@ -367,18 +382,35 @@ def _array_kernel_env(value: str):
             os.environ["REPRO_ARRAY_KERNEL"] = saved
 
 
-def _measure_array_kernel(workload_cache, technique_keys, benchmarks) -> Dict:
-    """Time the array-eligible cells through both replay kernels.
+def _ineligible_probe_key() -> Optional[str]:
+    """The first registered technique that is *not* array-eligible: the
+    probe cell proving the replay declines to the object kernel on its
+    own.  (Before the batched DBRB kernel this probe used "sampler";
+    sampler cells are now required to run array-native, so the probe
+    follows the registry's ``array_eligible`` flags instead.)"""
+    for key, technique in TECHNIQUES.items():
+        if not technique.array_eligible:
+            return key
+    return None
+
+
+def _measure_kernel_cells(
+    workload_cache, technique_keys, benchmarks,
+    probe_key: Optional[str] = None, require_array: bool = False,
+) -> Dict:
+    """Time the given cells through both replay kernels.
 
     Per cell: ``_ARRAY_TRIALS`` interleaved (object, array) runs over
     the same prepared stream, best of each side kept.  The shared
-    :class:`~repro.cache.soa.ReplayIndex` is prebuilt outside the
-    clocks -- it is amortized across every technique of a sweep, the
+    :class:`~repro.cache.soa.ReplayIndex` (and, for DBRB cells, the
+    :class:`~repro.cache.soa.PredictionPlane`) is prebuilt outside the
+    clocks -- both are amortized across every technique of a sweep, the
     same contract as the precomputed ``(set_index, tag)`` decomposition
     the object kernel already enjoys.  Hit vectors and statistics must
     match between kernels; a cell the substrate declines (e.g. a stream
     too small to amortize the frame planes) is recorded as skipped with
-    its fallback reason.
+    its fallback reason -- unless ``require_array``, where a decline
+    aborts the run (the sampler cells must replay array-native).
     """
     geometry = workload_cache.machine.llc
     per_technique: Dict[str, Dict] = {
@@ -392,6 +424,8 @@ def _measure_array_kernel(workload_cache, technique_keys, benchmarks) -> Dict:
         stream = filtered.llc_stream(geometry)
         accesses = stream.accesses
         stream.replay_index(geometry.num_sets)
+        if require_array:
+            stream.prediction_plane(geometry.num_sets)
         # Only probe the automatic fallback on a stream where the array
         # path actually ran: the probe should witness the *policy*
         # decline, not a size-based one.
@@ -442,6 +476,14 @@ def _measure_array_kernel(workload_cache, technique_keys, benchmarks) -> Dict:
                 if best_array is None or elapsed < best_array:
                     best_array = elapsed
             if declined is not None:
+                if require_array and declined.startswith(("dbrb-", "policy:")):
+                    # Size/state heuristics ("small-stream", "warm-cache")
+                    # may still skip a cell; an *eligibility* decline
+                    # means the batched DBRB kernel regressed.
+                    raise SystemExit(
+                        f"SAMPLER KERNEL FALLBACK: ({benchmark}, {key}) "
+                        f"declined the array path: {declined}"
+                    )
                 skipped.append(
                     {"benchmark": benchmark, "technique": key, "reason": declined}
                 )
@@ -450,12 +492,13 @@ def _measure_array_kernel(workload_cache, technique_keys, benchmarks) -> Dict:
             cell["accesses"] += len(accesses)
             cell["object_seconds"] += best_object
             cell["array_seconds"] += best_array
+            cell["kernel"] = "array"
             measured_any = True
 
-        if fallback_probe is None and measured_any and "sampler" in TECHNIQUES:
+        if fallback_probe is None and measured_any and probe_key in TECHNIQUES:
             # One ineligible technique, array path enabled: the replay
             # must decline to the object kernel on its own.
-            technique = TECHNIQUES["sampler"]
+            technique = TECHNIQUES[probe_key]
             with _array_kernel_env("1"):
                 cache = Cache(geometry, technique.build(geometry, accesses))
                 replay(
@@ -463,12 +506,12 @@ def _measure_array_kernel(workload_cache, technique_keys, benchmarks) -> Dict:
                 )
             if cache.last_replay_kernel != "object":
                 raise SystemExit(
-                    "FALLBACK FAILURE: sampler cell ran kernel "
+                    f"FALLBACK FAILURE: {probe_key} cell ran kernel "
                     f"{cache.last_replay_kernel!r}"
                 )
             fallback_probe = {
                 "benchmark": benchmark,
-                "technique": "sampler",
+                "technique": probe_key,
                 "kernel": cache.last_replay_kernel,
                 "reason": cache.last_replay_fallback,
             }
@@ -500,6 +543,27 @@ def _measure_array_kernel(workload_cache, technique_keys, benchmarks) -> Dict:
         "total": total,
         "results_equivalent": True,
     }
+
+
+def _measure_array_kernel(workload_cache, technique_keys, benchmarks) -> Dict:
+    """The Figure 4-8 baseline families, object vs array kernels, with
+    the fallback probe on an ineligible technique."""
+    return _measure_kernel_cells(
+        workload_cache, technique_keys, benchmarks,
+        probe_key=_ineligible_probe_key(),
+    )
+
+
+def _measure_sampler_kernel(workload_cache, benchmarks) -> Dict:
+    """The DBRB sampler cells, object vs batched prediction kernel.
+
+    ``require_array`` makes a decline fatal: every cell of this section
+    doubles as the probe that sampler replays report ``kernel: "array"``
+    by default now.
+    """
+    return _measure_kernel_cells(
+        workload_cache, SAMPLER_TECHNIQUES, benchmarks, require_array=True
+    )
 
 
 def _measure_telemetry_overhead(workload_cache, benchmarks) -> Dict:
@@ -786,6 +850,25 @@ def _print_report(report: Dict) -> None:
             f"  fallback probe ({probe['benchmark']}, {probe['technique']}): "
             f"kernel={probe['kernel']} reason={probe['reason']}"
         )
+    sampler_section = report["sampler_kernel"]
+    print(
+        f"\nsampler kernel ({len(sampler_section['benchmarks'])} benchmarks, "
+        f"best of {sampler_section['trials']} interleaved trials, "
+        "array path required):"
+    )
+    print(f"  {'technique':14s} {'object acc/s':>14s} {'array acc/s':>14s} {'speedup':>8s}")
+    for key, cell in sampler_section["per_technique"].items():
+        print(
+            f"  {key:14s} {cell['object_acc_per_sec']:>14,.0f} "
+            f"{cell['array_acc_per_sec']:>14,.0f} {cell['speedup']:>7.2f}x"
+        )
+    sampler_total = sampler_section["total"]
+    if sampler_total["speedup"] is not None:
+        print(
+            f"  {'TOTAL':14s} {sampler_total['object_acc_per_sec']:>14,.0f} "
+            f"{sampler_total['array_acc_per_sec']:>14,.0f} "
+            f"{sampler_total['speedup']:>7.2f}x"
+        )
     telemetry = report["telemetry"]
     print(
         f"\ntelemetry (sampler cell): probes-off "
@@ -893,6 +976,17 @@ def main(argv=None) -> int:
         "(default BENCH_PR6.json; not written with --smoke)",
     )
     parser.add_argument(
+        "--min-sampler-speedup", type=float, default=1.5,
+        help="sampler-kernel guard: minimum aggregate speedup of the "
+        "batched DBRB kernel over the object kernel on the sampler "
+        "cells (exit 1 below it)",
+    )
+    parser.add_argument(
+        "--sampler-output", type=Path, default=None,
+        help="where to write the sampler-kernel section on its own "
+        "(default BENCH_PR9.json; not written with --smoke)",
+    )
+    parser.add_argument(
         "--patterns-output", type=Path, default=None,
         help="where to write the pattern-workload section on its own "
         "(default BENCH_PR8.json; not written with --smoke)",
@@ -932,6 +1026,7 @@ def main(argv=None) -> int:
         "array_kernel": _measure_array_kernel(
             workload_cache, array_techniques, benchmarks
         ),
+        "sampler_kernel": _measure_sampler_kernel(workload_cache, benchmarks),
         "telemetry": _measure_telemetry_overhead(workload_cache, benchmarks),
         "store": _measure_store(config, benchmarks),
         "patterns": _measure_patterns(config),
@@ -987,6 +1082,24 @@ def main(argv=None) -> int:
         )
         print(f"array-kernel report written to {array_output}")
 
+    # The sampler-kernel section stands alone as the PR 9 baseline;
+    # smoke runs keep it inside BENCH_SMOKE.json only.
+    sampler_output = args.sampler_output
+    if sampler_output is None and not args.smoke:
+        sampler_output = REPO_ROOT / "BENCH_PR9.json"
+    if sampler_output is not None:
+        sampler_report = {
+            "schema": "repro-bench-sampler/1",
+            "unix_time": report["unix_time"],
+            "smoke": args.smoke,
+            "config": report["config"],
+            "sampler_kernel": report["sampler_kernel"],
+        }
+        sampler_output.write_text(
+            json.dumps(sampler_report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"sampler-kernel report written to {sampler_output}")
+
     # The pattern-workload section stands alone as the PR 8 baseline;
     # smoke runs keep it inside BENCH_SMOKE.json only.
     patterns_output = args.patterns_output
@@ -1030,6 +1143,22 @@ def main(argv=None) -> int:
             f"\nARRAY KERNEL REGRESSION: aggregate speedup "
             f"{array_speedup:.2f}x fell below the floor "
             f"{args.min_array_speedup:.2f}x"
+        )
+        return 1
+
+    # Sampler-kernel guard: the batched DBRB kernel must beat the object
+    # kernel on the paper's headline cells by a wider margin than the
+    # generic floor -- it replaces the predictor simulation wholesale, so
+    # a thin win means the plane precompute leaked into the replay.
+    sampler_speedup = report["sampler_kernel"]["total"]["speedup"]
+    if sampler_speedup is None:
+        print("\nSAMPLER KERNEL GUARD: no sampler cell was measured")
+        return 1
+    if sampler_speedup < args.min_sampler_speedup:
+        print(
+            f"\nSAMPLER KERNEL REGRESSION: aggregate speedup "
+            f"{sampler_speedup:.2f}x fell below the floor "
+            f"{args.min_sampler_speedup:.2f}x"
         )
         return 1
 

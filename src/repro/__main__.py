@@ -292,6 +292,17 @@ def _render_bench_baselines() -> int:
                 f"({shown} over the object kernel on eligible cells, "
                 f"{array_kernel['accesses']} accesses)"
             )
+        sampler_kernel = (report.get("sampler_kernel") or {}).get("total")
+        if sampler_kernel:
+            speedup = sampler_kernel.get("speedup")
+            shown = "n/a" if speedup is None else f"{speedup:.2f}x"
+            print(
+                "    sampler kernel:   "
+                f"{sampler_kernel['object_acc_per_sec'] / 1e6:.2f}M/s -> "
+                f"{sampler_kernel['array_acc_per_sec'] / 1e6:.2f}M/s "
+                f"({shown} over the object kernel on the DBRB cells, "
+                f"{sampler_kernel['accesses']} accesses)"
+            )
         patterns = (report.get("patterns") or {}).get("total")
         if patterns:
             print(

@@ -49,9 +49,9 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["ReplayIndex", "SoACache"]
+__all__ = ["PredictionPlane", "ReplayIndex", "SoACache"]
 
 
 class ReplayIndex:
@@ -165,6 +165,100 @@ class ReplayIndex:
         )
 
 
+class PredictionPlane:
+    """Per-(workload, LLC geometry) precompute for the DBRB array kernel.
+
+    The sampling predictor trains exclusively through its sampler, and
+    the sampler observes every access to a sampled set whether the LLC
+    hit or missed -- so sampler and skewed-table evolution is a pure
+    function of the access stream, independent of LLC contents (see
+    :func:`repro.core.sampler.simulate_sampled_stream` for the proof
+    sketch).  This plane caches that one-pass simulation per
+    ``(workload, num_llc_sets)`` on the
+    :class:`~repro.sim.hierarchy.PreparedStream`:
+
+    * ``dead[p]``: the per-access prediction bit, evaluated after
+      position ``p``'s sampler update -- the only predictor output the
+      LLC-side replay consumes;
+    * the final sampler contents / LRU stacks / event counters and the
+      final table counters, installed into each technique's fresh
+      predictor objects at the end of its replay (copies, never
+      aliases: the plane is shared across techniques).
+
+    Built only for the paper-default predictor shape (32x12 sampler,
+    15-bit tags/signatures, 3x4096 2-bit tables, threshold 8); the DBRB
+    kernel's ``supports`` declines everything else to the object path.
+    """
+
+    __slots__ = (
+        "num_llc_sets",
+        "dead",
+        "sampler_ways",
+        "sampler_stacks",
+        "tables",
+        "sampler_counters",
+    )
+
+    def __init__(
+        self,
+        num_llc_sets: int,
+        dead: bytearray,
+        sampler_ways: List[List[Tuple[int, int, bool]]],
+        sampler_stacks: List[List[int]],
+        tables: List[List[int]],
+        sampler_counters: Tuple[int, int, int],
+    ) -> None:
+        self.num_llc_sets = num_llc_sets
+        self.dead = dead
+        self.sampler_ways = sampler_ways
+        self.sampler_stacks = sampler_stacks
+        self.tables = tables
+        self.sampler_counters = sampler_counters
+
+    @classmethod
+    def build(
+        cls,
+        accesses: Sequence,
+        set_indices: Sequence[int],
+        tags: Sequence[int],
+        num_llc_sets: int,
+    ) -> "PredictionPlane":
+        """Simulate the sampler over a decomposed stream (default shape)."""
+        from repro.core.sampler import simulate_sampled_stream
+
+        pcs = [access.pc for access in accesses]
+        dead, ways, stacks, tables, counters = simulate_sampled_stream(
+            set_indices, tags, pcs, num_llc_sets
+        )
+        return cls(num_llc_sets, dead, ways, stacks, tables, counters)
+
+    def install(self, predictor) -> None:
+        """Copy the final sampler/table state into a fresh predictor.
+
+        Leaves the predictor exactly as an object-kernel replay of the
+        same stream would: table counters, sampler entries (way order),
+        LRU stacks, and event counters.  Never-filled sampler ways stay
+        at their fresh defaults, which is what the object path leaves
+        too (the sampler never invalidates an entry).
+        """
+        for table, counters in zip(predictor.tables.tables, self.tables):
+            table[:] = counters
+        sampler = predictor.sampler
+        for sampler_set, ways in enumerate(self.sampler_ways):
+            entries = sampler.sets[sampler_set]
+            for way, (partial, signature, prediction) in enumerate(ways):
+                entry = entries[way]
+                entry.valid = True
+                entry.partial_tag = partial
+                entry.signature = signature
+                entry.prediction = prediction
+            sampler._stacks[sampler_set][:] = self.sampler_stacks[sampler_set]
+        accesses, hits, evictions = self.sampler_counters
+        sampler.accesses = accesses
+        sampler.hits = hits
+        sampler.evictions = evictions
+
+
 class SoACache:
     """Flat frame planes a kernel commits into, then materializes.
 
@@ -183,6 +277,7 @@ class SoACache:
         "fill_pos",
         "tag_index",
         "_fills",
+        "_dead",
         "_next_write",
         "_sentinel",
     )
@@ -200,6 +295,9 @@ class SoACache:
         self.tag_index: List[Optional[Dict[int, int]]] = [None] * num_sets
         #: Per-set ``way -> final fill position`` (parallel to tag_index).
         self._fills: List[Optional[List[int]]] = [None] * num_sets
+        #: Per-set ``way -> predicted-dead bit``; None = no dead-block
+        #: kernel ran (the plane stays zero).
+        self._dead: List[Optional[Sequence[int]]] = [None] * num_sets
         self._next_write: Sequence[int] = ()
         self._sentinel = 0
 
@@ -218,6 +316,7 @@ class SoACache:
         tag_to_way: Dict[int, int],
         way_fill: List[int],
         filled: int,
+        way_dead: Optional[Sequence[int]] = None,
     ) -> None:
         """Hand one set's kernel-local state over to the substrate.
 
@@ -228,9 +327,13 @@ class SoACache:
         :meth:`to_cache` writes the frame planes and the object blocks in
         one fused pass.  The dirty plane is derived there from the fill
         positions (see the module docstring) -- kernels never track it.
+        ``way_dead`` carries the DBRB kernel's per-way predicted-dead
+        bits; the simple policies never predict, so they omit it.
         """
         self.tag_index[set_index] = tag_to_way
         self._fills[set_index] = way_fill
+        if way_dead is not None:
+            self._dead[set_index] = way_dead
 
     # ------------------------------------------------------------------
     def to_cache(self, cache, accesses: Sequence, index: ReplayIndex) -> None:
@@ -244,9 +347,10 @@ class SoACache:
         object kernel would have; statistics and policy state are
         committed by the replay driver and the kernel respectively.
 
-        None of the eligible kernels predicts dead blocks, so the
-        predicted-dead plane stays zero and blocks keep their
-        ``False``; a future dead-block kernel must extend this pass.
+        The predicted-dead plane follows the per-way bits the DBRB
+        kernel committed (``way_dead``); the simple policies never
+        predict, so their sets skip that branch and blocks keep their
+        ``False``.
 
         Relies on the array path's cold-start eligibility: every frame
         starts invalid, and :meth:`~repro.cache.block.CacheBlock.invalidate`
@@ -261,8 +365,10 @@ class SoACache:
         tags_plane = self.tags
         valid = self.valid
         dirty = self.dirty
+        dead_plane = self.predicted_dead
         fill_pos = self.fill_pos
         fills = self._fills
+        dead_by_set = self._dead
         next_write = self._next_write
         sentinel = self._sentinel
         for set_index, tag_to_way in enumerate(self.tag_index):
@@ -272,6 +378,7 @@ class SoACache:
             target.clear()
             target.update(tag_to_way)
             way_fill = fills[set_index]
+            way_dead = dead_by_set[set_index]
             per_tag = tag_positions[set_index]
             blocks = sets[set_index]
             base = set_index * associativity
@@ -281,6 +388,9 @@ class SoACache:
                 tags_plane[frame] = tag
                 valid[frame] = 1
                 fill_pos[frame] = fill_position
+                if way_dead is not None and way_dead[way]:
+                    dead_plane[frame] = 1
+                    blocks[way].predicted_dead = True
                 positions = per_tag[tag]
                 # Never-evicted blocks (the common case) were filled at
                 # their tag's first position: skip the bisect.

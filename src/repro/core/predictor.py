@@ -25,10 +25,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, TYPE_CHECKING
 
-from repro.core.sampler import Sampler
+from repro.core.sampler import Sampler, pc_signature
 from repro.core.skewed import SkewedCounterTable
 from repro.predictors.base import DeadBlockPredictor
-from repro.utils.hashing import fold_xor
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cache.cache import Cache, CacheAccess
@@ -91,9 +90,6 @@ class SamplingDeadBlockPredictor(DeadBlockPredictor):
         self._sampler_assoc = sampler_assoc
         self._tag_bits = tag_bits
         self._pc_bits = pc_bits
-        # PC -> folded signature memo; the fold is pure and the distinct-PC
-        # set of a workload is small, so it is computed once per PC.
-        self._signature_cache: Dict[int, int] = {}
         self.sampler: Optional[Sampler] = None
 
     def bind(self, cache: "Cache") -> None:
@@ -112,11 +108,9 @@ class SamplingDeadBlockPredictor(DeadBlockPredictor):
     # prediction: purely a function of the accessing PC
     # ------------------------------------------------------------------
     def _signature(self, pc: int) -> int:
-        signature = self._signature_cache.get(pc)
-        if signature is None:
-            signature = fold_xor(pc, self._pc_bits)
-            self._signature_cache[pc] = signature
-        return signature
+        # Shared process-wide memo (repro.core.sampler.pc_signature): the
+        # fold is pure and the distinct-PC set of a workload is small.
+        return pc_signature(pc, self._pc_bits)
 
     def _predict(self, pc: int) -> bool:
         return self.tables.predict(self._signature(pc))

@@ -26,13 +26,41 @@ Training protocol on an access to a sampled set:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.skewed import SkewedCounterTable
-from repro.utils.bits import mask
+from repro.core.skewed import SkewedCounterTable, skewed_indices
+from repro.utils.bits import ilog2, mask
 from repro.utils.hashing import fold_xor
 
-__all__ = ["Sampler", "SamplerEntry"]
+__all__ = [
+    "Sampler",
+    "SamplerEntry",
+    "partial_tag",
+    "pc_signature",
+    "simulate_sampled_stream",
+]
+
+
+@lru_cache(maxsize=None)
+def pc_signature(pc: int, pc_bits: int) -> int:
+    """Fold a PC to its table-index signature (process-wide memo).
+
+    The fold is pure and the distinct-PC set of a workload is small, so
+    one memo shared by the object-kernel sampler/predictor and the array
+    path's prediction-plane precompute serves every technique of a sweep.
+    """
+    return fold_xor(pc, pc_bits)
+
+
+def partial_tag(tag: int, tag_bits: int) -> int:
+    """Lower-order bits of a full tag (paper Section III-A).
+
+    Shared by the object-kernel sampler and the plane precompute; a
+    single AND, so unlike :func:`pc_signature` a memo would cost more
+    than the computation.
+    """
+    return tag & mask(tag_bits)
 
 
 class SamplerEntry:
@@ -92,9 +120,6 @@ class Sampler:
         self.pc_bits = pc_bits
         self.interval = max(1, cache_sets // self.num_sets)
         self._tag_mask = mask(tag_bits)
-        # PC -> folded signature memo (the fold is pure; the distinct-PC
-        # set of a workload is small).
-        self._signature_cache: Dict[int, int] = {}
         self.sets: List[List[SamplerEntry]] = [
             [SamplerEntry() for _ in range(associativity)]
             for _ in range(self.num_sets)
@@ -134,11 +159,7 @@ class Sampler:
 
     def pc_signature(self, pc: int) -> int:
         """Fold the PC to the signature width used to index the tables."""
-        signature = self._signature_cache.get(pc)
-        if signature is None:
-            signature = fold_xor(pc, self.pc_bits)
-            self._signature_cache[pc] = signature
-        return signature
+        return pc_signature(pc, self.pc_bits)
 
     # ------------------------------------------------------------------
     # the access path
@@ -222,3 +243,163 @@ class Sampler:
             f"Sampler({self.num_sets}x{self.associativity}, "
             f"interval={self.interval})"
         )
+
+
+# ----------------------------------------------------------------------
+# batched plane construction for the array replay path
+# ----------------------------------------------------------------------
+def simulate_sampled_stream(
+    set_indices: Sequence[int],
+    tags: Sequence[int],
+    pcs: Sequence[int],
+    cache_sets: int,
+    num_sets: int = 32,
+    associativity: int = 12,
+    tag_bits: int = 15,
+    pc_bits: int = 15,
+    num_tables: int = 3,
+    entries_per_table: int = 4096,
+    counter_bits: int = 2,
+    threshold: int = 8,
+) -> Tuple[
+    bytearray,
+    List[List[Tuple[int, int, bool]]],
+    List[List[int]],
+    List[List[int]],
+    Tuple[int, int, int],
+]:
+    """One-pass batched replay of the sampler + skewed tables.
+
+    With ``use_sampler=True`` the predictor trains *exclusively* through
+    the sampler, and the sampler observes every access to a sampled set
+    regardless of the LLC's hit/miss outcome (``touch`` samples on hits,
+    ``predict_fill`` samples on misses -- tags never bypass the sampler,
+    Section V-B -- and ``install`` does not sample).  Sampler and table
+    evolution is therefore a pure function of the access stream,
+    independent of LLC contents, so it can be simulated once per
+    workload and shared across every technique that wraps the default
+    predictor -- the heart of the array-native DBRB kernel
+    (:mod:`repro.sim.replay_array`).
+
+    Returns ``(dead, sampler_ways, sampler_stacks, tables, counters)``:
+
+    * ``dead[p]``: the prediction for access ``p``'s PC evaluated *after*
+      position ``p``'s sampler update -- exactly the value the object
+      path assigns on a hit (``touch``) and consults on a miss
+      (``predict_fill``/``install``, identical within one access since
+      no training separates them);
+    * ``sampler_ways[s]``: the filled ways of sampler set ``s`` in way
+      order, as ``(partial_tag, signature, prediction)`` triples;
+    * ``sampler_stacks[s]``: the final LRU stack (MRU first, a full way
+      permutation, never-filled ways at the tail in way order);
+    * ``tables``: the final per-bank counter lists;
+    * ``counters``: ``(accesses, hits, evictions)`` event totals.
+
+    Predictions are memoized per PC under a table *stamp* bumped only
+    when a training event actually changes a counter, so the unsampled
+    ~98.4% of accesses cost one dict probe each.
+    """
+    eff_sets = min(num_sets, cache_sets)
+    interval = max(1, cache_sets // eff_sets)
+    index_bits = ilog2(entries_per_table)
+    counter_max = (1 << counter_bits) - 1
+    tag_mask = mask(tag_bits)
+    tables: List[List[int]] = [[0] * entries_per_table for _ in range(num_tables)]
+
+    total = len(set_indices)
+    dead = bytearray(total)
+    tag_to_way: List[Dict[int, int]] = [{} for _ in range(eff_sets)]
+    way_partial = [[0] * associativity for _ in range(eff_sets)]
+    way_sig = [[0] * associativity for _ in range(eff_sets)]
+    way_indices: List[List[Tuple[int, ...]]] = [
+        [()] * associativity for _ in range(eff_sets)
+    ]
+    way_pred = [[False] * associativity for _ in range(eff_sets)]
+    filled_by_set = [0] * eff_sets
+    stacks = [list(range(associativity)) for _ in range(eff_sets)]
+    accesses = hits = evictions = 0
+
+    # pc -> (signature, per-bank indices); pc -> [stamp, prediction].
+    pc_info: Dict[int, Tuple[int, Tuple[int, ...]]] = {}
+    pc_info_get = pc_info.get
+    pred_memo: Dict[int, List] = {}
+    pred_memo_get = pred_memo.get
+    stamp = 0
+
+    for position in range(total):
+        pc = pcs[position]
+        info = pc_info_get(pc)
+        if info is None:
+            signature = pc_signature(pc, pc_bits)
+            info = (signature, skewed_indices(signature, num_tables, index_bits))
+            pc_info[pc] = info
+        set_index = set_indices[position]
+        if not set_index % interval:
+            sampler_set = set_index // interval
+            if sampler_set < eff_sets:
+                accesses += 1
+                partial = tags[position] & tag_mask
+                lookup = tag_to_way[sampler_set]
+                way = lookup.get(partial)
+                stack = stacks[sampler_set]
+                if way is not None:
+                    # Sampler hit: the stored signature was not the last
+                    # touch after all -> train live (decrement).
+                    hits += 1
+                    for table, idx in zip(tables, way_indices[sampler_set][way]):
+                        value = table[idx]
+                        if value > 0:
+                            table[idx] = value - 1
+                            stamp += 1
+                else:
+                    filled = filled_by_set[sampler_set]
+                    if filled < associativity:
+                        way = filled
+                        filled_by_set[sampler_set] = filled + 1
+                    else:
+                        # Victimize LRU; its signature really did end the
+                        # block's sampler life -> train dead (increment).
+                        way = stack[-1]
+                        evictions += 1
+                        for table, idx in zip(
+                            tables, way_indices[sampler_set][way]
+                        ):
+                            value = table[idx]
+                            if value < counter_max:
+                                table[idx] = value + 1
+                                stamp += 1
+                        del lookup[way_partial[sampler_set][way]]
+                    lookup[partial] = way
+                    way_partial[sampler_set][way] = partial
+                signature, indices = info
+                way_sig[sampler_set][way] = signature
+                way_indices[sampler_set][way] = indices
+                stack.remove(way)
+                stack.insert(0, way)
+                confidence = 0
+                for table, idx in zip(tables, indices):
+                    confidence += table[idx]
+                prediction = confidence >= threshold
+                way_pred[sampler_set][way] = prediction
+                pred_memo[pc] = [stamp, prediction]
+                dead[position] = prediction
+                continue
+        entry = pred_memo_get(pc)
+        if entry is not None and entry[0] == stamp:
+            dead[position] = entry[1]
+            continue
+        confidence = 0
+        for table, idx in zip(tables, info[1]):
+            confidence += table[idx]
+        prediction = confidence >= threshold
+        pred_memo[pc] = [stamp, prediction]
+        dead[position] = prediction
+
+    sampler_ways = [
+        [
+            (way_partial[s][way], way_sig[s][way], way_pred[s][way])
+            for way in range(filled_by_set[s])
+        ]
+        for s in range(eff_sets)
+    ]
+    return dead, sampler_ways, stacks, tables, (accesses, hits, evictions)

@@ -19,12 +19,31 @@ Figure 6 (``num_tables=1`` with a 4x larger table), where the paper's
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 from repro.utils.bits import ilog2
 from repro.utils.hashing import skewed_hash
 
-__all__ = ["SkewedCounterTable"]
+__all__ = ["SkewedCounterTable", "skewed_indices"]
+
+
+@lru_cache(maxsize=None)
+def skewed_indices(signature: int, num_tables: int, index_bits: int) -> Tuple[int, ...]:
+    """Per-bank skewed table indices for ``signature``.
+
+    A pure function of its arguments (the skew salts are fixed), shared
+    process-wide: the object-kernel tables and the array path's
+    prediction-plane precompute (:mod:`repro.cache.soa`) index through
+    the same memo, so a sweep pays for each signature's three hashes
+    once, not once per technique.  The signature space is 15 bits and
+    the geometry arguments take two values in practice, so the cache is
+    bounded at ~64K entries.
+    """
+    return tuple(
+        skewed_hash(signature, table_index, index_bits)
+        for table_index in range(num_tables)
+    )
 
 
 class SkewedCounterTable:
@@ -61,24 +80,11 @@ class SkewedCounterTable:
         self.tables: List[List[int]] = [
             [0] * entries_per_table for _ in range(num_tables)
         ]
-        # The per-bank index of a signature is a pure function of the
-        # signature (the salts are fixed), and the signature space is small
-        # (15 bits), so the hashes are computed once per signature and
-        # memoized for the predictor's lifetime.
-        self._index_cache: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     def _indices(self, signature: int) -> Tuple[int, ...]:
-        """Per-bank table indices for ``signature`` (memoized)."""
-        indices = self._index_cache.get(signature)
-        if indices is None:
-            index_bits = self.index_bits
-            indices = tuple(
-                skewed_hash(signature, table_index, index_bits)
-                for table_index in range(self.num_tables)
-            )
-            self._index_cache[signature] = indices
-        return indices
+        """Per-bank table indices for ``signature`` (process-wide memo)."""
+        return skewed_indices(signature, self.num_tables, self.index_bits)
 
     def confidence(self, signature: int) -> int:
         """Summed counter value across the banks for ``signature``."""

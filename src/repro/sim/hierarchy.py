@@ -136,7 +136,14 @@ class PreparedStream:
     policy or predictor mutates them.
     """
 
-    __slots__ = ("accesses", "set_indices", "tags", "writes", "_replay_index")
+    __slots__ = (
+        "accesses",
+        "set_indices",
+        "tags",
+        "writes",
+        "_replay_index",
+        "_prediction_plane",
+    )
 
     def __init__(
         self,
@@ -150,6 +157,7 @@ class PreparedStream:
         self.tags = tags
         self.writes = writes
         self._replay_index = None
+        self._prediction_plane = None
 
     def __len__(self) -> int:
         return len(self.accesses)
@@ -169,6 +177,26 @@ class PreparedStream:
             )
             self._replay_index = index
         return index
+
+    def prediction_plane(self, num_sets: int):
+        """The stream's :class:`~repro.cache.soa.PredictionPlane`, built
+        on first use and cached -- the sampler-side analog of
+        :meth:`replay_index`.  Sampler and table evolution depend only on
+        the access stream and the LLC set count (the sampler interval),
+        so one plane serves both ``sampler`` and ``random_sampler`` (and
+        any other default-shape DBRB technique) of a sweep.  Only the
+        paper-default predictor shape is precomputed; ablation shapes
+        replay on the object kernel and never ask for a plane.
+        """
+        plane = self._prediction_plane
+        if plane is None or plane.num_llc_sets != num_sets:
+            from repro.cache.soa import PredictionPlane
+
+            plane = PredictionPlane.build(
+                self.accesses, self.set_indices, self.tags, num_sets
+            )
+            self._prediction_plane = plane
+        return plane
 
     def __repr__(self) -> str:
         return f"PreparedStream({len(self.accesses)} LLC accesses)"

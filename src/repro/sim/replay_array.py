@@ -45,14 +45,33 @@ Loop shape notes (all measured on real filtered LLC streams):
   common case under mostly-distant insertion), take the first by C
   ``list.index``; otherwise age by the deficit in one slice-assign.
 
+* **Dead-block batched** (the paper's headline ``sampler`` /
+  ``random_sampler`` techniques): with the default sampling predictor,
+  all training flows through the sampler, which observes every access
+  to a sampled set regardless of LLC hit/miss -- so the per-access
+  prediction bits and the final sampler/table state are a pure function
+  of the stream, precomputed once per workload as a
+  :class:`~repro.cache.soa.PredictionPlane` (cached on the
+  :class:`~repro.sim.hierarchy.PreparedStream`, shared by every
+  default-shape DBRB technique).  The LLC-side replay then reduces to
+  the default policy's kernel shape plus three sparse twists: a dead
+  prediction on a miss bypasses, a predicted-dead way (LRU-first for an
+  LRU default, way-order for random) overrides the victim, and hits
+  refresh the per-way dead bit.
+
 Eligibility and fallback: a policy opts in by registering a kernel on
 its *exact* class
 (:meth:`repro.replacement.base.ReplacementPolicy.register_array_kernel`);
-everything else -- sampler/CDBP/TDBP, SHiP, TADIP, optimal, the VVC
-cache subclass, observer-attached or probe-enabled or paranoid replays
--- falls through to the object kernel, which stays the bit-identity
-oracle.  ``REPRO_ARRAY_KERNEL=0`` disables the array path globally.
-The chosen kernel and any fallback reason are recorded on the cache
+everything else -- CDBP/TDBP, SHiP, TADIP, optimal, the VVC cache
+subclass, observer-attached or probe-enabled or paranoid replays --
+falls through to the object kernel, which stays the bit-identity
+oracle.  The DBRB kernel additionally declines every Figure 6 ablation
+shape (``use_sampler=False``, single-table, non-default sampler or
+table geometry, bypass/replacement knobs off, non-LRU/random defaults,
+pre-trained predictors) with a ``dbrb-*`` fallback reason; multicore
+merged replays already fall back via ``no-decomposition``.
+``REPRO_ARRAY_KERNEL=0`` disables the array path globally.  The chosen
+kernel and any fallback reason are recorded on the cache
 (``last_replay_kernel`` / ``last_replay_fallback``) for run manifests
 and the service's ``/stats``.
 """
@@ -63,7 +82,9 @@ import os
 from collections import OrderedDict
 from typing import List, Optional, Tuple
 
-from repro.cache.soa import ReplayIndex, SoACache
+from repro.cache.soa import PredictionPlane, ReplayIndex, SoACache
+from repro.core.policy import DBRBPolicy
+from repro.core.predictor import SamplingDeadBlockPredictor
 from repro.replacement.dip import BIPPolicy, DIPPolicy
 from repro.replacement.lru import LRUPolicy
 from repro.replacement.plru import TreePLRUPolicy
@@ -138,29 +159,49 @@ def maybe_replay_array(
         index = ReplayIndex.build(accesses, set_indices, tags, None, num_sets)
     soa = SoACache.for_run(cache, index)
     hits, counters = kernel.run(
-        cache, cache.policy, accesses, set_indices, tags, index, soa
+        cache, cache.policy, accesses, set_indices, tags, index, soa, stream
     )
     soa.to_cache(cache, accesses, index)
-    hit_count, miss_count, fill_count, evict_count, writeback_count = counters
+    (
+        hit_count,
+        miss_count,
+        bypass_count,
+        fill_count,
+        evict_count,
+        writeback_count,
+        dead_victim_count,
+    ) = counters
     stats = cache.stats
     stats.accesses += len(accesses)
     stats.hits += hit_count
     stats.misses += miss_count
+    stats.bypasses += bypass_count
     stats.fills += fill_count
     stats.evictions += evict_count
     stats.writebacks += writeback_count
+    stats.dead_block_victims += dead_victim_count
     cache.last_replay_kernel = "array"
     cache.last_replay_fallback = None
     return hits
 
 
-def _finish(hits, filled_total, writeback_total):
+def _finish(hits, filled_total, writeback_total, bypass_total=0, dead_victim_total=0):
     """Derive the replay counters from the hit vector and final
-    occupancy: the eligible policies never bypass, so fills == misses
-    and evictions are the fills that displaced a resident block."""
+    occupancy: fills are the misses that were not bypassed (the simple
+    policies never bypass, so there fills == misses) and evictions are
+    the fills that displaced a resident block."""
     hit_total = hits.count(True)
     misses = len(hits) - hit_total
-    return hits, (hit_total, misses, misses, misses - filled_total, writeback_total)
+    fills = misses - bypass_total
+    return hits, (
+        hit_total,
+        misses,
+        bypass_total,
+        fills,
+        fills - filled_total,
+        writeback_total,
+        dead_victim_total,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -180,7 +221,7 @@ class _LRUKernel:
     def supports(self, cache, policy) -> Optional[str]:
         return None
 
-    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa, stream=None):
         associativity = cache.geometry.associativity
         stacks = policy._stacks
         set_tags = index.set_tags
@@ -232,7 +273,7 @@ class _PLRUKernel:
     def supports(self, cache, policy) -> Optional[str]:
         return None
 
-    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa, stream=None):
         associativity = cache.geometry.associativity
         levels = policy._levels
         tree_bits = associativity - 1
@@ -309,7 +350,7 @@ class _SRRIPKernel:
     def supports(self, cache, policy) -> Optional[str]:
         return None
 
-    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa, stream=None):
         associativity = cache.geometry.associativity
         rrpv_max = policy.rrpv_max
         long_insert = rrpv_max - 1
@@ -364,10 +405,13 @@ class _SRRIPKernel:
 # ----------------------------------------------------------------------
 # stream-order kernels (global policy state)
 # ----------------------------------------------------------------------
-def _commit_flat(soa, index, way_keys, way_fill, filled_by_set, associativity):
+def _commit_flat(soa, index, way_keys, way_fill, filled_by_set, associativity,
+                 pred=None):
     """Commit the flat frame planes of a stream-order kernel: rebuild
     each touched set's ``tag -> way`` dict from the stored block keys
-    (``tag = key >> index_bits``) and hand it to the substrate."""
+    (``tag = key >> index_bits``) and hand it to the substrate.  ``pred``
+    is the DBRB kernel's frame-indexed predicted-dead plane; sliced
+    per set on the way through."""
     index_bits = index.index_bits
     commit_set = soa.commit_set
     filled_total = 0
@@ -380,7 +424,11 @@ def _commit_flat(soa, index, way_keys, way_fill, filled_by_set, associativity):
             way_keys[base + way] >> index_bits: way for way in range(filled)
         }
         commit_set(
-            set_index, tag_to_way, way_fill[base : base + associativity], filled
+            set_index,
+            tag_to_way,
+            way_fill[base : base + associativity],
+            filled,
+            None if pred is None else pred[base : base + associativity],
         )
     return filled_total
 
@@ -395,7 +443,7 @@ class _RandomKernel:
     def supports(self, cache, policy) -> Optional[str]:
         return None
 
-    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa, stream=None):
         associativity = cache.geometry.associativity
         next_write = index.next_write
         way_keys = [0] * (index.num_sets * associativity)
@@ -453,7 +501,7 @@ class _BIPKernel:
     def supports(self, cache, policy) -> Optional[str]:
         return None
 
-    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa, stream=None):
         associativity = cache.geometry.associativity
         epsilon = policy.epsilon_inverse
         fill_count = policy._fill_count
@@ -526,7 +574,7 @@ class _DIPKernel:
     def supports(self, cache, policy) -> Optional[str]:
         return None
 
-    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa, stream=None):
         associativity = cache.geometry.associativity
         lru_leader = policy._LRU_LEADER
         bip_leader = policy._BIP_LEADER
@@ -618,7 +666,7 @@ class _BRRIPKernel:
     def supports(self, cache, policy) -> Optional[str]:
         return None
 
-    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa, stream=None):
         associativity = cache.geometry.associativity
         rrpv_max = policy.rrpv_max
         long_insert = rrpv_max - 1
@@ -696,7 +744,7 @@ class _DRRIPKernel:
             return "thread-aware-drrip"
         return None
 
-    def run(self, cache, policy, accesses, set_indices, tags, index, soa):
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa, stream=None):
         associativity = cache.geometry.associativity
         rrpv_max = policy.rrpv_max
         long_insert = rrpv_max - 1
@@ -778,11 +826,244 @@ class _DRRIPKernel:
         return _finish(hits, filled_total, writeback_total)
 
 
+# ----------------------------------------------------------------------
+# dead-block replacement and bypass (the paper's headline technique)
+# ----------------------------------------------------------------------
+class _DBRBKernel:
+    """DBRB over the default sampling predictor, in two variants keyed
+    off the default policy's exact type.
+
+    The predictor side is entirely precomputed: the shared
+    :class:`~repro.cache.soa.PredictionPlane` carries ``dead[p]`` -- the
+    prediction the object path would assign on a hit (``touch``) and
+    consult on a miss (``predict_fill`` / ``install``, identical within
+    one access since no training separates them) -- plus the final
+    sampler/table state, installed into this replay's fresh predictor
+    at the end.  The LLC side then follows the object semantics of
+    :class:`~repro.core.policy.DBRBPolicy` exactly:
+
+    * hit: default recency update, then the way's dead bit becomes
+      ``dead[p]``;
+    * miss with ``dead[p]``: bypass (``enable_bypass`` is required by
+      ``supports``), nothing else changes;
+    * fill into a full set: the predicted-dead victim closest to LRU
+      (LRU default: walk the recency order from the LRU end; random
+      default: lowest way) wins, else the default victim -- the random
+      default's RNG is drawn *only* when no dead way exists;
+    * fill: the new block's dead bit is ``dead[p]``, necessarily False
+      here because a True prediction bypassed.
+
+    Writebacks, ``access_count`` / ``last_access_seq``, and the dirty
+    bit keep the shared :class:`~repro.cache.soa.ReplayIndex` recovery:
+    the residency argument survives bypass because a bypassed access is
+    by definition a miss, and a miss on a tag filled at ``f`` and still
+    resident would contradict ``f`` being the final fill.
+    """
+
+    name = "dbrb"
+
+    def supports(self, cache, policy) -> Optional[str]:
+        predictor = policy.predictor
+        if type(predictor) is not SamplingDeadBlockPredictor:
+            return f"dbrb-predictor:{type(predictor).__name__}"
+        default = policy.default
+        if type(default) is not LRUPolicy and type(default) is not RandomPolicy:
+            return f"dbrb-default:{type(default).__name__}"
+        if not policy.enable_bypass:
+            return "dbrb-no-bypass"
+        if not policy.enable_replacement:
+            return "dbrb-no-replacement"
+        if not predictor.use_sampler:
+            return "dbrb-no-sampler"
+        if not predictor.skewed:
+            return "dbrb-single-table"
+        if (
+            predictor._sampler_sets != 32
+            or predictor._sampler_assoc != 12
+            or predictor._tag_bits != 15
+            or predictor._pc_bits != 15
+        ):
+            return "dbrb-sampler-geometry"
+        tables = predictor.tables
+        if (
+            tables.num_tables != 3
+            or len(tables.tables[0]) != 4096
+            or tables.threshold != 8
+            or tables.counter_max != 3
+        ):
+            return "dbrb-table-geometry"
+        sampler = predictor.sampler
+        if (
+            sampler is None
+            or sampler.accesses
+            or any(entry.valid for entries in sampler.sets for entry in entries)
+            or any(map(any, tables.tables))
+        ):
+            # The plane simulates from a cold predictor; a pre-trained
+            # one (warmup experiments) replays on the object kernel.
+            return "dbrb-warm-predictor"
+        return None
+
+    def run(self, cache, policy, accesses, set_indices, tags, index, soa, stream=None):
+        num_sets = cache.geometry.num_sets
+        if stream is not None and hasattr(stream, "prediction_plane"):
+            plane = stream.prediction_plane(num_sets)
+        else:
+            plane = PredictionPlane.build(accesses, set_indices, tags, num_sets)
+        if type(policy.default) is LRUPolicy:
+            result = self._run_lru(cache, policy, accesses, index, soa, plane)
+        else:
+            result = self._run_random(
+                cache, policy, accesses, set_indices, index, soa, plane
+            )
+        plane.install(policy.predictor)
+        return result
+
+    def _run_lru(self, cache, policy, accesses, index, soa, plane):
+        """Per-set batched, like :class:`_LRUKernel`: the OrderedDict is
+        residency and recency at once (front = LRU), so the dead-victim
+        walk from the LRU end is iteration from the front, and a middle
+        deletion preserves the remaining order exactly as the object
+        path's ``stack.remove`` does."""
+        associativity = cache.geometry.associativity
+        stacks = policy.default._stacks
+        dead = plane.dead
+        set_tags = index.set_tags
+        next_write = index.next_write
+        commit_set = soa.commit_set
+        hits = [True] * len(accesses)
+        filled_total = 0
+        writeback_total = 0
+        bypass_total = 0
+        dead_victim_total = 0
+        for set_index, positions in enumerate(index.set_positions):
+            if not positions:
+                continue
+            od: "OrderedDict[int, int]" = OrderedDict()
+            od_get = od.get
+            od_move = od.move_to_end
+            od_pop = od.popitem
+            way_fill = [0] * associativity
+            way_dead = [0] * associativity
+            ndead = 0
+            filled = 0
+            for position, tag in zip(positions, set_tags[set_index]):
+                way = od_get(tag)
+                if way is not None:
+                    od_move(tag)
+                    prediction = dead[position]
+                    if way_dead[way] != prediction:
+                        way_dead[way] = prediction
+                        ndead += 1 if prediction else -1
+                    continue
+                hits[position] = False
+                if dead[position]:
+                    bypass_total += 1
+                    continue
+                if filled < associativity:
+                    way = filled
+                    filled += 1
+                else:
+                    if ndead:
+                        # First predicted-dead way from the LRU end.
+                        for victim_tag, victim_way in od.items():
+                            if way_dead[victim_way]:
+                                break
+                        way = victim_way
+                        del od[victim_tag]
+                        way_dead[way] = 0
+                        ndead -= 1
+                        dead_victim_total += 1
+                    else:
+                        way = od_pop(False)[1]
+                    if next_write[way_fill[way]] < position:
+                        writeback_total += 1
+                od[tag] = way
+                way_fill[way] = position
+            filled_total += filled
+            stack = list(od.values())
+            stack.reverse()
+            if filled < associativity:
+                stack.extend(range(filled, associativity))
+            stacks[set_index] = stack
+            commit_set(set_index, od, way_fill, filled, way_dead)
+        return _finish(
+            hits, filled_total, writeback_total, bypass_total, dead_victim_total
+        )
+
+    def _run_random(self, cache, policy, accesses, set_indices, index, soa, plane):
+        """Stream-order, like :class:`_RandomKernel` (the victim RNG draw
+        sequence is global), with the dead bits on a flat frame plane so
+        the way-order dead-victim scan is one C ``bytearray.find``."""
+        associativity = cache.geometry.associativity
+        dead = plane.dead
+        next_write = index.next_write
+        frames = index.num_sets * associativity
+        way_keys = [0] * frames
+        way_fill = [0] * frames
+        pred = bytearray(frames)
+        pred_find = pred.find
+        filled_by_set = [0] * index.num_sets
+        lookup = {}
+        lookup_get = lookup.get
+        rng_state = policy.default._rng._state
+        hits = [True] * len(accesses)
+        writeback_total = 0
+        bypass_total = 0
+        dead_victim_total = 0
+        for position, key in enumerate(index.block_keys):
+            frame = lookup_get(key)
+            if frame is not None:
+                pred[frame] = dead[position]
+                continue
+            hits[position] = False
+            if dead[position]:
+                bypass_total += 1
+                continue
+            set_index = set_indices[position]
+            base = set_index * associativity
+            filled = filled_by_set[set_index]
+            if filled < associativity:
+                frame = base + filled
+                filled_by_set[set_index] = filled + 1
+            else:
+                frame = pred_find(1, base, base + associativity)
+                if frame >= 0:
+                    # Way-order dead-victim scan (non-LRU default).
+                    pred[frame] = 0
+                    dead_victim_total += 1
+                else:
+                    # No dead way: only now does the default draw.
+                    x = rng_state
+                    x ^= (x << 13) & _MASK64
+                    x ^= x >> 7
+                    x ^= (x << 17) & _MASK64
+                    rng_state = x
+                    frame = base + (
+                        ((x * _XORSHIFT_MULT) & _MASK64) >> 11
+                    ) % associativity
+                if next_write[way_fill[frame]] < position:
+                    writeback_total += 1
+                del lookup[way_keys[frame]]
+            lookup[key] = frame
+            way_keys[frame] = key
+            way_fill[frame] = position
+        policy.default._rng._state = rng_state
+        filled_total = _commit_flat(
+            soa, index, way_keys, way_fill, filled_by_set, associativity, pred
+        )
+        return _finish(
+            hits, filled_total, writeback_total, bypass_total, dead_victim_total
+        )
+
+
 # The Figure 4-8 baseline families opt in here; everything else falls
 # back to the object kernel.  Registration is exact-type (see
 # ReplacementPolicy.register_array_kernel), so e.g. TADIPPolicy (an
 # LRUPolicy subclass) and SHiPPolicy (an SRRIP derivative) are NOT
-# covered by their parents' kernels.
+# covered by their parents' kernels.  DBRBPolicy registers the sampler
+# kernel; its ``supports`` narrows eligibility to the paper-default
+# predictor shape over an LRU or random default.
 LRUPolicy.register_array_kernel(_LRUKernel())
 TreePLRUPolicy.register_array_kernel(_PLRUKernel())
 SRRIPPolicy.register_array_kernel(_SRRIPKernel())
@@ -791,3 +1072,4 @@ BIPPolicy.register_array_kernel(_BIPKernel())
 DIPPolicy.register_array_kernel(_DIPKernel())
 BRRIPPolicy.register_array_kernel(_BRRIPKernel())
 DRRIPPolicy.register_array_kernel(_DRRIPKernel())
+DBRBPolicy.register_array_kernel(_DBRBKernel())

@@ -46,7 +46,17 @@ Sections: ``pc``/``addr``/``gap`` (one ``q``/``Q`` per trace record),
 record), ``llc_index``, ``llc_pc``/``llc_addr``/``llc_write`` (the LLC
 stream), ``fixed_lat`` (per-record resolved latency, -1 for LLC-bound),
 and ``set@O:I`` / ``tag@O:I`` pairs for each compiled geometry
-(``O``/``I`` = offset/index bits).  Decoding never copies the payload:
+(``O``/``I`` = offset/index bits).
+
+Replay-side derived structures -- the per-geometry
+:class:`~repro.cache.soa.ReplayIndex` and the DBRB kernel's
+:class:`~repro.cache.soa.PredictionPlane` -- are deliberately NOT
+persisted in the blob: both are recomputed lazily per process and
+cached on the reconstructed
+:class:`~repro.sim.hierarchy.PreparedStream`, so they cost one pass per
+(workload, geometry) regardless of how many techniques replay, while
+the on-disk format stays a pure function of the workload (no format
+rev, nothing stale to invalidate when a kernel's precompute changes).  Decoding never copies the payload:
 :meth:`CompiledWorkload.from_buffer` keeps :class:`memoryview` casts
 into the underlying buffer, and :meth:`CompiledWorkload.filtered_trace`
 materializes :class:`~repro.sim.trace.TraceRecord` /

@@ -1,0 +1,452 @@
+"""The batched DBRB kernel: equivalence, ablation fallback, fleet identity.
+
+PR focus: the paper's headline technique -- DBRB over the sampling dead
+block predictor -- now replays array-native.  The prediction plane is a
+pure function of the access stream (with ``use_sampler=True`` the
+sampler sees every access to a sampled set whether the LLC hit or
+missed, and training comes exclusively from the sampler), so the kernel
+consumes a precomputed ``dead[p]`` plane and must leave behind exactly
+the object path's state: stats including bypasses and dead-block
+victims, block contents including the per-block prediction bit, the
+default policy's recency stacks or RNG position, and the predictor's
+sampler sets, sampler stacks, and skewed counter tables.
+
+Three layers of pinning, mirroring ``test_replay_array``:
+
+* golden full-state equivalence on a stream engineered to actually
+  exercise bypasses and dead-victim overrides (scanning PCs that train
+  dead, reuse PCs that train live);
+* a hypothesis property over random streams and geometries for both
+  default policies;
+* every Figure 6 ablation shape must fall back to the object kernel
+  with its documented ``dbrb-*`` reason;
+* sweep bit-identity with the kernel toggled on/off across the serial
+  and parallel shared-memory paths, plus the fleet: a sampler sweep
+  surviving a chaos-killed worker must stay bit-identical to the
+  kernel-off serial reference.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.cache.cache import Cache, CacheAccess
+from repro.cache.geometry import CacheGeometry
+from repro.core import DBRBPolicy, SamplingDeadBlockPredictor
+from repro.predictors import CountingPredictor
+from repro.replacement import LRUPolicy, RandomPolicy, TreePLRUPolicy
+from repro.sim.replay import replay
+from repro.utils.rng import XorShift64
+
+GEOMETRY = CacheGeometry(size_bytes=64 * 8 * 64, associativity=8, block_bytes=64)
+
+#: Both Table V cells that build a DBRBPolicy over the sampling predictor.
+DBRB_POLICIES = {
+    "sampler": lambda: DBRBPolicy(LRUPolicy(), SamplingDeadBlockPredictor()),
+    "random_sampler": lambda: DBRBPolicy(
+        RandomPolicy(), SamplingDeadBlockPredictor()
+    ),
+}
+
+
+def make_dead_stream(geometry, length=6000, seed=11, seq_offset=0):
+    """A stream whose predictions actually fire.
+
+    Scanning PCs touch a 4x-capacity footprint once per visit (their
+    sampler evictions train *dead*), while a handful of reuse PCs hammer
+    a hot 1/16th (their sampler hits train *live*).  The skewed tables
+    saturate for the scan signatures, producing real bypasses and
+    dead-victim overrides -- without this shaping, ``dead[p]`` stays all
+    zeros and the equivalence below would be vacuous.
+    """
+    rng = XorShift64(seed)
+    footprint = geometry.num_sets * geometry.associativity * 4
+    hot = max(1, footprint // 16)
+    accesses = []
+    for position in range(length):
+        if rng.random() < 0.55:
+            block = rng.randrange(footprint)
+            pc = 0x40 + (block % 3)
+        else:
+            block = rng.randrange(hot)
+            pc = 0x900 + (block % 5)
+        accesses.append(
+            CacheAccess(
+                address=block * geometry.block_bytes,
+                pc=pc,
+                is_write=rng.random() < 0.25,
+                seq=position + seq_offset,
+                core=0,
+            )
+        )
+    return accesses
+
+
+def make_mixed_stream(geometry, length=4000, seed=7):
+    """test_replay_array's generator: reuse skew, conflicts, varied PCs."""
+    rng = XorShift64(seed)
+    footprint = geometry.num_sets * geometry.associativity * 3
+    accesses = []
+    for position in range(length):
+        block = rng.randrange(footprint)
+        if rng.random() < 0.5:
+            block = rng.randrange(max(1, footprint // 8))
+        accesses.append(
+            CacheAccess(
+                address=block * geometry.block_bytes,
+                pc=block & 0xFFFF,
+                is_write=rng.random() < 0.3,
+                seq=position,
+                core=0,
+            )
+        )
+    return accesses
+
+
+def decompose(geometry, accesses):
+    offset_bits = geometry.offset_bits
+    index_mask = geometry.num_sets - 1
+    set_indices = [(a.address >> offset_bits) & index_mask for a in accesses]
+    tags = [(a.address >> offset_bits) >> geometry.index_bits for a in accesses]
+    return set_indices, tags
+
+
+def dbrb_state(policy):
+    """Every DBRB internal the array kernel must reproduce exactly."""
+    state = {}
+    default = policy.default
+    if hasattr(default, "_stacks"):
+        state["default_stacks"] = repr(default._stacks)
+    rng = getattr(default, "_rng", None)
+    if rng is not None:
+        state["default_rng"] = rng._state
+    predictor = policy.predictor
+    state["tables"] = repr(predictor.tables.tables)
+    sampler = predictor.sampler
+    state["sampler_sets"] = [
+        [
+            (entry.valid, entry.partial_tag, entry.signature, entry.prediction)
+            for entry in entries
+        ]
+        for entries in sampler.sets
+    ]
+    state["sampler_stacks"] = repr(sampler._stacks)
+    state["sampler_counters"] = (sampler.accesses, sampler.hits, sampler.evictions)
+    return state
+
+
+def block_state(cache):
+    return [
+        (
+            block.valid, block.tag, block.dirty, block.predicted_dead,
+            block.fill_seq, block.last_access_seq, block.access_count,
+            dict(block.meta) if block.meta else {},
+        )
+        for blocks in cache.sets
+        for block in blocks
+    ]
+
+
+def replay_both(policy_factory, geometry, accesses, monkeypatch):
+    """Replay on the object then the array kernel; return both sides."""
+    set_indices, tags = decompose(geometry, accesses)
+    results = {}
+    for mode in ("0", "1"):
+        monkeypatch.setenv("REPRO_ARRAY_KERNEL", mode)
+        cache = Cache(geometry, policy_factory())
+        hits = replay(cache, accesses, set_indices, tags)
+        results[mode] = (hits, cache)
+    return results["0"], results["1"]
+
+
+def assert_equivalent(object_side, array_side):
+    object_hits, object_cache = object_side
+    array_hits, array_cache = array_side
+    assert array_cache.last_replay_kernel == "array", (
+        f"array kernel declined: {array_cache.last_replay_fallback}"
+    )
+    assert object_cache.last_replay_kernel == "object"
+    assert array_hits == object_hits
+    assert array_cache.stats.snapshot() == object_cache.stats.snapshot()
+    assert array_cache._tag_index == object_cache._tag_index
+    assert block_state(array_cache) == block_state(object_cache)
+    assert dbrb_state(array_cache.policy) == dbrb_state(object_cache.policy)
+
+
+# ----------------------------------------------------------------------
+# golden equivalence
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(DBRB_POLICIES))
+def test_dbrb_array_kernel_matches_object_kernel(name, monkeypatch):
+    accesses = make_dead_stream(GEOMETRY)
+    object_side, array_side = replay_both(
+        DBRB_POLICIES[name], GEOMETRY, accesses, monkeypatch
+    )
+    assert_equivalent(object_side, array_side)
+    # The engineered stream must exercise every DBRB-specific path, or
+    # the full-state equivalence above proves nothing about them.
+    stats = array_side[1].stats
+    assert stats.hits > 0 and stats.misses > 0 and stats.evictions > 0
+    assert stats.writebacks > 0
+    assert stats.bypasses > 0, "predictions never fired on the fill path"
+    assert stats.dead_block_victims > 0, "victim override never fired"
+
+
+@pytest.mark.parametrize("name", sorted(DBRB_POLICIES))
+def test_dbrb_array_kernel_mixed_stream(name, monkeypatch):
+    """Varied-PC traffic where predictions mostly stay quiet: the kernel
+    must agree on the boring streams too, not just the engineered one."""
+    accesses = make_mixed_stream(GEOMETRY)
+    object_side, array_side = replay_both(
+        DBRB_POLICIES[name], GEOMETRY, accesses, monkeypatch
+    )
+    assert_equivalent(object_side, array_side)
+
+
+def test_dbrb_array_kernel_handles_stream_seq_offsets(monkeypatch):
+    """seq != position streams exercise the materializer's slow branch;
+    the prediction plane must keep indexing by position regardless."""
+    accesses = make_dead_stream(GEOMETRY, length=3000, seq_offset=50_000)
+    object_side, array_side = replay_both(
+        DBRB_POLICIES["sampler"], GEOMETRY, accesses, monkeypatch
+    )
+    assert_equivalent(object_side, array_side)
+    resident = [b for b in block_state(array_side[1]) if b[0]]
+    assert resident and all(b[4] >= 50_000 for b in resident)
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    length=st.integers(150, 600),
+    sets=st.sampled_from([8, 16]),
+    assoc=st.sampled_from([2, 4]),
+    name=st.sampled_from(sorted(DBRB_POLICIES)),
+    engineered=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_dbrb_equivalence_property(seed, length, sets, assoc, name, engineered):
+    """Random streams and geometries (including caches smaller than the
+    32-set sampler, where every set is sampled): never a divergence."""
+    geometry = CacheGeometry(size_bytes=sets * assoc * 64, associativity=assoc)
+    maker = make_dead_stream if engineered else make_mixed_stream
+    accesses = maker(geometry, length=length, seed=seed | 1)
+    monkeypatch = pytest.MonkeyPatch()
+    try:
+        object_side, array_side = replay_both(
+            DBRB_POLICIES[name], geometry, accesses, monkeypatch
+        )
+    finally:
+        monkeypatch.undo()
+    assert_equivalent(object_side, array_side)
+
+
+# ----------------------------------------------------------------------
+# ablation shapes: every documented dbrb-* fallback reason
+# ----------------------------------------------------------------------
+STREAM = make_dead_stream(GEOMETRY)
+SET_INDICES, TAGS = decompose(GEOMETRY, STREAM)
+
+ABLATIONS = {
+    "dbrb-predictor:CountingPredictor": lambda: DBRBPolicy(
+        LRUPolicy(), CountingPredictor()
+    ),
+    "dbrb-default:TreePLRUPolicy": lambda: DBRBPolicy(
+        TreePLRUPolicy(), SamplingDeadBlockPredictor()
+    ),
+    "dbrb-no-bypass": lambda: DBRBPolicy(
+        LRUPolicy(), SamplingDeadBlockPredictor(), enable_bypass=False
+    ),
+    "dbrb-no-replacement": lambda: DBRBPolicy(
+        LRUPolicy(), SamplingDeadBlockPredictor(), enable_replacement=False
+    ),
+    "dbrb-no-sampler": lambda: DBRBPolicy(
+        LRUPolicy(), SamplingDeadBlockPredictor(use_sampler=False)
+    ),
+    "dbrb-single-table": lambda: DBRBPolicy(
+        LRUPolicy(), SamplingDeadBlockPredictor(skewed=False)
+    ),
+    "dbrb-sampler-geometry": lambda: DBRBPolicy(
+        LRUPolicy(), SamplingDeadBlockPredictor(sampler_assoc=16)
+    ),
+    "dbrb-table-geometry": lambda: DBRBPolicy(
+        LRUPolicy(), SamplingDeadBlockPredictor(threshold=4)
+    ),
+}
+
+
+@pytest.mark.parametrize("reason", sorted(ABLATIONS))
+def test_dbrb_fallback_ablation_shapes(reason, monkeypatch):
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    cache = Cache(GEOMETRY, ABLATIONS[reason]())
+    replay(cache, STREAM, SET_INDICES, TAGS)
+    assert cache.last_replay_kernel == "object"
+    assert cache.last_replay_fallback == reason
+
+
+def test_dbrb_fallback_warm_predictor(monkeypatch):
+    """The plane simulates from a cold predictor, so pre-trained tables
+    or a touched sampler must push the replay to the object kernel."""
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1")
+    trained = Cache(GEOMETRY, DBRB_POLICIES["sampler"]())
+    trained.policy.predictor.tables.train(1, dead=True)
+    replay(trained, STREAM, SET_INDICES, TAGS)
+    assert trained.last_replay_kernel == "object"
+    assert trained.last_replay_fallback == "dbrb-warm-predictor"
+
+    touched = Cache(GEOMETRY, DBRB_POLICIES["sampler"]())
+    touched.policy.predictor.sampler.accesses = 1
+    replay(touched, STREAM, SET_INDICES, TAGS)
+    assert touched.last_replay_kernel == "object"
+    assert touched.last_replay_fallback == "dbrb-warm-predictor"
+
+
+# ----------------------------------------------------------------------
+# end-to-end sweep bit-identity, kernel on vs off
+# ----------------------------------------------------------------------
+SWEEP_BENCHMARKS = ("mcf",)
+SWEEP_TECHNIQUES = ("sampler", "random_sampler")
+
+
+def run_sweep(monkeypatch, array_kernel, **kwargs):
+    from repro.harness.export import to_dict
+    from repro.harness.parallel import parallel_single_thread_comparison
+    from repro.harness.runner import ExperimentConfig
+
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "1" if array_kernel else "0")
+    config = ExperimentConfig(instructions=30_000)
+    comparison = parallel_single_thread_comparison(
+        config, SWEEP_TECHNIQUES, SWEEP_BENCHMARKS, **kwargs
+    )
+    return to_dict(comparison)
+
+
+def test_dbrb_sweep_bit_identity_array_on_off_serial(monkeypatch):
+    assert run_sweep(monkeypatch, True, jobs=1) == run_sweep(
+        monkeypatch, False, jobs=1
+    )
+
+
+@pytest.mark.faults
+def test_dbrb_sweep_bit_identity_array_on_parallel_shm(monkeypatch):
+    """Array kernel inside spawn workers with shared-memory streams must
+    match the kernel-off serial sweep bit for bit."""
+    parallel = run_sweep(monkeypatch, True, jobs=2, shared_memory=True)
+    serial = run_sweep(monkeypatch, False, jobs=1)
+    assert parallel == serial
+
+
+# ----------------------------------------------------------------------
+# fleet: a sampler sweep survives a chaos-killed worker bit-identically
+# ----------------------------------------------------------------------
+_KILL_EXIT_CODE = 67
+
+
+def _spawn_worker(url, name, root, extra_env):
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_dir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env.pop("REPRO_CHAOS", None)
+    env.update(extra_env)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", url, "--name", name, "--once",
+            "--stream-cache", str(root / f"worker-streams-{name}"),
+        ],
+        env=env,
+    )
+
+
+@pytest.mark.fleet(timeout=240)
+def test_fleet_sampler_bit_identity_across_chaos_kill(tmp_path, monkeypatch):
+    """The PR's acceptance bar, end to end: sampler cells replayed on the
+    array kernel inside real fleet workers -- one chaos-killed mid-lease,
+    its cells re-dispatched -- produce the same bytes as a kernel-off
+    serial sweep in this process."""
+    from repro.harness.export import to_dict
+    from repro.harness.parallel import parallel_single_thread_comparison
+    from repro.harness.runner import ExperimentConfig, WorkloadCache
+    from repro.service.client import ServiceClient
+    from repro.service.scheduler import ExperimentScheduler
+    from repro.service.server import ExperimentServer
+
+    config = ExperimentConfig(scale=16, instructions=10_000, seed=1)
+    monkeypatch.setenv("REPRO_ARRAY_KERNEL", "0")
+    serial = parallel_single_thread_comparison(
+        WorkloadCache(config), list(SWEEP_TECHNIQUES), ("perlbench",), jobs=1
+    )
+    expected = to_dict(serial)
+    monkeypatch.delenv("REPRO_ARRAY_KERNEL", raising=False)
+
+    scheduler = ExperimentScheduler(
+        job_store=tmp_path / "service",
+        stream_cache=tmp_path / "streams",
+        fleet=True,
+        lease_ttl=0.5,
+        heartbeat_seconds=0.1,
+        lease_cells=2,
+    )
+    handle = ExperimentServer(scheduler, port=0).start_in_thread()
+    workers = []
+    try:
+        url = f"http://127.0.0.1:{handle.port}"
+        client = ServiceClient(url)
+        job = client.submit(
+            client="dbrb-chaos",
+            benchmarks=["perlbench"], techniques=list(SWEEP_TECHNIQUES),
+            sweep=True,
+            config={
+                "scale": config.scale,
+                "instructions": config.instructions,
+                "seed": config.seed,
+                "cores": config.num_cores,
+            },
+        )
+        # The victim leases with the array kernel on and is chaos-rigged
+        # to die, kill -9 style, the moment it starts its first cell.
+        victim = _spawn_worker(
+            url, "victim", tmp_path,
+            {"REPRO_CHAOS": "kill:1@1", "REPRO_ARRAY_KERNEL": "1"},
+        )
+        workers.append(victim)
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if client.stats()["fleet"]["cells"]["leased"] >= 1:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("victim worker never leased a cell")
+        assert victim.wait(timeout=60.0) == _KILL_EXIT_CODE
+
+        survivor = _spawn_worker(
+            url, "survivor", tmp_path, {"REPRO_ARRAY_KERNEL": "1"}
+        )
+        workers.append(survivor)
+        final = client.wait(job["id"], timeout=180.0)
+        assert final["state"] == "done", final.get("error")
+        assert client.result(job["id"]) == expected
+
+        fleet = client.stats()["fleet"]
+        assert fleet["cells"]["redispatched"] >= 1
+        assert fleet["leases"]["expired"] >= 1
+        assert survivor.wait(timeout=60.0) == 0
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+        handle.stop()
