@@ -5,7 +5,7 @@ PYTHON ?= python
 # Let every target run from a fresh clone, installed or not.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test test-faults test-service test-fleet test-workloads lint check bench bench-smoke serve-smoke fleet-smoke pattern-smoke figures figures-fast results clean clean-cache help
+.PHONY: install test test-faults test-service test-fleet test-workloads test-loadsim lint check bench bench-smoke serve-smoke fleet-smoke pattern-smoke loadsim-smoke figures figures-fast results clean clean-cache help
 
 # The compiled workload store (see docs/performance.md).  `make clean`
 # leaves it alone -- warm starts are the point; `make clean-cache`
@@ -19,13 +19,15 @@ help:
 	@echo "test-service experiment-service tests only (hard per-test deadlines)"
 	@echo "test-fleet   worker-fleet tests only: leases, heartbeats, re-dispatch, chaos (hard per-test deadlines)"
 	@echo "test-workloads pattern-generator and trace-replay tests only (hard per-test deadlines)"
+	@echo "test-loadsim load-simulator tests only: engine, arrivals, determinism, golden percentiles (hard per-test deadlines)"
 	@echo "lint         ruff check (skips with a notice when ruff is not installed)"
-	@echo "check        lint + test suite + fault tests + bench-smoke + serve-smoke + fleet-smoke + pattern-smoke (the default pre-commit gate)"
+	@echo "check        lint + test suite + fault tests + bench-smoke + serve-smoke + fleet-smoke + pattern-smoke + loadsim-smoke (the default pre-commit gate)"
 	@echo "bench        measure replay-engine throughput -> BENCH_PR1.json"
 	@echo "bench-smoke  tiny-budget bench harness validation -> BENCH_SMOKE.json"
 	@echo "serve-smoke  boot the job service, run a sweep through the client SDK, assert bit-identity with serial"
 	@echo "fleet-smoke  chaos gate: fleet server + 2 workers, one chaos-killed mid-lease; re-dispatch must yield a bit-identical sweep"
 	@echo "pattern-smoke tiny Zipf-skew sweep through the service; must be bit-identical to serial, dedup fully, and 400 bad specs"
+	@echo "loadsim-smoke tiny 2-tenant load simulation, DBRB vs LRU; asserts byte-identical determinism and non-degenerate latency percentiles"
 	@echo "figures      regenerate every paper table and figure"
 	@echo "figures-fast quick figure pass (scale 1/32, short traces)"
 	@echo "results      show the rendered experiment tables"
@@ -61,6 +63,11 @@ test-fleet:
 test-workloads:
 	$(PYTHON) -m pytest tests/ -m workloads
 
+# Load-simulator tests: event-loop engine, arrival processes, the
+# byte-identical determinism property, and the golden percentile pins.
+test-loadsim:
+	$(PYTHON) -m pytest tests/ -m loadsim
+
 # Lint config lives in pyproject.toml ([tool.ruff]).  Ruff is optional --
 # environments without it (e.g. the hermetic CI container) skip the gate
 # with a notice rather than failing the whole check.
@@ -73,7 +80,7 @@ lint:
 		echo "lint: ruff not installed, skipping (pip install ruff to enable)"; \
 	fi
 
-check: lint test test-faults bench-smoke serve-smoke fleet-smoke pattern-smoke
+check: lint test test-faults bench-smoke serve-smoke fleet-smoke pattern-smoke loadsim-smoke
 
 bench:
 	$(PYTHON) benchmarks/bench_throughput.py
@@ -101,6 +108,13 @@ fleet-smoke:
 # closest-match suggestion for a misspelled pattern family.
 pattern-smoke:
 	$(PYTHON) -m repro.service.smoke_patterns
+
+# Tiny 2-tenant load-simulation scenario, DBRB vs LRU: re-runs must be
+# byte-identical (event-log digest + latency series), both techniques
+# must see the same arrivals, and the latency percentiles must be
+# non-degenerate.
+loadsim-smoke:
+	$(PYTHON) -m repro.loadsim.smoke
 
 figures:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -40,6 +40,14 @@ report (``BENCH_PR1.json`` by default):
   the aggregate in every mode, including ``--smoke`` under ``make
   check``.
 
+* **loadsim**: event throughput of the discrete-event load simulator on
+  a fixed two-tenant scenario (its own tiny config, so smoke and full
+  numbers are comparable).  A full run also writes the section to
+  ``BENCH_PR10.json``; ``--min-loadsim-speedup`` (default 0.7) gates
+  the throughput against that committed baseline when it exists -- and
+  the baseline's recorded event-log digest doubles as a determinism
+  anchor: a digest mismatch fails the run.
+
 Usage::
 
     python benchmarks/bench_throughput.py                # full, BENCH_PR1.json
@@ -806,6 +814,73 @@ def _measure_patterns(config) -> Dict:
     }
 
 
+#: Interleaved trials for the load-simulator bench (best kept).
+_LOADSIM_TRIALS = 3
+
+
+def _measure_loadsim() -> Dict:
+    """Event throughput of the discrete-event load simulator.
+
+    Runs a FIXED small scenario (its own config, independent of the
+    bench budget) so smoke and full baselines are directly comparable:
+    two tenants -- skewed Zipf under Poisson arrivals next to mcf under
+    MMPP bursts -- through sampler-driven DBRB.  Every trial must
+    produce the same event-log digest (the determinism contract); the
+    digest is recorded so the committed baseline doubles as a
+    cross-version determinism anchor.
+    """
+    from repro.loadsim import LoadScenario, TenantSpec, prepare_scenario
+
+    config = ExperimentConfig(
+        scale=32, instructions=20_000, seed=1, num_cores=2
+    )
+    scenario = LoadScenario(
+        tenants=(
+            TenantSpec(workload="zipf(a=1.2)", arrival="poisson(rate=0.3)"),
+            TenantSpec(workload="mcf", arrival="bursty(rate=0.2,burst=6)"),
+        ),
+        duration=2_000_000.0,
+        seed=11,
+        epochs=8,
+    )
+    prepared = prepare_scenario(WorkloadCache(config), scenario)
+    best_seconds = None
+    result = None
+    for _ in range(_LOADSIM_TRIALS):
+        gc.collect()
+        start = time.perf_counter()
+        trial = prepared.run("sampler")
+        elapsed = time.perf_counter() - start
+        if result is None:
+            result = trial
+        elif trial.event_log_digest() != result.event_log_digest():
+            raise SystemExit(
+                "LOADSIM NONDETERMINISM: bench trials of one scenario "
+                "produced different event logs"
+            )
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds = elapsed
+    events = len(result.events)
+    requests = sum(tenant.arrived for tenant in result.tenants)
+    return {
+        "scenario": result.scenario,
+        "technique": result.technique,
+        "trials": _LOADSIM_TRIALS,
+        "total": {
+            "events": events,
+            "requests": requests,
+            "llc_accesses": result.llc_stats.accesses,
+            "seconds": best_seconds,
+            "events_per_sec": events / best_seconds,
+            "p50_latency": result.p50,
+            "p95_latency": result.p95,
+            "p99_latency": result.p99,
+            "fairness": result.fairness,
+            "event_log_digest": result.event_log_digest(),
+        },
+    }
+
+
 def _print_report(report: Dict) -> None:
     substrate = report["substrate"]
     print(f"\nsubstrate throughput ({len(substrate['benchmarks'])} benchmarks):")
@@ -902,6 +977,16 @@ def _print_report(report: Dict) -> None:
         f"replay {pattern_total['replay_rec_per_sec']:,.0f} rec/s "
         f"({pattern_total['import_records']} records round-tripped)"
     )
+    loadsim = report["loadsim"]["total"]
+    print(
+        f"\nload simulator (fixed 2-tenant scenario, best of "
+        f"{report['loadsim']['trials']}): "
+        f"{loadsim['events_per_sec']:,.0f} events/s "
+        f"({loadsim['events']} events, {loadsim['requests']} requests, "
+        f"{loadsim['llc_accesses']} LLC accesses in "
+        f"{loadsim['seconds']:.3f}s; p99 {loadsim['p99_latency']:.0f}cy, "
+        f"digest {loadsim['event_log_digest'][:12]})"
+    )
     end_to_end = report["end_to_end"]
     line = (
         f"\nend-to-end {end_to_end['figure']}: "
@@ -991,6 +1076,17 @@ def main(argv=None) -> int:
         help="where to write the pattern-workload section on its own "
         "(default BENCH_PR8.json; not written with --smoke)",
     )
+    parser.add_argument(
+        "--min-loadsim-speedup", type=float, default=0.7,
+        help="load-simulator guard: minimum fraction of the committed "
+        "BENCH_PR10.json event throughput still accepted (exit 1 below "
+        "it); skipped with a note when no baseline exists",
+    )
+    parser.add_argument(
+        "--loadsim-output", type=Path, default=None,
+        help="where to write the load-simulator section on its own "
+        "(default BENCH_PR10.json; not written with --smoke)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -1030,6 +1126,7 @@ def main(argv=None) -> int:
         "telemetry": _measure_telemetry_overhead(workload_cache, benchmarks),
         "store": _measure_store(config, benchmarks),
         "patterns": _measure_patterns(config),
+        "loadsim": _measure_loadsim(),
         "end_to_end": _measure_end_to_end(
             config,
             [k for k in technique_keys if k != "lru"],
@@ -1118,6 +1215,26 @@ def main(argv=None) -> int:
         )
         print(f"pattern-workload report written to {patterns_output}")
 
+    # The load-simulator section stands alone as the PR 10 baseline;
+    # smoke runs keep it inside BENCH_SMOKE.json only (pass
+    # --loadsim-output explicitly to write it from a smoke run -- the
+    # section's scenario is fixed, so the numbers are comparable).
+    loadsim_output = args.loadsim_output
+    if loadsim_output is None and not args.smoke:
+        loadsim_output = REPO_ROOT / "BENCH_PR10.json"
+    if loadsim_output is not None:
+        loadsim_report = {
+            "schema": "repro-bench-loadsim/1",
+            "unix_time": report["unix_time"],
+            "smoke": args.smoke,
+            "config": report["config"],
+            "loadsim": report["loadsim"],
+        }
+        loadsim_output.write_text(
+            json.dumps(loadsim_report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"load-simulator report written to {loadsim_output}")
+
     # Probes-off guard: with telemetry disabled (the default), the replay
     # kernel must still beat the frozen in-file legacy substrate by the
     # configured margin -- a slow fast path means the probe hooks leaked
@@ -1173,6 +1290,51 @@ def main(argv=None) -> int:
             f"{args.min_store_speedup:.2f}x"
         )
         return 1
+
+    # Load-simulator guard: gated only against a committed baseline --
+    # a repo without BENCH_PR10.json (or with a partial one) skips with
+    # a note rather than failing, mirroring `report --bench` tolerance.
+    loadsim_total = report["loadsim"]["total"]
+    loadsim_baseline = REPO_ROOT / "BENCH_PR10.json"
+    baseline_total = None
+    if loadsim_baseline.exists():
+        try:
+            baseline = json.loads(loadsim_baseline.read_text())
+            candidate = (baseline.get("loadsim") or {}).get("total")
+            if isinstance(candidate, dict):
+                baseline_total = candidate
+        except (OSError, ValueError):
+            baseline_total = None
+    if baseline_total is None:
+        print(
+            "\nloadsim guard: no usable BENCH_PR10.json baseline; "
+            "gate skipped"
+        )
+    else:
+        base_digest = baseline_total.get("event_log_digest")
+        if base_digest and base_digest != loadsim_total["event_log_digest"]:
+            print(
+                "\nLOADSIM DETERMINISM REGRESSION: the fixed bench "
+                f"scenario's event log digest "
+                f"{loadsim_total['event_log_digest'][:12]} no longer "
+                f"matches the committed baseline {str(base_digest)[:12]}"
+            )
+            return 1
+        base_rate = baseline_total.get("events_per_sec")
+        if base_rate:
+            floor = args.min_loadsim_speedup * base_rate
+            if loadsim_total["events_per_sec"] < floor:
+                print(
+                    f"\nLOADSIM THROUGHPUT REGRESSION: "
+                    f"{loadsim_total['events_per_sec']:,.0f} events/s fell "
+                    f"below {args.min_loadsim_speedup:.2f}x of the "
+                    f"baseline {base_rate:,.0f} (floor {floor:,.0f})"
+                )
+                return 1
+        print(
+            "\nloadsim guard: digest matches baseline, "
+            f"{loadsim_total['events_per_sec']:,.0f} events/s >= floor; ok"
+        )
 
     if args.check is not None:
         return _check_regression(report, args.check, args.tolerance)

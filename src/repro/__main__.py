@@ -8,6 +8,10 @@ Commands:
 * ``telemetry BENCHMARK [TECHNIQUE]`` -- per-epoch time series of one
   run, dumped as NDJSON/CSV (``--ndjson`` / ``--csv``) or rendered as a
   sparkline table.
+* ``loadsim`` -- service-level latency under open-loop tenant load on
+  the shared LLC: p50/p95/p99 request latency, per-tenant MPKI,
+  throughput, and fairness for each technique, fully deterministic
+  under a fixed seed (docs/loadsim.md).
 * ``report --timeseries [BENCHMARK ...]`` -- sparkline phase report
   across benchmarks (docs/observability.md).
 * ``report --bench`` -- tabulate the committed BENCH_PR*.json
@@ -239,8 +243,90 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _render_substrate(s) -> str:
+    return (
+        "    replay substrate: "
+        f"{s['before_acc_per_sec'] / 1e6:.2f}M/s -> "
+        f"{s['after_acc_per_sec'] / 1e6:.2f}M/s "
+        f"({s['speedup']:.2f}x over the pre-PR1 engine, "
+        f"{s['accesses']} accesses)"
+    )
+
+
+def _render_store(s) -> str:
+    return (
+        "    workload store:   "
+        f"cold {s['cold_seconds']:.2f}s, "
+        f"warm {s['warm_speedup']:.1f}x, "
+        f"shm {s['shm_speedup']:.1f}x "
+        f"({s['store_bytes'] / 1e6:.1f} MB on disk)"
+    )
+
+
+def _render_array_kernel(s) -> str:
+    speedup = s.get("speedup")
+    shown = "n/a" if speedup is None else f"{speedup:.2f}x"
+    return (
+        "    array kernel:     "
+        f"{s['object_acc_per_sec'] / 1e6:.2f}M/s -> "
+        f"{s['array_acc_per_sec'] / 1e6:.2f}M/s "
+        f"({shown} over the object kernel on eligible cells, "
+        f"{s['accesses']} accesses)"
+    )
+
+
+def _render_sampler_kernel(s) -> str:
+    speedup = s.get("speedup")
+    shown = "n/a" if speedup is None else f"{speedup:.2f}x"
+    return (
+        "    sampler kernel:   "
+        f"{s['object_acc_per_sec'] / 1e6:.2f}M/s -> "
+        f"{s['array_acc_per_sec'] / 1e6:.2f}M/s "
+        f"({shown} over the object kernel on the DBRB cells, "
+        f"{s['accesses']} accesses)"
+    )
+
+
+def _render_patterns(s) -> str:
+    return (
+        "    pattern workloads: "
+        f"generate {s['generate_rec_per_sec'] / 1e6:.2f}M rec/s, "
+        f"trace import {s['import_rec_per_sec'] / 1e6:.2f}M rec/s, "
+        f"replay {s['replay_rec_per_sec'] / 1e6:.2f}M rec/s "
+        f"({s['records']} records)"
+    )
+
+
+def _render_loadsim_bench(s) -> str:
+    return (
+        "    load simulator:   "
+        f"{s['events_per_sec'] / 1e3:.1f}k events/s "
+        f"({s['events']} events, {s['requests']} requests; "
+        f"p99 {s['p99_latency']:.0f}cy, "
+        f"digest {str(s['event_log_digest'])[:12]})"
+    )
+
+
+#: BENCH_PR*.json section -> renderer for ``report --bench``.
+_BENCH_SECTIONS = (
+    ("substrate", _render_substrate),
+    ("store", _render_store),
+    ("array_kernel", _render_array_kernel),
+    ("sampler_kernel", _render_sampler_kernel),
+    ("patterns", _render_patterns),
+    ("loadsim", _render_loadsim_bench),
+)
+
+
 def _render_bench_baselines() -> int:
-    """Tabulate the committed BENCH_PR*.json baselines (repo root)."""
+    """Tabulate the committed BENCH_PR*.json baselines (repo root).
+
+    Baselines accrue one file per PR and old files never grow new
+    sections, so missing sections are normal; a *partial* section
+    (present but lacking expected fields -- e.g. a baseline written by
+    an older bench harness) is skipped with a note instead of crashing
+    the whole report.
+    """
     import json
     from pathlib import Path
 
@@ -256,62 +342,103 @@ def _render_bench_baselines() -> int:
         except (OSError, ValueError) as exc:
             print(f"  {path.name:16s} unreadable: {exc}")
             continue
-        config = report.get("config", {})
-        header = (
+        if not isinstance(report, dict):
+            print(f"  {path.name:16s} not a bench report object; skipped")
+            continue
+        config = report.get("config") or {}
+        if not isinstance(config, dict):
+            config = {}
+        print(
             f"  {path.name:16s} {report.get('schema', '?'):22s} "
             f"scale=1/{config.get('scale', '?')} "
             f"instructions={config.get('instructions', '?')}"
         )
-        print(header)
-        substrate = (report.get("substrate") or {}).get("total")
-        if substrate:
-            print(
-                "    replay substrate: "
-                f"{substrate['before_acc_per_sec'] / 1e6:.2f}M/s -> "
-                f"{substrate['after_acc_per_sec'] / 1e6:.2f}M/s "
-                f"({substrate['speedup']:.2f}x over the pre-PR1 engine, "
-                f"{substrate['accesses']} accesses)"
-            )
-        store = (report.get("store") or {}).get("total")
-        if store:
-            print(
-                "    workload store:   "
-                f"cold {store['cold_seconds']:.2f}s, "
-                f"warm {store['warm_speedup']:.1f}x, "
-                f"shm {store['shm_speedup']:.1f}x "
-                f"({store['store_bytes'] / 1e6:.1f} MB on disk)"
-            )
-        array_kernel = (report.get("array_kernel") or {}).get("total")
-        if array_kernel:
-            speedup = array_kernel.get("speedup")
-            shown = "n/a" if speedup is None else f"{speedup:.2f}x"
-            print(
-                "    array kernel:     "
-                f"{array_kernel['object_acc_per_sec'] / 1e6:.2f}M/s -> "
-                f"{array_kernel['array_acc_per_sec'] / 1e6:.2f}M/s "
-                f"({shown} over the object kernel on eligible cells, "
-                f"{array_kernel['accesses']} accesses)"
-            )
-        sampler_kernel = (report.get("sampler_kernel") or {}).get("total")
-        if sampler_kernel:
-            speedup = sampler_kernel.get("speedup")
-            shown = "n/a" if speedup is None else f"{speedup:.2f}x"
-            print(
-                "    sampler kernel:   "
-                f"{sampler_kernel['object_acc_per_sec'] / 1e6:.2f}M/s -> "
-                f"{sampler_kernel['array_acc_per_sec'] / 1e6:.2f}M/s "
-                f"({shown} over the object kernel on the DBRB cells, "
-                f"{sampler_kernel['accesses']} accesses)"
-            )
-        patterns = (report.get("patterns") or {}).get("total")
-        if patterns:
-            print(
-                "    pattern workloads: "
-                f"generate {patterns['generate_rec_per_sec'] / 1e6:.2f}M rec/s, "
-                f"trace import {patterns['import_rec_per_sec'] / 1e6:.2f}M rec/s, "
-                f"replay {patterns['replay_rec_per_sec'] / 1e6:.2f}M rec/s "
-                f"({patterns['records']} records)"
-            )
+        for key, render in _BENCH_SECTIONS:
+            section = report.get(key)
+            total = section.get("total") if isinstance(section, dict) else None
+            if not isinstance(total, dict):
+                continue
+            try:
+                print(render(total))
+            except (KeyError, TypeError, ValueError) as exc:
+                print(
+                    f"    {key}: partial section in {path.name} "
+                    f"({exc.__class__.__name__}: {exc}); skipped"
+                )
+    return 0
+
+
+def _cmd_loadsim(args) -> int:
+    """``loadsim``: service-level latency under open-loop tenant load."""
+    from repro.harness import loadsim_experiment
+    from repro.loadsim import (
+        LoadScenario,
+        resolve_tenant_specs,
+        write_csv,
+        write_ndjson,
+    )
+    from repro.harness.techniques import validate_techniques
+
+    try:
+        tenants = resolve_tenant_specs(args.tenants, args.arrival)
+    except ValueError as exc:
+        raise SystemExit(f"loadsim: {exc}")
+    for spec in tenants:
+        _check_workload(spec.workload)
+    keys = list(args.technique) or ["sampler", "lru"]
+    bad = validate_techniques(keys)
+    if bad:
+        raise SystemExit("; ".join(bad))
+    if "optimal" in keys:
+        raise SystemExit(
+            "loadsim: the optimal policy needs the full future access "
+            "stream; a live load simulation cannot provide one"
+        )
+    config = ExperimentConfig.from_env()
+    try:
+        scenario = LoadScenario(
+            tenants=tenants,
+            duration=args.duration,
+            seed=args.seed,
+            ops=args.ops,
+            epochs=args.epochs,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"loadsim: {exc}")
+    print(f"load simulation on {config.describe()}")
+    print(f"scenario: {scenario.describe()}\n")
+    comparison = loadsim_experiment(WorkloadCache(config), scenario, keys)
+    rows = comparison.rows()
+    print(format_table(
+        rows[0], rows[1:],
+        title="Request latency under load (cycles)",
+    ))
+    print()
+    tenant_rows = comparison.tenant_rows()
+    print(format_table(
+        tenant_rows[0], tenant_rows[1:], title="Per-tenant behaviour",
+    ))
+    for key in keys:
+        digest = comparison.results[key].event_log_digest()
+        print(f"{key}: event log digest {digest}")
+
+    def _outputs(base: str):
+        """One output path per technique (suffix the key when several)."""
+        if len(keys) == 1:
+            return [(keys[0], base)]
+        stem, dot, ext = base.rpartition(".")
+        if not dot:
+            return [(key, f"{base}.{key}") for key in keys]
+        return [(key, f"{stem}.{key}.{ext}") for key in keys]
+
+    if args.ndjson:
+        for key, path in _outputs(args.ndjson):
+            write_ndjson(comparison.results[key], path)
+            print(f"wrote {key} run to {path} (NDJSON)")
+    if args.csv:
+        for key, path in _outputs(args.csv):
+            write_csv(comparison.results[key], path)
+            print(f"wrote {key} tenant table to {path} (CSV)")
     return 0
 
 
@@ -727,6 +854,55 @@ def main(argv=None) -> int:
             help="fan compiled workloads out to workers via shared "
                  "memory (default: REPRO_SHM or off)",
         )
+    loadsim_parser = subparsers.add_parser(
+        "loadsim",
+        help="service-level latency under open-loop tenant load "
+             "(docs/loadsim.md)",
+    )
+    loadsim_parser.add_argument(
+        "--tenants", default="4", metavar="N|SPEC,...",
+        help="tenant count (rotates zipf/bursty/hotspot/seq) or a "
+             "comma-separated workload spec list; commas inside parens "
+             "are safe (default: 4)",
+    )
+    loadsim_parser.add_argument(
+        "--arrival", default=None, metavar="SPEC[,...]",
+        help="arrival process: poisson(rate=R), bursty(rate=,burst=,"
+             "on=,off=), uniform(rate=R); rates in requests/kilocycle; "
+             "one spec for all tenants or one per tenant "
+             "(default: poisson(rate=0.05))",
+    )
+    loadsim_parser.add_argument(
+        "--duration", type=float, default=2_000_000.0, metavar="CYCLES",
+        help="arrival window in simulated cycles; in-flight requests "
+             "drain afterwards (default: 2000000)",
+    )
+    loadsim_parser.add_argument(
+        "--technique", action="append", default=[], metavar="KEY",
+        help="technique to simulate; repeatable "
+             "(default: sampler and lru)",
+    )
+    loadsim_parser.add_argument(
+        "--seed", type=int, default=1,
+        help="scenario seed for all arrival draws (default: 1)",
+    )
+    loadsim_parser.add_argument(
+        "--ops", type=int, default=32,
+        help="memory references per request (default: 32)",
+    )
+    loadsim_parser.add_argument(
+        "--epochs", type=int, default=16,
+        help="telemetry epochs across the arrival window (default: 16)",
+    )
+    loadsim_parser.add_argument(
+        "--ndjson", default=None, metavar="FILE",
+        help="dump each technique's run as NDJSON (summary + tenants + "
+             "epoch series; multi-technique runs suffix the key)",
+    )
+    loadsim_parser.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="dump each technique's per-tenant table as CSV",
+    )
     telemetry_parser = subparsers.add_parser(
         "telemetry",
         help="per-epoch time series of one (benchmark, technique) run",
@@ -961,6 +1137,7 @@ def main(argv=None) -> int:
         "run": _cmd_run,
         "suite": _cmd_suite,
         "telemetry": _cmd_telemetry,
+        "loadsim": _cmd_loadsim,
         "report": _cmd_report,
         "profile": _cmd_profile,
         "cache": _cmd_cache,

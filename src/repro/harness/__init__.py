@@ -29,6 +29,7 @@ from repro.harness.checkpoint import CheckpointStore, resolve_checkpoint_dir
 from repro.harness.experiments import (
     AccuracyResult,
     EfficiencyResult,
+    LoadSimComparison,
     MulticoreComparison,
     PatternSweepResult,
     SingleThreadComparison,
@@ -37,6 +38,7 @@ from repro.harness.experiments import (
     accuracy_experiment,
     characterization_table,
     efficiency_experiment,
+    loadsim_experiment,
     multicore_comparison,
     pattern_axis,
     pattern_sweep_experiment,
@@ -78,6 +80,7 @@ __all__ = [
     "EfficiencyResult",
     "ExperimentConfig",
     "FaultPolicy",
+    "LoadSimComparison",
     "MULTICORE_LRU_TECHNIQUES",
     "MULTICORE_RANDOM_TECHNIQUES",
     "MulticoreComparison",
@@ -96,6 +99,7 @@ __all__ = [
     "characterization_table",
     "efficiency_experiment",
     "format_table",
+    "loadsim_experiment",
     "multicore_comparison",
     "parallel_single_thread_comparison",
     "pattern_axis",

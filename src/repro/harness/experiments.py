@@ -21,7 +21,7 @@ Function                        Paper experiment
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.accuracy import AccuracyObserver
 from repro.analysis.efficiency import EfficiencyObserver
@@ -38,9 +38,13 @@ from repro.telemetry.probe import IntervalRecorder
 from repro.workloads import MIX_NAMES, SINGLE_THREAD_SUBSET
 from repro.workloads.suite import ALL_BENCHMARKS, SINGLE_THREAD_SUBSET as _SUBSET
 
+if TYPE_CHECKING:  # imported lazily at runtime (heavy subsystem)
+    from repro.loadsim.sim import LoadScenario, LoadSimResult
+
 __all__ = [
     "AccuracyResult",
     "EfficiencyResult",
+    "LoadSimComparison",
     "MulticoreComparison",
     "PatternSweepResult",
     "SingleThreadComparison",
@@ -49,6 +53,7 @@ __all__ = [
     "accuracy_experiment",
     "characterization_table",
     "efficiency_experiment",
+    "loadsim_experiment",
     "multicore_comparison",
     "pattern_axis",
     "pattern_sweep_experiment",
@@ -639,3 +644,84 @@ def characterization_table(
             ]
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Service-level latency under load (beyond the paper; docs/loadsim.md)
+# ----------------------------------------------------------------------
+@dataclass
+class LoadSimComparison:
+    """One load scenario simulated under several LLC techniques.
+
+    Every technique sees the *same* arrival streams and the same LLC
+    access interleaving (the open-loop determinism contract of
+    :mod:`repro.loadsim`), so latency deltas between rows are
+    attributable to the replacement policy alone.  ``results`` maps
+    technique key to its :class:`~repro.loadsim.sim.LoadSimResult`.
+    """
+
+    scenario: str
+    technique_keys: Tuple[str, ...]
+    results: Dict[str, "LoadSimResult"]
+
+    def rows(self) -> List[List[str]]:
+        """The report table: latency distribution per technique."""
+        rows = [
+            ["technique", "p50", "p95", "p99", "mean",
+             "req/kcycle", "LLC miss", "fairness"]
+        ]
+        for key in self.technique_keys:
+            result = self.results[key]
+            rows.append([
+                key,
+                f"{result.p50:.0f}",
+                f"{result.p95:.0f}",
+                f"{result.p99:.0f}",
+                f"{result.mean_latency:.0f}",
+                f"{result.throughput:.3f}",
+                f"{result.llc_stats.miss_rate:.4f}",
+                f"{result.fairness:.3f}",
+            ])
+        return rows
+
+    def tenant_rows(self) -> List[List[str]]:
+        """Per-tenant MPKI / mean latency, techniques side by side."""
+        header = ["tenant"]
+        for key in self.technique_keys:
+            header.extend([f"{key} MPKI", f"{key} mean lat"])
+        rows = [header]
+        first = self.results[self.technique_keys[0]]
+        for index, report in enumerate(first.tenants):
+            row = [f"{index}: {report.workload} @ {report.arrival}"]
+            for key in self.technique_keys:
+                tenant = self.results[key].tenants[index]
+                row.extend([f"{tenant.mpki:.2f}", f"{tenant.mean_latency:.0f}"])
+            rows.append(row)
+        return rows
+
+
+def loadsim_experiment(
+    cache: WorkloadCache,
+    scenario: "LoadScenario",
+    technique_keys: Sequence[str] = ("sampler", "lru"),
+    record_events: bool = True,
+) -> LoadSimComparison:
+    """Simulate one load scenario under each technique (docs/loadsim.md).
+
+    Tenant preparation (trace generation, L1/L2 filtering, request
+    tables) is shared across techniques through the workload cache; the
+    simulation itself is re-run per technique against a fresh LLC.  Pass
+    ``record_events=False`` to skip the per-event log (large scenarios)
+    -- digests then cover an empty log, but every metric is unchanged.
+    """
+    from repro.loadsim.sim import prepare_scenario
+
+    prepared = prepare_scenario(cache, scenario)
+    results: Dict[str, "LoadSimResult"] = {}
+    for key in technique_keys:
+        results[key] = prepared.run(key, record_events=record_events)
+    return LoadSimComparison(
+        scenario=scenario.describe(),
+        technique_keys=tuple(technique_keys),
+        results=results,
+    )

@@ -1,0 +1,80 @@
+"""Deterministic discrete-event engine for the service-level simulator.
+
+A minimal calendar-queue event loop: events are ``(time, seq, action)``
+entries in a :mod:`heapq` heap, popped in ``(time, seq)`` order.  The
+``seq`` counter breaks same-cycle ties by *scheduling order*, which makes
+the processing order a pure function of the schedule -- no wall clock,
+no iteration-order hazards, no global RNG.  Everything downstream
+(arrival draws, cache evolution, latency series) inherits that
+determinism, which the loadsim reproducibility tests pin byte-for-byte.
+
+Time is measured in simulated CPU cycles (floats: exponential
+inter-arrival draws are real-valued).  The engine knows nothing about
+caches or tenants; :mod:`repro.loadsim.sim` composes it with the shared
+LLC model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+__all__ = ["EventLoop"]
+
+#: An event action; receives the firing time.
+Action = Callable[[float], None]
+
+
+class EventLoop:
+    """A heapq calendar queue with deterministic tie-breaking."""
+
+    __slots__ = ("_heap", "_seq", "now", "processed")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Action]] = []
+        self._seq = 0
+        #: Current simulated time (cycles); updated as events fire.
+        self.now = 0.0
+        #: Number of events processed (the bench's throughput unit).
+        self.processed = 0
+
+    def schedule_at(self, time: float, action: Action) -> None:
+        """Schedule ``action`` at absolute simulated ``time``.
+
+        Scheduling in the past (before the event being processed) is a
+        simulator bug, never a property of the scenario.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"event scheduled at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, action))
+        self._seq += 1
+
+    def schedule_after(self, delay: float, action: Action) -> None:
+        """Schedule ``action`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative event delay {delay}")
+        self.schedule_at(self.now + delay, action)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def run(self) -> int:
+        """Process events until the calendar is empty.
+
+        Returns the number of events processed.  Termination is the
+        scenario's responsibility: arrival processes must stop
+        rescheduling themselves past the horizon (open-loop sources
+        drain; nothing in the engine runs forever on its own).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        processed = 0
+        while heap:
+            time, _, action = pop(heap)
+            self.now = time
+            action(time)
+            processed += 1
+        self.processed += processed
+        return processed

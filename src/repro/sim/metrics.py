@@ -7,14 +7,29 @@
   methodology in Section VI-A.2): per thread, IPC in the shared cache is
   divided by that program's IPC running *alone* with the whole LLC under
   LRU; the sum is then normalized to the same sum under shared-LRU.
+
+Service-level helpers (beyond the paper; shared with
+:mod:`repro.loadsim`):
+
+* nearest-rank percentiles (:func:`percentiles`) -- deterministic, no
+  interpolation, so latency distributions pin byte-identically across
+  runs;
+* Jain's fairness index (:func:`jain_fairness_index`) over any
+  per-tenant metric.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Dict, Sequence
 
-__all__ = ["geometric_mean", "normalized_value", "weighted_speedup"]
+__all__ = [
+    "geometric_mean",
+    "jain_fairness_index",
+    "normalized_value",
+    "percentiles",
+    "weighted_speedup",
+]
 
 
 def geometric_mean(values: Sequence[float]) -> float:
@@ -34,6 +49,57 @@ def normalized_value(value: float, baseline: float) -> float:
     if baseline == 0:
         raise ValueError("cannot normalize to a zero baseline")
     return value / baseline
+
+
+def percentiles(
+    values: Sequence[float], points: Sequence[float] = (50.0, 95.0, 99.0)
+) -> Dict[float, float]:
+    """Nearest-rank percentiles of ``values``.
+
+    The nearest-rank definition (rank ``ceil(p/100 * n)``, 1-based) always
+    returns an element *of the sample* -- no interpolation -- so repeated
+    runs over identical samples produce byte-identical results, which the
+    load-simulator determinism tests rely on.  ``p = 0`` maps to the
+    minimum by convention.
+
+    Raises:
+        ValueError: on an empty sample or a point outside ``[0, 100]``.
+    """
+    if not values:
+        raise ValueError("percentiles of an empty sample")
+    ordered = sorted(values)
+    count = len(ordered)
+    result: Dict[float, float] = {}
+    for point in points:
+        if not 0.0 <= point <= 100.0:
+            raise ValueError(f"percentile point must be in [0, 100], got {point}")
+        rank = math.ceil(point / 100.0 * count)
+        result[point] = ordered[max(rank, 1) - 1]
+    return result
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly equal allocations; ``1/n`` means one tenant gets
+    everything.  Values must be non-negative; an all-zero sample is
+    defined as perfectly fair (every tenant got the same nothing).
+
+    Raises:
+        ValueError: on an empty sample or a negative entry.
+    """
+    if not values:
+        raise ValueError("fairness index of an empty sample")
+    total = 0.0
+    squares = 0.0
+    for value in values:
+        if value < 0:
+            raise ValueError(f"fairness index requires non-negative values, got {value}")
+        total += value
+        squares += value * value
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
 
 
 def weighted_speedup(

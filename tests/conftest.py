@@ -8,9 +8,11 @@ test-faults``) exercise worker crashes, hangs, and timeouts, and
 experiment-service tests (``@pytest.mark.service``, run via ``make
 test-service``) exercise a live job server, fleet tests
 (``@pytest.mark.fleet``, run via ``make test-fleet``) exercise
-lease-based dispatch with real worker processes, and workload tests
+lease-based dispatch with real worker processes, workload tests
 (``@pytest.mark.workloads``, run via ``make test-workloads``) exercise
-pattern generators and trace replay; a regression in any can
+pattern generators and trace replay, and load-simulator tests
+(``@pytest.mark.loadsim``, run via ``make test-loadsim``) exercise the
+discrete-event engine and arrival processes; a regression in any can
 *wedge* rather than fail, so every marked test runs under a hard SIGALRM
 deadline (default 120s, override with
 ``@pytest.mark.faults(timeout=N)`` / ``@pytest.mark.service(timeout=N)``)
@@ -29,7 +31,7 @@ from repro.cache import Cache, CacheAccess, CacheGeometry
 _HARD_TEST_TIMEOUT = 120.0
 
 #: Markers whose tests run under a hard wall-clock deadline.
-_DEADLINE_MARKERS = ("faults", "service", "fleet", "workloads")
+_DEADLINE_MARKERS = ("faults", "service", "fleet", "workloads", "loadsim")
 
 
 @pytest.hookimpl(hookwrapper=True)

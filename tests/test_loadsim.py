@@ -1,0 +1,347 @@
+"""Load-simulator tests: engine, arrivals, determinism, golden pins.
+
+The subsystem's contract (docs/loadsim.md): a run is a pure function of
+``(tenants, arrival specs, seed, technique)``.  The hypothesis property
+pins that byte-for-byte -- identical inputs give identical event-log
+digests and latency series, distinct seeds give distinct logs -- and a
+golden test with metronome (``uniform``) arrivals pins the nearest-rank
+latency percentiles of a fixed scenario to exact values.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.experiments import loadsim_experiment
+from repro.harness.runner import ExperimentConfig, WorkloadCache
+from repro.loadsim import (
+    ArrivalSpecError,
+    EventLoop,
+    LoadScenario,
+    TenantSpec,
+    parse_arrival_spec,
+    prepare_scenario,
+    resolve_tenant_specs,
+    split_specs,
+    write_csv,
+    write_ndjson,
+)
+from repro.utils.rng import XorShift64
+
+pytestmark = pytest.mark.loadsim
+
+#: One tiny machine + workload set shared by every test in the module
+#: (trace generation dominates the cost; the simulations are cheap).
+CONFIG = ExperimentConfig(scale=32, instructions=8_000, seed=1, num_cores=2)
+_CACHE = None
+
+
+def workload_cache() -> WorkloadCache:
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = WorkloadCache(CONFIG)
+    return _CACHE
+
+
+def small_scenario(seed: int = 5, arrival: str = "poisson(rate=1)",
+                   duration: float = 30_000.0) -> LoadScenario:
+    return LoadScenario(
+        tenants=(
+            TenantSpec(workload="zipf(a=1.2)", arrival=arrival),
+            TenantSpec(workload="hotspot", arrival=arrival),
+        ),
+        duration=duration,
+        seed=seed,
+        epochs=4,
+    )
+
+
+# ----------------------------------------------------------------------
+# event-loop engine
+# ----------------------------------------------------------------------
+class TestEventLoop:
+    def test_processes_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(30.0, lambda t: fired.append(("c", t)))
+        loop.schedule_at(10.0, lambda t: fired.append(("a", t)))
+        loop.schedule_at(20.0, lambda t: fired.append(("b", t)))
+        assert loop.run() == 3
+        assert fired == [("a", 10.0), ("b", 20.0), ("c", 30.0)]
+        assert loop.now == 30.0
+
+    def test_ties_break_by_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        for name in "abcde":
+            loop.schedule_at(7.0, lambda t, n=name: fired.append(n))
+        loop.run()
+        assert fired == list("abcde")
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(time):
+            fired.append(time)
+            if time < 3.0:
+                loop.schedule_after(1.0, chain)
+
+        loop.schedule_at(1.0, chain)
+        assert loop.run() == 3
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        loop = EventLoop()
+        loop.schedule_at(5.0, lambda t: loop.schedule_at(1.0, lambda u: None))
+        with pytest.raises(ValueError, match="before current time"):
+            loop.run()
+        with pytest.raises(ValueError, match="negative event delay"):
+            loop.schedule_after(-1.0, lambda t: None)
+
+    def test_len_counts_pending(self):
+        loop = EventLoop()
+        assert len(loop) == 0
+        loop.schedule_at(1.0, lambda t: None)
+        loop.schedule_at(2.0, lambda t: None)
+        assert len(loop) == 2
+        loop.run()
+        assert len(loop) == 0
+        assert loop.processed == 2
+
+
+# ----------------------------------------------------------------------
+# arrival processes and spec parsing
+# ----------------------------------------------------------------------
+class TestArrivals:
+    def test_canonical_specs(self):
+        assert parse_arrival_spec("poisson").spec == "poisson(rate=2)"
+        assert parse_arrival_spec("poisson(rate=0.5)").spec == "poisson(rate=0.5)"
+        assert parse_arrival_spec(" uniform( rate=4 ) ").spec == "uniform(rate=4)"
+        assert (
+            parse_arrival_spec("bursty(burst=4,rate=1)").spec
+            == "bursty(rate=1,burst=4,on=2000,off=8000)"
+        )
+
+    def test_unknown_family_and_params_raise(self):
+        with pytest.raises(ArrivalSpecError, match="unknown arrival family"):
+            parse_arrival_spec("pareto(rate=1)")
+        with pytest.raises(ArrivalSpecError, match="unknown parameter"):
+            parse_arrival_spec("poisson(burst=2)")
+        with pytest.raises(ArrivalSpecError, match="must be a number"):
+            parse_arrival_spec("poisson(rate=fast)")
+        with pytest.raises(ArrivalSpecError, match="malformed"):
+            parse_arrival_spec("poisson(rate=1")
+        with pytest.raises(ArrivalSpecError, match="rate must be positive"):
+            parse_arrival_spec("poisson(rate=0)")
+        with pytest.raises(ArrivalSpecError, match="burst multiplier"):
+            parse_arrival_spec("bursty(burst=0.5)")
+
+    def test_uniform_is_a_metronome(self):
+        process = parse_arrival_spec("uniform(rate=4)")
+        rng = XorShift64(1)
+        assert [process.next_gap(rng) for _ in range(3)] == [250.0] * 3
+
+    def test_random_processes_are_seed_deterministic(self):
+        for spec in ("poisson(rate=2)", "bursty(rate=1,burst=8)"):
+            first = parse_arrival_spec(spec)
+            second = parse_arrival_spec(spec)
+            gaps_a = [first.next_gap(XorShift64(9)) for _ in range(1)]
+            # fresh processes + equal rng streams -> equal gap streams
+            rng_a, rng_b = XorShift64(9), XorShift64(9)
+            first, second = parse_arrival_spec(spec), parse_arrival_spec(spec)
+            gaps_a = [first.next_gap(rng_a) for _ in range(50)]
+            gaps_b = [second.next_gap(rng_b) for _ in range(50)]
+            assert gaps_a == gaps_b
+            assert all(gap > 0 for gap in gaps_a)
+
+    def test_split_specs_respects_parens(self):
+        assert split_specs("zipf(a=1.2,seed=7),mcf, hotspot ") == [
+            "zipf(a=1.2,seed=7)", "mcf", "hotspot",
+        ]
+        assert split_specs("") == []
+        assert split_specs("poisson(rate=1)") == ["poisson(rate=1)"]
+
+    def test_resolve_tenant_specs(self):
+        tenants = resolve_tenant_specs("3")
+        assert [t.workload for t in tenants] == ["zipf(a=1.2)", "bursty", "hotspot"]
+        assert len({t.arrival for t in tenants}) == 1
+        tenants = resolve_tenant_specs(
+            "mcf,zipf(a=0.9)", "poisson(rate=1),uniform(rate=2)"
+        )
+        assert [(t.workload, t.arrival) for t in tenants] == [
+            ("mcf", "poisson(rate=1)"), ("zipf(a=0.9)", "uniform(rate=2)"),
+        ]
+        with pytest.raises(ValueError, match="arrival specs for"):
+            resolve_tenant_specs("3", "poisson,uniform")
+        with pytest.raises(ValueError, match="count must be >= 1"):
+            resolve_tenant_specs("0")
+
+
+# ----------------------------------------------------------------------
+# the determinism contract
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=1, max_value=2**16),
+        rate=st.sampled_from(["0.5", "1", "2"]),
+        technique=st.sampled_from(["sampler", "lru"]),
+    )
+    def test_identical_inputs_identical_run(self, seed, rate, technique):
+        scenario = small_scenario(seed=seed, arrival=f"poisson(rate={rate})")
+        prepared = prepare_scenario(workload_cache(), scenario)
+        first = prepared.run(technique)
+        second = prepared.run(technique)
+        assert first.events == second.events
+        assert first.event_log_digest() == second.event_log_digest()
+        assert first.latency_series == second.latency_series
+        assert first.to_dict() == second.to_dict()
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=1, max_value=2**16))
+    def test_distinct_seeds_distinct_logs(self, seed):
+        prepared_a = prepare_scenario(workload_cache(), small_scenario(seed=seed))
+        prepared_b = prepare_scenario(
+            workload_cache(), small_scenario(seed=seed + 1)
+        )
+        run_a = prepared_a.run("lru")
+        run_b = prepared_b.run("lru")
+        assert run_a.event_log_digest() != run_b.event_log_digest()
+
+    def test_arrivals_are_technique_independent(self):
+        prepared = prepare_scenario(workload_cache(), small_scenario())
+        sampler = prepared.run("sampler")
+        lru = prepared.run("lru")
+        arr = [e for e in sampler.events if e[0] == "arr"]
+        assert arr == [e for e in lru.events if e[0] == "arr"]
+        assert [t.arrived for t in sampler.tenants] == [
+            t.arrived for t in lru.tenants
+        ]
+        assert sampler.llc_stats.accesses == lru.llc_stats.accesses
+
+    def test_optimal_is_rejected(self):
+        prepared = prepare_scenario(workload_cache(), small_scenario())
+        with pytest.raises(ValueError, match="future access stream"):
+            prepared.run("optimal")
+
+
+# ----------------------------------------------------------------------
+# the golden scenario: metronome arrivals, pinned percentiles
+# ----------------------------------------------------------------------
+def golden_result(technique: str = "lru"):
+    scenario = LoadScenario(
+        tenants=(TenantSpec(workload="seq", arrival="uniform(rate=0.2)"),),
+        duration=60_000.0,
+        seed=3,
+        ops=16,
+        epochs=4,
+    )
+    return prepare_scenario(workload_cache(), scenario).run(technique)
+
+
+class TestGoldenScenario:
+    """``uniform`` draws nothing from the RNG and ``seq`` misses every
+    LLC access on its first pass, so every latency in this scenario is
+    exact integer arithmetic: 12 arrivals, 5000-cycle gaps, 16 misses
+    x 200 cycles = 3200 cycles service, no queueing.  Any change to the
+    latency accounting, the percentile definition, or the event
+    ordering moves these numbers."""
+
+    def test_pinned_percentiles(self):
+        result = golden_result()
+        assert sum(t.arrived for t in result.tenants) == 11
+        assert result.latency_series == [3200.0] * 11
+        assert result.p50 == 3200.0
+        assert result.p95 == 3200.0
+        assert result.p99 == 3200.0
+        assert result.mean_latency == 3200.0
+        assert result.fairness == 1.0
+        assert result.llc_stats.miss_rate == 1.0
+
+    def test_pinned_tenant_counters(self):
+        result = golden_result()
+        tenant = result.tenants[0]
+        assert tenant.llc_accesses == 11 * 16
+        assert tenant.llc_misses == 11 * 16
+        # seq retires 5 instructions per LLC access (gap 4 + the access)
+        assert tenant.instructions == 11 * 16 * 5
+        assert tenant.mpki == 200.0
+        assert tenant.throughput == pytest.approx(11 / 60.0)
+
+    def test_golden_digest_stable_across_techniques(self):
+        # seq's first pass misses everywhere under any policy, so even
+        # the completion events agree here.
+        assert (
+            golden_result("lru").event_log_digest()
+            == golden_result("sampler").event_log_digest()
+        )
+
+
+# ----------------------------------------------------------------------
+# harness + exporters + telemetry integration
+# ----------------------------------------------------------------------
+class TestIntegration:
+    def test_loadsim_experiment_matches_direct_run(self):
+        scenario = small_scenario(seed=11)
+        comparison = loadsim_experiment(
+            workload_cache(), scenario, ("sampler", "lru")
+        )
+        direct = prepare_scenario(workload_cache(), scenario).run("sampler")
+        assert comparison.results["sampler"].to_dict() == direct.to_dict()
+        rows = comparison.rows()
+        assert rows[0][0] == "technique"
+        assert [row[0] for row in rows[1:]] == ["sampler", "lru"]
+        tenant_rows = comparison.tenant_rows()
+        assert len(tenant_rows) == 1 + len(scenario.tenants)
+
+    def test_interval_series_convention(self):
+        result = prepare_scenario(workload_cache(), small_scenario()).run("lru")
+        recorder = result.recorder
+        assert recorder.context["technique"] == "lru"
+        assert recorder.context["tenants"] == 2
+        assert len(recorder.samples) == 4
+        assert sum(s.accesses for s in recorder.samples) == (
+            result.llc_stats.accesses
+        )
+        assert recorder.samples[-1].end == result.llc_stats.accesses
+        # positions are cumulative LLC access counts, monotonically
+        # non-decreasing across epoch boundaries
+        ends = [s.end for s in recorder.samples]
+        assert ends == sorted(ends)
+
+    def test_ndjson_roundtrip(self):
+        result = prepare_scenario(workload_cache(), small_scenario()).run("lru")
+        buffer = io.StringIO()
+        write_ndjson(result, buffer)
+        rows = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert rows[0]["kind"] == "loadsim"
+        assert rows[0]["event_log_digest"] == result.event_log_digest()
+        kinds = [row["kind"] for row in rows]
+        assert kinds.count("tenant") == 2
+        assert kinds.count("epoch") == len(result.recorder.samples)
+
+    def test_csv_has_one_row_per_tenant(self):
+        result = prepare_scenario(workload_cache(), small_scenario()).run("lru")
+        buffer = io.StringIO()
+        write_csv(result, buffer)
+        lines = buffer.getvalue().strip().splitlines()
+        assert lines[0].startswith("workload,arrival,arrived")
+        assert len(lines) == 1 + 2
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            LoadScenario(tenants=())
+        with pytest.raises(ValueError, match="duration must be positive"):
+            LoadScenario(
+                tenants=(TenantSpec("seq", "poisson"),), duration=0.0
+            )
+        with pytest.raises(ValueError, match="epochs must be >= 1"):
+            LoadScenario(
+                tenants=(TenantSpec("seq", "poisson"),), epochs=0
+            )

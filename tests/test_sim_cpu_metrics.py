@@ -5,7 +5,13 @@ import pytest
 from repro.cache.geometry import CacheGeometry
 from repro.sim.cpu import CoreModel
 from repro.sim.hierarchy import FilteredTrace, MachineConfig
-from repro.sim.metrics import geometric_mean, normalized_value, weighted_speedup
+from repro.sim.metrics import (
+    geometric_mean,
+    jain_fairness_index,
+    normalized_value,
+    percentiles,
+    weighted_speedup,
+)
 from repro.sim.trace import Trace, TraceRecord
 
 
@@ -124,3 +130,62 @@ class TestMetrics:
             weighted_speedup([], [])
         with pytest.raises(ValueError):
             weighted_speedup([1.0], [0.0])
+
+
+class TestPercentiles:
+    def test_nearest_rank_returns_sample_elements(self):
+        values = [10.0, 40.0, 20.0, 30.0]
+        result = percentiles(values)
+        assert result[50.0] == 20.0
+        assert result[95.0] == 40.0
+        assert result[99.0] == 40.0
+        # input order must not matter and the input is left untouched
+        assert percentiles(list(reversed(sorted(values)))) == result
+        assert values == [10.0, 40.0, 20.0, 30.0]
+
+    def test_single_sample_dominates_every_point(self):
+        assert percentiles([7.5], (1.0, 50.0, 99.9, 100.0)) == {
+            1.0: 7.5, 50.0: 7.5, 99.9: 7.5, 100.0: 7.5,
+        }
+
+    def test_ties_are_preserved(self):
+        result = percentiles([5.0] * 9 + [100.0], (50.0, 90.0, 99.0))
+        assert result[50.0] == 5.0
+        assert result[90.0] == 5.0
+        assert result[99.0] == 100.0
+
+    def test_extreme_points(self):
+        values = list(range(1, 101))
+        result = percentiles(values, (0.0, 100.0))
+        assert result[0.0] == 1
+        assert result[100.0] == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentiles([])
+
+    def test_out_of_range_point_rejected(self):
+        with pytest.raises(ValueError):
+            percentiles([1.0], (101.0,))
+        with pytest.raises(ValueError):
+            percentiles([1.0], (-1.0,))
+
+
+class TestJainFairness:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_value_is_fair(self):
+        assert jain_fairness_index([42.0]) == pytest.approx(1.0)
+
+    def test_one_hot_allocation_is_worst_case(self):
+        assert jain_fairness_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_defined_as_fair(self):
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jain_fairness_index([])
+        with pytest.raises(ValueError):
+            jain_fairness_index([1.0, -0.5])
